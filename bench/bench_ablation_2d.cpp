@@ -1,0 +1,110 @@
+// Ablation A8: 1-D vs 2-D task decomposition (the paper's future-work
+// direction, later realized as S+ 2.0).  Same block structure, same machine
+// model; the 2-D graph splits each Factor into diagonal + per-block L/U
+// stages and each Update into per-block gemms, exposing parallelism inside
+// a block column.  Reports task counts, critical paths, and simulated
+// speedups for P = 1..16.
+#include "bench_common.h"
+
+#include <chrono>
+
+#include "core/numeric2d.h"
+#include "taskgraph/build2d.h"
+
+namespace plu::bench {
+namespace {
+
+void print_table() {
+  std::printf("\nAblation A8: 1-D vs 2-D task decomposition\n");
+  for (const char* name : {"orsreg1", "goodwin", "lns3937"}) {
+    NamedMatrix nm = make_named_matrix(name);
+    Analysis an = analyze(nm.a);
+    taskgraph::TaskGraph2D g2 = taskgraph::build_task_graph_2d(an.blocks);
+    double cp1 = taskgraph::critical_path(an.graph, an.costs.flops).length;
+    double cp2 = taskgraph::critical_path_2d(g2);
+    std::printf("\n%s: 1-D %d tasks (maxpar %.1f) | 2-D %d tasks (maxpar %.1f)\n",
+                name, an.graph.size(), an.costs.total_flops / cp1, g2.size(),
+                g2.total_flops / cp2);
+    std::printf("  %-6s", "P");
+    for (int p : {1, 2, 4, 8, 16}) std::printf(" %8d", p);
+    std::printf("\n  %-6s", "1-D");
+    double base1 = 0.0, base2 = 0.0;
+    std::vector<double> bl2 = taskgraph::bottom_levels_2d(g2);
+    for (int p : {1, 2, 4, 8, 16}) {
+      rt::MachineModel m = rt::MachineModel::origin2000(p);
+      double t = rt::simulate(an.graph, an.costs, m).makespan;
+      if (p == 1) base1 = t;
+      std::printf(" %8.2f", base1 / t);
+    }
+    std::printf("  (speedup)\n  %-6s", "2-D");
+    for (int p : {1, 2, 4, 8, 16}) {
+      rt::MachineModel m = rt::MachineModel::origin2000(p);
+      double t = rt::simulate_dag(g2.succ, g2.indegree, g2.flops,
+                                  g2.output_bytes, m, bl2)
+                     .makespan;
+      if (p == 1) base2 = t;
+      std::printf(" %8.2f", base2 / t);
+    }
+    std::printf("  (speedup)\n  %-6s", "2-Dgrid");
+    // Owner-computes on a pr x pc process grid (the distributed-memory
+    // placement of S+ 2.0 / ScaLAPACK).
+    double base3 = 0.0;
+    struct Grid {
+      int p, pr, pc;
+    };
+    for (Grid gr : {Grid{1, 1, 1}, Grid{2, 1, 2}, Grid{4, 2, 2}, Grid{8, 2, 4},
+                    Grid{16, 4, 4}}) {
+      rt::MachineModel m = rt::MachineModel::origin2000(gr.p);
+      std::vector<int> owners = taskgraph::owners_2d(g2, gr.pr, gr.pc);
+      double t = rt::simulate_dag_pinned(g2.succ, g2.indegree, g2.flops,
+                                         g2.output_bytes, m, owners, bl2)
+                     .makespan;
+      if (gr.p == 1) base3 = t;
+      std::printf(" %8.2f", base3 / t);
+    }
+    std::printf("  (speedup)\n");
+  }
+  std::printf(
+      "\nThe 2-D decomposition keeps scaling where the 1-D one flattens: the\n"
+      "trailing dense supernodes stop being single sequential panel tasks.\n"
+      "This is the scalability argument behind the paper's future-work item.\n");
+
+  // The 2-D NUMERIC factorization (block-restricted pivoting) on one core:
+  // wall clock and accuracy against the 1-D panel-pivoting baseline.
+  std::printf("\n2-D numeric factorization (1 core wall clock + accuracy)\n");
+  print_rule(86);
+  std::printf("%-10s %10s %10s %12s %12s %14s %12s\n", "Matrix", "1-D (s)",
+              "2-D (s)", "1-D resid", "2-D resid", "2-D+mc64 res", "2-D minpiv");
+  print_rule(86);
+  using clock_type = std::chrono::steady_clock;
+  for (const char* name : {"orsreg1", "goodwin"}) {
+    NamedMatrix nm = make_named_matrix(name);
+    Analysis an = analyze(nm.a);
+    Options scaled;
+    scaled.scale_and_permute = true;
+    Analysis an_mc64 = analyze(nm.a, scaled);
+    std::vector<double> b(nm.a.rows(), 1.0);
+    auto t0 = clock_type::now();
+    Factorization f1(an, nm.a);
+    auto t1 = clock_type::now();
+    Factorization2D f2(an, nm.a);
+    auto t2 = clock_type::now();
+    Factorization2D f3(an_mc64, nm.a);
+    std::printf("%-10s %10.3f %10.3f %12.2e %12.2e %14.2e %12.1e\n", name,
+                std::chrono::duration<double>(t1 - t0).count(),
+                std::chrono::duration<double>(t2 - t1).count(),
+                relative_residual(nm.a, f1.solve(b), b),
+                relative_residual(nm.a, f2.solve(b), b),
+                relative_residual(nm.a, f3.solve(b), b), f2.min_pivot_ratio());
+  }
+  print_rule(86);
+  std::printf(
+      "Block-restricted pivoting alone can fail hard (goodwin); pairing it\n"
+      "with MC64 max-product scaling -- the standard static-pivoting recipe\n"
+      "-- restores factorization-grade accuracy.\n");
+}
+
+}  // namespace
+}  // namespace plu::bench
+
+PLU_BENCH_MAIN(plu::bench::print_table)

@@ -1,0 +1,76 @@
+// Ablation A9: MC64-style preprocessing + threshold pivoting.
+//
+// Static-pivoting factorizations live or die by what is on the diagonal;
+// the maximum-product transversal with scaling (graph/weighted_matching.h)
+// is the standard defense.  This bench injects wild row scalings into the
+// suite matrices and reports, for each preprocessing x pivoting combination:
+// the relative residual of a solve, the number of row interchanges actually
+// performed, and the condition estimate of the preprocessed operator.
+#include "bench_common.h"
+
+#include <cmath>
+
+#include "core/solve.h"
+
+namespace plu::bench {
+namespace {
+
+CscMatrix badly_scaled(const CscMatrix& a, std::uint64_t seed) {
+  std::vector<int> ptr = a.col_ptr();
+  std::vector<int> ind = a.row_ind();
+  std::vector<double> val = a.values();
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      // Deterministic per-row exponent in [-6, 6] decades.
+      std::uint64_t h = (static_cast<std::uint64_t>(ind[k]) + seed) * 0x9e3779b9u;
+      val[k] *= std::pow(10.0, static_cast<int>(h % 13) - 6);
+    }
+  }
+  return CscMatrix(a.rows(), a.cols(), std::move(ptr), std::move(ind),
+                   std::move(val));
+}
+
+void print_table() {
+  std::printf("\nAblation A9: MC64 preprocessing + threshold pivoting on badly "
+              "scaled systems\n");
+  print_rule(100);
+  std::printf("%-10s %-22s %12s %12s %12s\n", "Matrix", "configuration",
+              "residual", "interchg", "cond est");
+  print_rule(100);
+  for (const char* name : {"orsreg1", "goodwin"}) {
+    CscMatrix a = badly_scaled(make_named_matrix(name).a, 5);
+    std::vector<double> b(a.rows());
+    for (int i = 0; i < a.rows(); ++i) b[i] = 1.0 + (i % 9) * 0.1;
+    struct Config {
+      const char* label;
+      bool mc64;
+      double threshold;
+    };
+    for (Config c : {Config{"plain + partial piv", false, 1.0},
+                     Config{"mc64  + partial piv", true, 1.0},
+                     Config{"plain + thresh 0.1", false, 0.1},
+                     Config{"mc64  + thresh 0.1", true, 0.1},
+                     Config{"mc64  + thresh 0.01", true, 0.01}}) {
+      Options opt;
+      opt.scale_and_permute = c.mc64;
+      NumericOptions nopt;
+      nopt.pivot_threshold = c.threshold;
+      Analysis an = analyze(a, opt);
+      Factorization f(an, a, nopt);
+      std::vector<double> x = f.solve(b);
+      ConditionEstimate ce = estimate_condition(f, a);
+      std::printf("%-10s %-22s %12.2e %12ld %12.2e\n", name, c.label,
+                  relative_residual(a, x, b), f.pivot_interchanges(), ce.cond1);
+    }
+  }
+  print_rule(100);
+  std::printf(
+      "MC64 preprocessing lets threshold pivoting keep the (maximized)\n"
+      "diagonal: interchanges drop sharply while the residual stays at\n"
+      "factorization accuracy.\n");
+}
+
+}  // namespace
+}  // namespace plu::bench
+
+PLU_BENCH_MAIN(plu::bench::print_table)

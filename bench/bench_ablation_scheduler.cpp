@@ -1,0 +1,51 @@
+// Ablation A5: scheduler policy and placement model.  Crosses
+// {critical-path, FIFO} priorities with {free-schedule, owner-computes}
+// placement on both dependence graphs, at P = 8.  Two findings this pins
+// down (EXPERIMENTS.md):
+//   * under owner-computes every update into a column is serialized on its
+//     owner, so the dependence-graph choice is nearly irrelevant there;
+//   * under free scheduling, the eforest graph's advantage over the
+//     program-order S* baseline survives even the FIFO scheduler.
+#include "bench_common.h"
+
+namespace plu::bench {
+namespace {
+
+void print_table() {
+  std::printf("\nAblation A5: scheduling policy x placement (P=8, simulated "
+              "seconds)\n");
+  const auto kinds = {taskgraph::GraphKind::kEforest,
+                      taskgraph::GraphKind::kSStarProgramOrder,
+                      taskgraph::GraphKind::kSStar};
+  print_rule(100);
+  std::printf("%-10s %-20s %12s %12s %12s %12s\n", "Matrix", "graph", "CP/free",
+              "FIFO/free", "CP/owner", "FIFO/owner");
+  print_rule(100);
+  for (const char* name : {"orsreg1", "goodwin"}) {
+    NamedMatrix nm = make_named_matrix(name);
+    for (auto kind : kinds) {
+      Options opt;
+      opt.task_graph = kind;
+      Analysis an = analyze(nm.a, opt);
+      rt::MachineModel m = rt::MachineModel::origin2000(8);
+      auto run = [&](rt::SchedulePolicy pol, rt::MappingPolicy map) {
+        return rt::simulate(an.graph, an.costs, m, pol, false, map).makespan;
+      };
+      std::printf("%-10s %-20s %12.3f %12.3f %12.3f %12.3f\n", name,
+                  taskgraph::to_string(kind).c_str(),
+                  run(rt::SchedulePolicy::kCriticalPath,
+                      rt::MappingPolicy::kFreeSchedule),
+                  run(rt::SchedulePolicy::kFifo, rt::MappingPolicy::kFreeSchedule),
+                  run(rt::SchedulePolicy::kCriticalPath,
+                      rt::MappingPolicy::kOwnerComputes),
+                  run(rt::SchedulePolicy::kFifo,
+                      rt::MappingPolicy::kOwnerComputes));
+    }
+  }
+  print_rule(100);
+}
+
+}  // namespace
+}  // namespace plu::bench
+
+PLU_BENCH_MAIN(plu::bench::print_table)

@@ -1,0 +1,78 @@
+// Ablation A10: the triangular solve phase (step 4 of the paper's scheme).
+//
+// Reports the forward-solve DAG's structural parallelism (total work over
+// weighted critical path) and the simulated scaling on the Origin model and
+// on a latency-free machine.  The point this bench documents: triangular
+// solves are nearly sequential in weighted terms (the flop-heavy trailing
+// supernodes form a chain) and their tiny tasks drown in message latency --
+// the classic reason solve-phase parallelization disappoints even when the
+// factorization scales.
+#include "bench_common.h"
+
+#include "core/parallel_solve.h"
+
+namespace plu::bench {
+namespace {
+
+void print_table() {
+  std::printf("\nAblation A10: triangular solve phase (forward DAG)\n");
+  print_rule(96);
+  std::printf("%-10s %10s %12s %14s %14s %14s\n", "Matrix", "tasks",
+              "total/cp", "S(4) origin", "S(4) no-lat", "S(8) no-lat");
+  print_rule(96);
+  for (const char* name : {"orsreg1", "lns3937", "goodwin"}) {
+    NamedMatrix nm = make_named_matrix(name);
+    Analysis an = analyze(nm.a);
+    Factorization f(an, nm.a);
+    ParallelSolver ps(f);
+    std::vector<double> flops = ps.forward_flops();
+    const auto& succ = ps.forward_succ();
+    const int nb = static_cast<int>(succ.size());
+    // Weighted critical path via Kahn + forward sweep.
+    std::vector<int> indeg = ps.forward_indegree();
+    std::vector<int> order;
+    for (int v = 0; v < nb; ++v) {
+      if (indeg[v] == 0) order.push_back(v);
+    }
+    for (std::size_t h = 0; h < order.size(); ++h) {
+      for (int s : succ[order[h]]) {
+        if (--indeg[s] == 0) order.push_back(s);
+      }
+    }
+    std::vector<double> dist(nb, 0.0);
+    double cp = 0.0, total = 0.0;
+    for (int v : order) {
+      dist[v] += flops[v];
+      cp = std::max(cp, dist[v]);
+      total += flops[v];
+      for (int s : succ[v]) dist[s] = std::max(dist[s], dist[v]);
+    }
+    std::vector<double> bytes(nb, 256.0);
+    auto makespan = [&](rt::MachineModel m) {
+      return rt::simulate_dag(succ, ps.forward_indegree(), flops, bytes, m)
+          .makespan;
+    };
+    rt::MachineModel m1 = rt::MachineModel::origin2000(1);
+    rt::MachineModel m4 = rt::MachineModel::origin2000(4);
+    rt::MachineModel i1 = m1, i4 = m4, i8 = rt::MachineModel::origin2000(8);
+    for (rt::MachineModel* m : {&i1, &i4, &i8}) {
+      m->latency_seconds = 0.0;
+      m->task_overhead_seconds = 0.0;
+      m->bandwidth_bytes_per_second = 1e18;
+    }
+    std::printf("%-10s %10d %12.2f %14.2f %14.2f %14.2f\n", name, nb, total / cp,
+                makespan(m1) / makespan(m4), makespan(i1) / makespan(i4),
+                makespan(i1) / makespan(i8));
+  }
+  print_rule(96);
+  std::printf(
+      "total/cp bounds any speedup; with real message latency the tiny tasks\n"
+      "lose even that (S(4) origin < 1 means slower than serial).  The\n"
+      "parallel solver still exists for its shared-memory value (threads\n"
+      "share the vector; no messages) -- see core/parallel_solve.h.\n");
+}
+
+}  // namespace
+}  // namespace plu::bench
+
+PLU_BENCH_MAIN(plu::bench::print_table)

@@ -1,0 +1,92 @@
+// Shared helpers for the reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md section 4): it prints the paper-formatted table on stdout and,
+// where wall-clock timing is meaningful on this one-core host, registers
+// google-benchmark timings as well.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sparse_lu.h"
+#include "matrix/named_matrices.h"
+#include "runtime/simulator.h"
+
+namespace plu::bench {
+
+/// Analysis + simulated makespan for one matrix/options/processor-count.
+inline double simulated_seconds(const Analysis& an, int processors,
+                                rt::SchedulePolicy policy =
+                                    rt::SchedulePolicy::kCriticalPath) {
+  rt::MachineModel m = rt::MachineModel::origin2000(processors);
+  return rt::simulate(an.graph, an.costs, m, policy).makespan;
+}
+
+/// Cached analyses for the named suite (one pipeline run per matrix/options).
+struct SuiteAnalyses {
+  std::vector<NamedMatrix> matrices;
+  std::vector<Analysis> analyses;
+};
+
+inline SuiteAnalyses analyze_suite(const Options& opt) {
+  SuiteAnalyses s;
+  s.matrices = make_benchmark_suite();
+  s.analyses.reserve(s.matrices.size());
+  for (const NamedMatrix& nm : s.matrices) {
+    s.analyses.push_back(analyze(nm.a, opt));
+  }
+  return s;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+/// The Figure 5/6 series: improvement 1 - PT(new)/PT(old) for P = 1..8,
+/// against both readings of the S* baseline (see taskgraph/build.h).
+inline void print_taskgraph_improvement(const std::vector<std::string>& names) {
+  Options newopt;
+  newopt.task_graph = taskgraph::GraphKind::kEforest;
+  for (auto baseline : {taskgraph::GraphKind::kSStarProgramOrder,
+                        taskgraph::GraphKind::kSStar}) {
+    Options oldopt;
+    oldopt.task_graph = baseline;
+    std::printf("baseline: %s\n", taskgraph::to_string(baseline).c_str());
+    std::printf("%-10s", "Matrix");
+    for (int p = 1; p <= 8; ++p) std::printf("    P=%d ", p);
+    std::printf("\n");
+    print_rule(10 + 8 * 8);
+    for (const std::string& name : names) {
+      NamedMatrix nm = make_named_matrix(name);
+      Analysis an_new = analyze(nm.a, newopt);
+      Analysis an_old = analyze(nm.a, oldopt);
+      std::printf("%-10s", name.c_str());
+      for (int p = 1; p <= 8; ++p) {
+        double tnew = simulated_seconds(an_new, p);
+        double told = simulated_seconds(an_old, p);
+        std::printf(" %6.1f%%", 100.0 * (1.0 - tnew / told));
+      }
+      std::printf("\n");
+    }
+    print_rule(10 + 8 * 8);
+    std::printf("\n");
+  }
+}
+
+/// Runs any registered google-benchmark timings, then the table printer.
+/// Usage: PLU_BENCH_MAIN(print_table)
+#define PLU_BENCH_MAIN(print_fn)                      \
+  int main(int argc, char** argv) {                   \
+    ::benchmark::Initialize(&argc, argv);             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();            \
+    print_fn();                                       \
+    return 0;                                         \
+  }
+
+}  // namespace plu::bench

@@ -1,0 +1,111 @@
+// Domain decomposition via the partial factorization: order the unknowns so
+// an interface separator comes last (nested dissection does this), factor
+// the subdomain part only, extract the dense interface Schur complement,
+// solve the interface problem densely, and back-substitute.
+//
+// This is the classic substructuring workflow the Schur mode exists for --
+// and a consistency check of the whole pipeline: the substructured solution
+// must match the plain sparse solve.
+//
+//   $ ./example_domain_decomposition
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "blas/factor.h"
+#include "core/sparse_lu.h"
+#include "matrix/generators.h"
+
+int main() {
+  // A 24x24 grid; nested dissection puts the top-level separator last.
+  plu::CscMatrix a = plu::gen::grid2d(24, 24, {0.3, 0.0, 0.8, 31});
+  const int n = a.rows();
+  std::printf("system: %s\n", plu::describe(a).c_str());
+
+  plu::Options opt;
+  opt.ordering = plu::ordering::Method::kNestedDissectionAtA;
+  plu::Analysis an = plu::analyze(a, opt);
+  const int nb = an.blocks.num_blocks();
+
+  // Cut so the interface (trailing ~10% of columns) stays unfactored.
+  int split = nb;
+  const int interface_target = n / 10;
+  while (split > 1 && n - an.blocks.part.first(split - 1) <= interface_target) {
+    --split;
+  }
+  plu::NumericOptions nopt;
+  nopt.stop_after_block = split;
+  plu::Factorization partial(an, a, nopt);
+  plu::blas::DenseMatrix schur = partial.schur_complement();
+  const int k = an.blocks.part.first(split);
+  const int m = n - k;
+  std::printf("subdomain: %d unknowns factored sparsely; interface: %d "
+              "unknowns, dense Schur complement\n",
+              k, m);
+
+  // Substructured solve of A x = b:
+  //   Apre [x1; x2] = [b1; b2]  (analysis ordering)
+  //   forward-eliminate b through the factored panels,
+  //   solve S x2 = (reduced b2),
+  //   back-substitute for x1.
+  // Implemented here by completing the factorization: dense-factor S and
+  // reuse the partial panels via a full refactorization for the reference.
+  std::vector<double> b(n);
+  for (int i = 0; i < n; ++i) b[i] = std::sin(0.1 * i) + 1.5;
+
+  // Reference: plain sparse solve.
+  plu::Factorization full(an, a);
+  std::vector<double> x_ref = full.solve(b);
+
+  // Substructured: forward-eliminate through the partial panels by hand.
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) y[i] = b[an.row_perm.old_of(i)];
+  const auto& part = an.blocks.part;
+  for (int kk = 0; kk < split; ++kk) {
+    const int wk = part.width(kk);
+    std::vector<int> grows;
+    for (int r = part.first(kk); r < part.end(kk); ++r) grows.push_back(r);
+    for (int t : an.blocks.l_blocks(kk)) {
+      for (int r = part.first(t); r < part.end(t); ++r) grows.push_back(r);
+    }
+    std::vector<double> seg(grows.size());
+    for (std::size_t p = 0; p < grows.size(); ++p) seg[p] = y[grows[p]];
+    const auto& piv = partial.panel_ipiv(kk);
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) std::swap(seg[c], seg[piv[c]]);
+    }
+    plu::blas::ConstMatrixView panel = partial.blocks().panel(kk);
+    plu::blas::trsv(plu::blas::UpLo::Lower, plu::blas::Trans::No,
+                    plu::blas::Diag::Unit, panel.block(0, 0, wk, wk), seg.data(),
+                    1);
+    const int below = static_cast<int>(grows.size()) - wk;
+    if (below > 0) {
+      plu::blas::gemv(plu::blas::Trans::No, -1.0, panel.block(wk, 0, below, wk),
+                      seg.data(), 1, 1.0, seg.data() + wk, 1);
+    }
+    for (std::size_t p = 0; p < grows.size(); ++p) y[grows[p]] = seg[p];
+  }
+  // Interface solve: S x2 = reduced trailing rhs.
+  std::vector<double> x2(y.begin() + k, y.end());
+  plu::blas::DenseMatrix slu = schur;
+  std::vector<int> sipiv;
+  if (plu::blas::getrf(slu.view(), sipiv) != 0) {
+    std::printf("interface matrix singular!\n");
+    return 1;
+  }
+  plu::blas::MatrixView x2v(x2.data(), m, 1);
+  plu::blas::getrs(plu::blas::Trans::No, slu.view(), sipiv, x2v);
+
+  // Compare the interface unknowns against the reference (the subdomain
+  // back-substitution would proceed identically through the stored U).
+  double err = 0.0;
+  for (int j = 0; j < m; ++j) {
+    double ref = x_ref[an.col_perm.old_of(k + j)];
+    err = std::max(err, std::abs(x2[j] - ref) / (1.0 + std::abs(ref)));
+  }
+  std::printf("interface solution vs plain sparse solve: max relative "
+              "difference %.2e\n",
+              err);
+  std::printf("%s\n", err < 1e-9 ? "substructuring consistent" : "MISMATCH");
+  return err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+#include "blas/dense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace plu::blas {
+
+DenseMatrix DenseMatrix::identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void copy(ConstMatrixView src, MatrixView dst) {
+  assert(src.rows == dst.rows && src.cols == dst.cols);
+  for (int j = 0; j < src.cols; ++j) {
+    const double* s = src.col(j);
+    double* d = dst.col(j);
+    std::copy(s, s + src.rows, d);
+  }
+}
+
+double frobenius_norm(ConstMatrixView a) {
+  double sum = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    const double* c = a.col(j);
+    for (int i = 0; i < a.rows; ++i) sum += c[i] * c[i];
+  }
+  return std::sqrt(sum);
+}
+
+double max_abs(ConstMatrixView a) {
+  double m = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    const double* c = a.col(j);
+    for (int i = 0; i < a.rows; ++i) m = std::max(m, std::abs(c[i]));
+  }
+  return m;
+}
+
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  assert(a.rows == b.rows && a.cols == b.cols);
+  double m = 0.0;
+  for (int j = 0; j < a.cols; ++j) {
+    const double* ca = a.col(j);
+    const double* cb = b.col(j);
+    for (int i = 0; i < a.rows; ++i) m = std::max(m, std::abs(ca[i] - cb[i]));
+  }
+  return m;
+}
+
+std::ostream& operator<<(std::ostream& os, ConstMatrixView a) {
+  for (int i = 0; i < a.rows; ++i) {
+    for (int j = 0; j < a.cols; ++j) {
+      os << a(i, j) << (j + 1 == a.cols ? "" : " ");
+    }
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace plu::blas

@@ -1,0 +1,137 @@
+// Dense matrix views and an owning dense matrix, column-major.
+//
+// These are the storage primitives for the dense submatrix blocks that the
+// supernodal sparse LU factorization operates on (the S+/S* approach treats
+// each structurally nonzero submatrix block as dense).  No external BLAS is
+// available in this environment, so src/blas/ provides the needed subset of
+// BLAS-1/2/3 plus LAPACK-style panel factorization kernels.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+namespace plu::blas {
+
+/// Non-owning mutable view of a column-major dense matrix.
+///
+/// Element (i, j) lives at data[i + j * ld].  `ld >= rows` allows views of
+/// submatrices of a larger allocation.
+struct MatrixView {
+  double* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  MatrixView() = default;
+  MatrixView(double* d, int r, int c, int l) : data(d), rows(r), cols(c), ld(l) {
+    assert(l >= r);
+  }
+  MatrixView(double* d, int r, int c) : MatrixView(d, r, c, r) {}
+
+  double& operator()(int i, int j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  /// View of the submatrix starting at (i0, j0) with dimensions r x c.
+  MatrixView block(int i0, int j0, int r, int c) const {
+    assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return {data + static_cast<std::size_t>(j0) * ld + i0, r, c, ld};
+  }
+
+  /// Mutable pointer to the start of column j.
+  double* col(int j) const {
+    assert(j >= 0 && j < cols);
+    return data + static_cast<std::size_t>(j) * ld;
+  }
+};
+
+/// Non-owning read-only view of a column-major dense matrix.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* d, int r, int c, int l)
+      : data(d), rows(r), cols(c), ld(l) {
+    assert(l >= r);
+  }
+  ConstMatrixView(const double* d, int r, int c) : ConstMatrixView(d, r, c, r) {}
+  ConstMatrixView(const MatrixView& m)  // NOLINT: implicit by design
+      : data(m.data), rows(m.rows), cols(m.cols), ld(m.ld) {}
+
+  double operator()(int i, int j) const {
+    assert(i >= 0 && i < rows && j >= 0 && j < cols);
+    return data[static_cast<std::size_t>(j) * ld + i];
+  }
+
+  ConstMatrixView block(int i0, int j0, int r, int c) const {
+    assert(i0 >= 0 && j0 >= 0 && i0 + r <= rows && j0 + c <= cols);
+    return {data + static_cast<std::size_t>(j0) * ld + i0, r, c, ld};
+  }
+
+  const double* col(int j) const {
+    assert(j >= 0 && j < cols);
+    return data + static_cast<std::size_t>(j) * ld;
+  }
+};
+
+/// Owning column-major dense matrix (ld == rows).
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, 0.0) {
+    assert(rows >= 0 && cols >= 0);
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  double& operator()(int i, int j) {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+  double operator()(int i, int j) const {
+    assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return data_[static_cast<std::size_t>(j) * rows_ + i];
+  }
+
+  MatrixView view() { return {data_.data(), rows_, cols_, rows_}; }
+  ConstMatrixView view() const { return {data_.data(), rows_, cols_, rows_}; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::size_t size() const { return data_.size(); }
+
+  void set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// Identity matrix of order n.
+  static DenseMatrix identity(int n);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copies src into dst (dimensions must match; leading dimensions may differ).
+void copy(ConstMatrixView src, MatrixView dst);
+
+/// Frobenius norm of a view.
+double frobenius_norm(ConstMatrixView a);
+
+/// Max-abs (entrywise infinity) norm of a view.
+double max_abs(ConstMatrixView a);
+
+/// max_ij |a_ij - b_ij| for equally-sized views.
+double max_abs_diff(ConstMatrixView a, ConstMatrixView b);
+
+std::ostream& operator<<(std::ostream& os, ConstMatrixView a);
+
+}  // namespace plu::blas

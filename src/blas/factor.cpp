@@ -1,0 +1,173 @@
+#include "blas/factor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "blas/level1.h"
+
+namespace plu::blas {
+
+int getf2(MatrixView a, std::vector<int>& ipiv) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int p = std::min(m, n);
+  ipiv.assign(p, 0);
+  int info = 0;
+  for (int j = 0; j < p; ++j) {
+    // Pivot: largest magnitude in column j at or below the diagonal.
+    int piv = j + iamax(m - j, a.col(j) + j, 1);
+    ipiv[j] = piv;
+    double pv = a(piv, j);
+    if (pv == 0.0) {
+      if (info == 0) info = j + 1;
+      continue;  // Singular column: skip elimination, keep scanning.
+    }
+    if (piv != j) {
+      swap(n, a.data + j, a.ld, a.data + piv, a.ld);
+    }
+    // Scale multipliers and rank-1 update of the trailing submatrix.
+    if (j + 1 < m) {
+      scal(m - j - 1, 1.0 / a(j, j), a.col(j) + j + 1, 1);
+      if (j + 1 < n) {
+        ger(-1.0, a.col(j) + j + 1, 1, a.data + static_cast<std::size_t>(j + 1) * a.ld + j,
+            a.ld, a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+      }
+    }
+  }
+  return info;
+}
+
+int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
+                    long* swaps) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int p = std::min(m, n);
+  ipiv.assign(p, 0);
+  int info = 0;
+  for (int j = 0; j < p; ++j) {
+    int piv = j + iamax(m - j, a.col(j) + j, 1);
+    // Keep the diagonal when it is within the threshold of the best pivot.
+    if (std::abs(a(j, j)) >= threshold * std::abs(a(piv, j))) {
+      piv = j;
+    }
+    ipiv[j] = piv;
+    double pv = a(piv, j);
+    if (pv == 0.0) {
+      if (info == 0) info = j + 1;
+      continue;
+    }
+    if (piv != j) {
+      swap(n, a.data + j, a.ld, a.data + piv, a.ld);
+      if (swaps) ++*swaps;
+    }
+    if (j + 1 < m) {
+      scal(m - j - 1, 1.0 / a(j, j), a.col(j) + j + 1, 1);
+      if (j + 1 < n) {
+        ger(-1.0, a.col(j) + j + 1, 1, a.data + static_cast<std::size_t>(j + 1) * a.ld + j,
+            a.ld, a.block(j + 1, j + 1, m - j - 1, n - j - 1));
+      }
+    }
+  }
+  return info;
+}
+
+int getrf(MatrixView a, std::vector<int>& ipiv, int block_size) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int p = std::min(m, n);
+  ipiv.assign(p, 0);
+  if (p == 0) return 0;
+  if (block_size <= 1 || p <= block_size) {
+    return getf2(a, ipiv);
+  }
+  int info = 0;
+  for (int j = 0; j < p; j += block_size) {
+    const int jb = std::min(block_size, p - j);
+    // Factor the current panel A(j:m, j:j+jb).
+    MatrixView panel = a.block(j, j, m - j, jb);
+    std::vector<int> piv_local;
+    int linfo = getf2(panel, piv_local);
+    if (linfo != 0 && info == 0) info = j + linfo;
+    // Record pivots in global row indices.
+    for (int t = 0; t < jb; ++t) ipiv[j + t] = j + piv_local[t];
+    // Apply the interchanges to the columns left of the panel...
+    if (j > 0) {
+      MatrixView left = a.block(j, 0, m - j, j);
+      laswp(left, piv_local, 0, jb);
+    }
+    // ...and right of the panel.
+    if (j + jb < n) {
+      MatrixView right = a.block(j, j + jb, m - j, n - j - jb);
+      laswp(right, piv_local, 0, jb);
+      // U block row: solve L11 * U12 = A12.
+      trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0,
+           a.block(j, j, jb, jb), a.block(j, j + jb, jb, n - j - jb));
+      // Trailing update: A22 -= L21 * U12.
+      if (j + jb < m) {
+        gemm(Trans::No, Trans::No, -1.0, a.block(j + jb, j, m - j - jb, jb),
+             a.block(j, j + jb, jb, n - j - jb), 1.0,
+             a.block(j + jb, j + jb, m - j - jb, n - j - jb));
+      }
+    }
+  }
+  return info;
+}
+
+void laswp(MatrixView a, const std::vector<int>& ipiv, int j0, int j1) {
+  assert(j0 >= 0 && j1 <= static_cast<int>(ipiv.size()));
+  for (int j = j0; j < j1; ++j) {
+    int p = ipiv[j];
+    if (p != j) {
+      assert(p >= 0 && p < a.rows && j < a.rows);
+      swap(a.cols, a.data + j, a.ld, a.data + p, a.ld);
+    }
+  }
+}
+
+void laswp_reverse(MatrixView a, const std::vector<int>& ipiv, int j0, int j1) {
+  for (int j = j1 - 1; j >= j0; --j) {
+    int p = ipiv[j];
+    if (p != j) {
+      swap(a.cols, a.data + j, a.ld, a.data + p, a.ld);
+    }
+  }
+}
+
+void getrs(Trans trans, ConstMatrixView lu, const std::vector<int>& ipiv,
+           MatrixView b) {
+  assert(lu.rows == lu.cols && b.rows == lu.rows);
+  if (trans == Trans::No) {
+    laswp(b, ipiv, 0, static_cast<int>(ipiv.size()));
+    trsm(Side::Left, UpLo::Lower, Trans::No, Diag::Unit, 1.0, lu, b);
+    trsm(Side::Left, UpLo::Upper, Trans::No, Diag::NonUnit, 1.0, lu, b);
+  } else {
+    // (PA)^T x = b  =>  U^T L^T P x = b.
+    trsm(Side::Left, UpLo::Upper, Trans::Yes, Diag::NonUnit, 1.0, lu, b);
+    trsm(Side::Left, UpLo::Lower, Trans::Yes, Diag::Unit, 1.0, lu, b);
+    laswp_reverse(b, ipiv, 0, static_cast<int>(ipiv.size()));
+  }
+}
+
+bool dense_solve(const DenseMatrix& a, std::vector<double>& b) {
+  assert(a.rows() == a.cols());
+  assert(static_cast<int>(b.size()) == a.rows());
+  DenseMatrix lu = a;
+  std::vector<int> ipiv;
+  if (getrf(lu.view(), ipiv) != 0) return false;
+  MatrixView bv(b.data(), a.rows(), 1);
+  getrs(Trans::No, lu.view(), ipiv, bv);
+  return true;
+}
+
+double inf_norm(ConstMatrixView a) {
+  double best = 0.0;
+  for (int i = 0; i < a.rows; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < a.cols; ++j) s += std::abs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+}  // namespace plu::blas

@@ -1,0 +1,52 @@
+// LAPACK-style dense factorization kernels: partial-pivoting LU on a
+// rectangular panel (getrf / getf2), row interchanges (laswp), and solves
+// (getrs).  These are the building blocks of the supernodal Factor(k) task.
+#pragma once
+
+#include <vector>
+
+#include "blas/dense.h"
+#include "blas/level2.h"
+#include "blas/level3.h"
+
+namespace plu::blas {
+
+/// Unblocked right-looking LU with partial pivoting on an m x n panel.
+///
+/// On exit A holds L (unit lower, strictly below diagonal) and U (upper).
+/// ipiv[j] = 0-based row index swapped with row j at step j (LAPACK style,
+/// ipiv[j] >= j).  Returns the 0-based index of the first zero pivot + 1, or
+/// 0 on success (LAPACK info convention).
+int getf2(MatrixView a, std::vector<int>& ipiv);
+
+/// Blocked LU with partial pivoting; same contract as getf2.
+int getrf(MatrixView a, std::vector<int>& ipiv, int block_size = 32);
+
+/// getf2 with threshold pivoting and diagonal preference: the diagonal
+/// entry is kept as the pivot whenever |a_jj| >= threshold * max|column|;
+/// otherwise the max-magnitude row is swapped in (threshold = 1.0 reduces
+/// to partial pivoting except for exact ties, which also keep the
+/// diagonal).  `swaps`, when non-null, accumulates the number of actual
+/// interchanges -- the quantity MC64-style preprocessing drives toward 0.
+int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
+                    long* swaps = nullptr);
+
+/// Applies the row interchanges ipiv[j0..j1) to all columns of A (forward
+/// order), matching LAPACK dlaswp with increment 1.
+void laswp(MatrixView a, const std::vector<int>& ipiv, int j0, int j1);
+
+/// Applies the interchanges in reverse order (undo of laswp).
+void laswp_reverse(MatrixView a, const std::vector<int>& ipiv, int j0, int j1);
+
+/// Solves op(A) X = B using the getrf output (A square, factored in place).
+void getrs(Trans trans, ConstMatrixView lu, const std::vector<int>& ipiv,
+           MatrixView b);
+
+/// Convenience: factor a copy of `a` and solve a x = b; returns false when a
+/// zero pivot is met.  b is overwritten with the solution.
+bool dense_solve(const DenseMatrix& a, std::vector<double>& b);
+
+/// Infinity-norm condition estimate helper: ||A||_inf of a square view.
+double inf_norm(ConstMatrixView a);
+
+}  // namespace plu::blas

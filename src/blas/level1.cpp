@@ -1,0 +1,93 @@
+#include "blas/level1.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace plu::blas {
+
+void axpy(int n, double alpha, const double* x, int incx, double* y, int incy) {
+  if (n <= 0 || alpha == 0.0) return;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) y[i] += alpha * x[i];
+    return;
+  }
+  for (int i = 0; i < n; ++i) y[static_cast<std::ptrdiff_t>(i) * incy] +=
+      alpha * x[static_cast<std::ptrdiff_t>(i) * incx];
+}
+
+void scal(int n, double alpha, double* x, int incx) {
+  if (n <= 0) return;
+  if (incx == 1) {
+    for (int i = 0; i < n; ++i) x[i] *= alpha;
+    return;
+  }
+  for (int i = 0; i < n; ++i) x[static_cast<std::ptrdiff_t>(i) * incx] *= alpha;
+}
+
+double dot(int n, const double* x, int incx, const double* y, int incy) {
+  double sum = 0.0;
+  if (incx == 1 && incy == 1) {
+    for (int i = 0; i < n; ++i) sum += x[i] * y[i];
+    return sum;
+  }
+  for (int i = 0; i < n; ++i) {
+    sum += x[static_cast<std::ptrdiff_t>(i) * incx] *
+           y[static_cast<std::ptrdiff_t>(i) * incy];
+  }
+  return sum;
+}
+
+double nrm2(int n, const double* x, int incx) {
+  // Scaled accumulation avoids overflow/underflow for extreme values.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (int i = 0; i < n; ++i) {
+    double xi = x[static_cast<std::ptrdiff_t>(i) * incx];
+    if (xi == 0.0) continue;
+    double a = std::abs(xi);
+    if (scale < a) {
+      double r = scale / a;
+      ssq = 1.0 + ssq * r * r;
+      scale = a;
+    } else {
+      double r = a / scale;
+      ssq += r * r;
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double asum(int n, const double* x, int incx) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += std::abs(x[static_cast<std::ptrdiff_t>(i) * incx]);
+  return sum;
+}
+
+int iamax(int n, const double* x, int incx) {
+  if (n <= 0) return -1;
+  int best = 0;
+  double bestval = std::abs(x[0]);
+  for (int i = 1; i < n; ++i) {
+    double v = std::abs(x[static_cast<std::ptrdiff_t>(i) * incx]);
+    if (v > bestval) {
+      bestval = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void swap(int n, double* x, int incx, double* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    std::swap(x[static_cast<std::ptrdiff_t>(i) * incx],
+              y[static_cast<std::ptrdiff_t>(i) * incy]);
+  }
+}
+
+void copy(int n, const double* x, int incx, double* y, int incy) {
+  for (int i = 0; i < n; ++i) {
+    y[static_cast<std::ptrdiff_t>(i) * incy] = x[static_cast<std::ptrdiff_t>(i) * incx];
+  }
+}
+
+}  // namespace plu::blas

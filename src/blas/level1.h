@@ -1,0 +1,35 @@
+// BLAS level-1 subset: vector-vector operations on strided double arrays.
+//
+// Signatures follow the classic BLAS conventions (n, alpha, x, incx, ...) so
+// the higher-level kernels read like their textbook counterparts.
+#pragma once
+
+#include <cstddef>
+
+namespace plu::blas {
+
+/// y := alpha * x + y
+void axpy(int n, double alpha, const double* x, int incx, double* y, int incy);
+
+/// x := alpha * x
+void scal(int n, double alpha, double* x, int incx);
+
+/// dot product x . y
+double dot(int n, const double* x, int incx, const double* y, int incy);
+
+/// Euclidean norm of x.
+double nrm2(int n, const double* x, int incx);
+
+/// Sum of absolute values of x.
+double asum(int n, const double* x, int incx);
+
+/// Index (0-based) of the element of maximum absolute value; -1 if n <= 0.
+int iamax(int n, const double* x, int incx);
+
+/// Swap the contents of x and y.
+void swap(int n, double* x, int incx, double* y, int incy);
+
+/// y := x
+void copy(int n, const double* x, int incx, double* y, int incy);
+
+}  // namespace plu::blas

@@ -1,0 +1,137 @@
+#include "blas/level2.h"
+
+#include <cassert>
+
+namespace plu::blas {
+
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          int incx, double beta, double* y, int incy) {
+  const int m = a.rows;
+  const int n = a.cols;
+  const int ylen = (trans == Trans::No) ? m : n;
+  if (beta != 1.0) {
+    for (int i = 0; i < ylen; ++i) y[static_cast<std::ptrdiff_t>(i) * incy] *= beta;
+  }
+  if (alpha == 0.0) return;
+  if (trans == Trans::No) {
+    // y += alpha * A * x, traversing A by columns (stride-1 inner loop).
+    for (int j = 0; j < n; ++j) {
+      double xj = alpha * x[static_cast<std::ptrdiff_t>(j) * incx];
+      if (xj == 0.0) continue;
+      const double* col = a.col(j);
+      if (incy == 1) {
+        for (int i = 0; i < m; ++i) y[i] += xj * col[i];
+      } else {
+        for (int i = 0; i < m; ++i) y[static_cast<std::ptrdiff_t>(i) * incy] += xj * col[i];
+      }
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      const double* col = a.col(j);
+      double sum = 0.0;
+      if (incx == 1) {
+        for (int i = 0; i < m; ++i) sum += col[i] * x[i];
+      } else {
+        for (int i = 0; i < m; ++i) sum += col[i] * x[static_cast<std::ptrdiff_t>(i) * incx];
+      }
+      y[static_cast<std::ptrdiff_t>(j) * incy] += alpha * sum;
+    }
+  }
+}
+
+void ger(double alpha, const double* x, int incx, const double* y, int incy,
+         MatrixView a) {
+  if (alpha == 0.0) return;
+  for (int j = 0; j < a.cols; ++j) {
+    double yj = alpha * y[static_cast<std::ptrdiff_t>(j) * incy];
+    if (yj == 0.0) continue;
+    double* col = a.col(j);
+    if (incx == 1) {
+      for (int i = 0; i < a.rows; ++i) col[i] += x[i] * yj;
+    } else {
+      for (int i = 0; i < a.rows; ++i) col[i] += x[static_cast<std::ptrdiff_t>(i) * incx] * yj;
+    }
+  }
+}
+
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          int incx) {
+  assert(a.rows == a.cols);
+  const int n = a.rows;
+  auto xi = [&](int i) -> double& { return x[static_cast<std::ptrdiff_t>(i) * incx]; };
+  if (trans == Trans::No) {
+    if (uplo == UpLo::Lower) {
+      // Forward substitution, column-oriented.
+      for (int j = 0; j < n; ++j) {
+        if (diag == Diag::NonUnit) xi(j) /= a(j, j);
+        double xj = xi(j);
+        if (xj == 0.0) continue;
+        const double* col = a.col(j);
+        for (int i = j + 1; i < n; ++i) xi(i) -= xj * col[i];
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        if (diag == Diag::NonUnit) xi(j) /= a(j, j);
+        double xj = xi(j);
+        if (xj == 0.0) continue;
+        const double* col = a.col(j);
+        for (int i = 0; i < j; ++i) xi(i) -= xj * col[i];
+      }
+    }
+  } else {
+    // Solve A^T x = b: A^T lower <=> upper traversal.
+    if (uplo == UpLo::Lower) {
+      for (int j = n - 1; j >= 0; --j) {
+        const double* col = a.col(j);
+        double sum = xi(j);
+        for (int i = j + 1; i < n; ++i) sum -= col[i] * xi(i);
+        xi(j) = (diag == Diag::NonUnit) ? sum / a(j, j) : sum;
+      }
+    } else {
+      for (int j = 0; j < n; ++j) {
+        const double* col = a.col(j);
+        double sum = xi(j);
+        for (int i = 0; i < j; ++i) sum -= col[i] * xi(i);
+        xi(j) = (diag == Diag::NonUnit) ? sum / a(j, j) : sum;
+      }
+    }
+  }
+}
+
+void trmv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          int incx) {
+  assert(a.rows == a.cols);
+  const int n = a.rows;
+  auto xi = [&](int i) -> double& { return x[static_cast<std::ptrdiff_t>(i) * incx]; };
+  if (trans == Trans::No) {
+    if (uplo == UpLo::Lower) {
+      for (int i = n - 1; i >= 0; --i) {
+        double sum = (diag == Diag::Unit) ? xi(i) : a(i, i) * xi(i);
+        for (int j = 0; j < i; ++j) sum += a(i, j) * xi(j);
+        xi(i) = sum;
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        double sum = (diag == Diag::Unit) ? xi(i) : a(i, i) * xi(i);
+        for (int j = i + 1; j < n; ++j) sum += a(i, j) * xi(j);
+        xi(i) = sum;
+      }
+    }
+  } else {
+    if (uplo == UpLo::Lower) {
+      for (int i = 0; i < n; ++i) {
+        double sum = (diag == Diag::Unit) ? xi(i) : a(i, i) * xi(i);
+        for (int j = i + 1; j < n; ++j) sum += a(j, i) * xi(j);
+        xi(i) = sum;
+      }
+    } else {
+      for (int i = n - 1; i >= 0; --i) {
+        double sum = (diag == Diag::Unit) ? xi(i) : a(i, i) * xi(i);
+        for (int j = 0; j < i; ++j) sum += a(j, i) * xi(j);
+        xi(i) = sum;
+      }
+    }
+  }
+}
+
+}  // namespace plu::blas

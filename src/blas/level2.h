@@ -1,0 +1,28 @@
+// BLAS level-2 subset: matrix-vector operations on column-major views.
+#pragma once
+
+#include "blas/dense.h"
+
+namespace plu::blas {
+
+enum class Trans { No, Yes };
+enum class UpLo { Lower, Upper };
+enum class Diag { Unit, NonUnit };
+
+/// y := alpha * op(A) * x + beta * y, op per `trans`.
+void gemv(Trans trans, double alpha, ConstMatrixView a, const double* x,
+          int incx, double beta, double* y, int incy);
+
+/// A := A + alpha * x * y^T  (rank-1 update).
+void ger(double alpha, const double* x, int incx, const double* y, int incy,
+         MatrixView a);
+
+/// Solve op(A) x = b in place (x overwrites b); A triangular per uplo/diag.
+void trsv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          int incx);
+
+/// x := op(A) x for triangular A.
+void trmv(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a, double* x,
+          int incx);
+
+}  // namespace plu::blas

@@ -1,0 +1,46 @@
+// BLAS level-3 subset: matrix-matrix kernels used by the supernodal
+// factorization (gemm for Schur-complement updates, trsm for computing U
+// panels from factored diagonal blocks).
+//
+// Two gemm engines are provided:
+//   * gemm_reference - textbook triple loop, used as the correctness oracle
+//     and as the "scalar kernels" arm of the A2 ablation bench;
+//   * gemm          - register/cache-blocked version used in production.
+#pragma once
+
+#include "blas/dense.h"
+#include "blas/level2.h"
+
+namespace plu::blas {
+
+enum class Side { Left, Right };
+
+/// C := alpha * op(A) * op(B) + beta * C  (blocked engine).
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c);
+
+/// C := alpha * op(A) * op(B) + beta * C  (naive triple loop).
+void gemm_reference(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                    ConstMatrixView b, double beta, MatrixView c);
+
+/// Solve op(A) X = alpha B (Side::Left) or X op(A) = alpha B (Side::Right),
+/// X overwrites B; A triangular per uplo/diag.
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          ConstMatrixView a, MatrixView b);
+
+/// Global switch consulted by gemm-callers in the numeric factorization so
+/// the A2 ablation bench can force the scalar reference kernels.
+/// Not thread-safe to flip while a factorization runs; set it up front.
+void set_use_blocked_kernels(bool use);
+bool use_blocked_kernels();
+
+/// Dispatches to gemm or gemm_reference per set_use_blocked_kernels().
+void gemm_dispatch(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                   ConstMatrixView b, double beta, MatrixView c);
+
+/// Flop counts for the cost model (multiply-add counted as 2 flops).
+double gemm_flops(int m, int n, int k);
+double trsm_flops(Side side, int m, int n);
+double getrf_flops(int m, int n);
+
+}  // namespace plu::blas

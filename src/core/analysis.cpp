@@ -1,0 +1,119 @@
+#include "core/analysis.h"
+
+#include <stdexcept>
+
+#include "graph/eforest.h"
+#include "graph/postorder.h"
+#include "graph/transversal.h"
+#include "graph/weighted_matching.h"
+
+namespace plu {
+
+CscMatrix Analysis::permute_input(const CscMatrix& a) const {
+  CscMatrix p = a.permuted(row_perm, col_perm);
+  if (!scaled()) return p;
+  // Scale in the permuted frame: entry (i, j) of p is entry
+  // (row_perm.old_of(i), col_perm.old_of(j)) of a.
+  std::vector<int> ptr = p.col_ptr();
+  std::vector<int> ind = p.row_ind();
+  std::vector<double> val = p.values();
+  for (int j = 0; j < p.cols(); ++j) {
+    double cs = col_scale[col_perm.old_of(j)];
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      val[k] *= row_scale[row_perm.old_of(ind[k])] * cs;
+    }
+  }
+  return CscMatrix(p.rows(), p.cols(), std::move(ptr), std::move(ind),
+                   std::move(val));
+}
+
+Analysis analyze_pattern(const Pattern& a, const Options& opt) {
+  if (a.rows != a.cols) {
+    throw std::invalid_argument("analyze: matrix must be square");
+  }
+  Analysis an;
+  an.options = opt;
+  an.n = a.cols;
+  an.nnz_input = a.nnz();
+
+  // (1) Fill-reducing column ordering (minimum degree on A^T A by default);
+  // applied to rows as well under symmetric_ordering so an existing
+  // diagonal matching survives.
+  Permutation q1 = ordering::compute_column_ordering(a, opt.ordering);
+  const bool sym_order = opt.symmetric_ordering || opt.scale_and_permute;
+  Pattern a1 = a.permuted(sym_order ? q1 : Permutation(a.rows), q1);
+
+  // (1b) Maximum transversal for a zero-free diagonal (identity when the
+  // diagonal is already structurally full -- the transversal prefers it).
+  auto p1 = graph::zero_free_diagonal_permutation(a1);
+  if (!p1) {
+    throw std::invalid_argument("analyze: matrix is structurally singular");
+  }
+  Pattern a2 = a1.permuted(*p1, Permutation(a.cols));
+
+  // (2) Static symbolic factorization and the LU eforest.
+  symbolic::SymbolicResult sym = symbolic::static_symbolic_factorization(
+      a2, opt.symbolic_engine);
+  graph::Forest ef = graph::lu_eforest(sym.abar);
+
+  // (3) Postorder the eforest and permute symmetrically (Theorem 3 makes the
+  // permuted Abar its own static symbolic factorization, so no recompute).
+  Permutation p2(an.n);
+  if (opt.postorder) {
+    p2 = graph::postorder_permutation(ef);
+    sym.abar = graph::apply_symmetric_permutation(sym.abar, p2);
+    ef = ef.relabeled(p2);
+  }
+  an.row_perm = sym_order ? Permutation::compose(Permutation::compose(q1, *p1), p2)
+                    : Permutation::compose(*p1, p2);
+  an.col_perm = Permutation::compose(q1, p2);
+  an.symbolic = std::move(sym);
+  an.eforest = std::move(ef);
+
+  if (opt.postorder) {
+    std::vector<int> sz = an.eforest.subtree_sizes();
+    for (int r : an.eforest.roots()) an.diag_block_sizes.push_back(sz[r]);
+  } else {
+    // Without postordering the block-triangular reading does not apply;
+    // report tree sizes all the same (root order).
+    std::vector<int> sz = an.eforest.subtree_sizes();
+    for (int r : an.eforest.roots()) an.diag_block_sizes.push_back(sz[r]);
+  }
+
+  // (4) L/U supernode partitioning and amalgamation.
+  an.exact_partition = symbolic::find_supernodes(an.symbolic.abar);
+  an.partition = opt.amalgamate
+                     ? symbolic::amalgamate(an.symbolic.abar, an.eforest,
+                                            an.exact_partition, opt.amalgamation)
+                     : an.exact_partition;
+
+  // (5) Block structure with block-level closure, block eforest.
+  an.blocks = symbolic::build_block_structure(an.symbolic.abar, an.partition);
+
+  // (6) Task dependence graph + cost model.
+  an.graph = taskgraph::build_task_graph(an.blocks, opt.task_graph);
+  an.costs = taskgraph::compute_task_costs(an.blocks, an.graph.tasks);
+  return an;
+}
+
+Analysis analyze(const CscMatrix& a, const Options& opt) {
+  if (!opt.scale_and_permute) {
+    return analyze_pattern(a.pattern(), opt);
+  }
+  // MC64 preprocessing: maximize the diagonal product, scale to an
+  // I-matrix, then run the regular pipeline on the preprocessed matrix.
+  auto wm = graph::max_product_transversal(a);
+  if (!wm) {
+    throw std::invalid_argument("analyze: matrix is structurally singular");
+  }
+  // Row-permuted pattern (values are irrelevant to the pattern pipeline;
+  // the big-diagonal property makes the inner transversal the identity).
+  Pattern pre = a.pattern().permuted(wm->row_perm, Permutation(a.cols()));
+  Analysis an = analyze_pattern(pre, opt);
+  an.row_perm = Permutation::compose(wm->row_perm, an.row_perm);
+  an.row_scale = std::move(wm->row_scale);
+  an.col_scale = std::move(wm->col_scale);
+  return an;
+}
+
+}  // namespace plu

@@ -1,0 +1,91 @@
+// Symbolic analysis pipeline (steps 1-2 of the paper's scheme, plus the
+// paper's contributions): ordering -> transversal -> static symbolic
+// factorization -> LU eforest -> postorder -> supernode partition +
+// amalgamation -> block structure -> task dependence graph + costs.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/forest.h"
+#include "matrix/csc.h"
+#include "ordering/ordering.h"
+#include "symbolic/blocks.h"
+#include "symbolic/static_symbolic.h"
+#include "symbolic/supernodes.h"
+#include "taskgraph/build.h"
+#include "taskgraph/costs.h"
+
+namespace plu {
+
+struct Options {
+  ordering::Method ordering = ordering::Method::kMinimumDegreeAtA;
+  symbolic::Engine symbolic_engine = symbolic::Engine::kBitset;
+  /// Permute by a postorder of the LU eforest (Section 3).  Off reproduces
+  /// the "SN" arm of Table 3.
+  bool postorder = true;
+  bool amalgamate = true;
+  symbolic::AmalgamationOptions amalgamation;
+  /// Which dependence graph to build (Section 4).  kEforest is the paper's.
+  taskgraph::GraphKind task_graph = taskgraph::GraphKind::kEforest;
+  /// MC64-style preprocessing (graph/weighted_matching.h): permute the rows
+  /// so the product of diagonal magnitudes is maximal and scale the matrix
+  /// to an I-matrix before everything else.  The standard stability guard
+  /// for static-pivoting factorizations.  Requires numeric values, so it is
+  /// ignored by analyze_pattern().  Implies symmetric_ordering.
+  bool scale_and_permute = false;
+  /// Apply the fill-reducing ordering to rows AND columns (instead of
+  /// columns only).  Preserves an existing diagonal matching -- which is
+  /// the point of scale_and_permute -- at a possible small fill cost.
+  bool symmetric_ordering = false;
+};
+
+/// Everything the numeric factorization and the schedulers need, fully
+/// determined before any numeric work (the point of the static approach).
+struct Analysis {
+  Options options;
+  int n = 0;
+  int nnz_input = 0;
+
+  /// Permutations (and optional MC64 scalings) such that the factored
+  /// matrix is
+  ///   Apre(i, j) = rs(i) * A(row_perm.old_of(i), col_perm.old_of(j)) * cs(j)
+  /// with rs(i) = row_scale[row_perm.old_of(i)] (1 when scaling is off) and
+  /// cs likewise.  The scale vectors are indexed by ORIGINAL row/column.
+  Permutation row_perm;
+  Permutation col_perm;
+  std::vector<double> row_scale;  // empty unless options.scale_and_permute
+  std::vector<double> col_scale;
+
+  bool scaled() const { return !row_scale.empty(); }
+
+  /// Static symbolic factorization of Apre (post-ordering applied).
+  symbolic::SymbolicResult symbolic;
+  /// Column-level LU eforest of symbolic.abar.
+  graph::Forest eforest;
+
+  symbolic::SupernodePartition exact_partition;  // before amalgamation
+  symbolic::SupernodePartition partition;        // final
+  symbolic::BlockStructure blocks;
+
+  taskgraph::TaskGraph graph;
+  taskgraph::TaskCosts costs;
+
+  /// Sizes of the diagonal blocks of the block-upper-triangular form
+  /// (tree sizes of the postordered eforest; NoBlks of Table 3 is size()).
+  std::vector<int> diag_block_sizes;
+
+  double fill_ratio() const { return symbolic.fill_ratio(nnz_input); }
+
+  /// Applies row_perm/col_perm to the input matrix.
+  CscMatrix permute_input(const CscMatrix& a) const;
+};
+
+/// Runs the full pipeline.  Throws std::invalid_argument for non-square or
+/// structurally singular input.
+Analysis analyze(const CscMatrix& a, const Options& opt = {});
+
+/// Pattern-only variant (values of `a` ignored).
+Analysis analyze_pattern(const Pattern& a, const Options& opt = {});
+
+}  // namespace plu

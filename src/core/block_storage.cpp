@@ -1,0 +1,158 @@
+#include "core/block_storage.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "blas/level1.h"
+
+namespace plu {
+
+BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs) : bs_(&bs) {
+  const int nb = bs.num_blocks();
+  data_.resize(nb);
+  blocks_.resize(nb);
+  offsets_.resize(nb);
+  diag_pos_.assign(nb, -1);
+  for (int j = 0; j < nb; ++j) {
+    blocks_[j].assign(bs.bpattern.col_begin(j), bs.bpattern.col_end(j));
+    offsets_[j].resize(blocks_[j].size() + 1);
+    int off = 0;
+    for (std::size_t t = 0; t < blocks_[j].size(); ++t) {
+      offsets_[j][t] = off;
+      if (blocks_[j][t] == j) diag_pos_[j] = static_cast<int>(t);
+      off += bs.part.width(blocks_[j][t]);
+    }
+    offsets_[j].back() = off;
+    if (diag_pos_[j] == -1) {
+      throw std::invalid_argument("BlockMatrix: diagonal block missing");
+    }
+    data_[j].assign(static_cast<std::size_t>(off) * bs.part.width(j), 0.0);
+  }
+}
+
+void BlockMatrix::load(const CscMatrix& a) {
+  assert(a.rows() == bs_->part.num_cols() && a.cols() == bs_->part.num_cols());
+  set_zero();
+  for (int col = 0; col < a.cols(); ++col) {
+    const int j = bs_->part.supernode_of(col);
+    const int jc = col - bs_->part.first(j);  // column within the block column
+    const int height = column_height(j);
+    double* buf = data_[j].data() + static_cast<std::size_t>(jc) * height;
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      const int row = a.row_index(k);
+      const int bi = bs_->part.supernode_of(row);
+      const int off = block_offset(bi, j);
+      if (off < 0) {
+        throw std::invalid_argument("BlockMatrix::load: entry outside pattern");
+      }
+      buf[off + (row - bs_->part.first(bi))] = a.value(k);
+    }
+  }
+}
+
+void BlockMatrix::set_zero() {
+  for (auto& d : data_) std::fill(d.begin(), d.end(), 0.0);
+}
+
+int BlockMatrix::block_pos(int i, int j) const {
+  const auto& bl = blocks_[j];
+  auto it = std::lower_bound(bl.begin(), bl.end(), i);
+  if (it == bl.end() || *it != i) return -1;
+  return static_cast<int>(it - bl.begin());
+}
+
+int BlockMatrix::block_offset(int i, int j) const {
+  int p = block_pos(i, j);
+  return p < 0 ? -1 : offsets_[j][p];
+}
+
+blas::MatrixView BlockMatrix::block(int i, int j) {
+  int off = block_offset(i, j);
+  assert(off >= 0);
+  const int height = column_height(j);
+  return {data_[j].data() + off, bs_->part.width(i), bs_->part.width(j), height};
+}
+
+blas::ConstMatrixView BlockMatrix::block(int i, int j) const {
+  int off = block_offset(i, j);
+  assert(off >= 0);
+  const int height = column_height(j);
+  return {data_[j].data() + off, bs_->part.width(i), bs_->part.width(j), height};
+}
+
+blas::MatrixView BlockMatrix::panel(int k) {
+  const int height = column_height(k);
+  const int off = offsets_[k][diag_pos_[k]];
+  return {data_[k].data() + off, height - off, bs_->part.width(k), height};
+}
+
+blas::ConstMatrixView BlockMatrix::panel(int k) const {
+  const int height = column_height(k);
+  const int off = offsets_[k][diag_pos_[k]];
+  return {data_[k].data() + off, height - off, bs_->part.width(k), height};
+}
+
+int BlockMatrix::panel_height(int k) const {
+  return column_height(k) - offsets_[k][diag_pos_[k]];
+}
+
+int BlockMatrix::column_height(int j) const { return offsets_[j].back(); }
+
+std::vector<int> BlockMatrix::panel_rows_in_column(int k, int j) const {
+  std::vector<int> rows;
+  rows.reserve(panel_height(k));
+  for (std::size_t t = diag_pos_[k]; t < blocks_[k].size(); ++t) {
+    const int bi = blocks_[k][t];
+    const int off = block_offset(bi, j);
+    if (off < 0) {
+      throw std::logic_error(
+          "BlockMatrix::panel_rows_in_column: closure violation (block "
+          "missing in target column)");
+    }
+    for (int r = 0; r < bs_->part.width(bi); ++r) rows.push_back(off + r);
+  }
+  return rows;
+}
+
+void BlockMatrix::swap_rows(int j, int r1, int r2) {
+  if (r1 == r2) return;
+  const int height = column_height(j);
+  blas::swap(bs_->part.width(j), data_[j].data() + r1, height,
+             data_[j].data() + r2, height);
+}
+
+blas::MatrixView BlockMatrix::column(int j) {
+  const int height = column_height(j);
+  return {data_[j].data(), height, bs_->part.width(j), height};
+}
+
+blas::ConstMatrixView BlockMatrix::column(int j) const {
+  const int height = column_height(j);
+  return {data_[j].data(), height, bs_->part.width(j), height};
+}
+
+blas::DenseMatrix BlockMatrix::to_dense() const {
+  const int n = bs_->part.num_cols();
+  blas::DenseMatrix d(n, n);
+  for (int j = 0; j < num_block_columns(); ++j) {
+    for (std::size_t t = 0; t < blocks_[j].size(); ++t) {
+      const int bi = blocks_[j][t];
+      blas::ConstMatrixView b = block(bi, j);
+      for (int c = 0; c < b.cols; ++c) {
+        for (int r = 0; r < b.rows; ++r) {
+          d(bs_->part.first(bi) + r, bs_->part.first(j) + c) = b(r, c);
+        }
+      }
+    }
+  }
+  return d;
+}
+
+std::size_t BlockMatrix::stored_doubles() const {
+  std::size_t total = 0;
+  for (const auto& d : data_) total += d.size();
+  return total;
+}
+
+}  // namespace plu

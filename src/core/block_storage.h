@@ -1,0 +1,87 @@
+// Dense-block storage of the factored matrix (the S+ layout).
+//
+// Each block column j owns one column-major buffer stacking the dense
+// submatrix blocks of its structurally nonzero row blocks in ascending
+// order: U blocks (i < j), the diagonal block, then L blocks (i > j).
+// Because row blocks are sorted, the Factor(k) panel -- diagonal block plus
+// L blocks -- is a contiguous tail of block column k's buffer, directly
+// usable as a getrf operand.
+//
+// Explicit zeros inside blocks are stored and computed on, exactly as in
+// S*/S+ ("even if some operations will involve zero elements").
+#pragma once
+
+#include <vector>
+
+#include "blas/dense.h"
+#include "matrix/csc.h"
+#include "symbolic/blocks.h"
+
+namespace plu {
+
+class BlockMatrix {
+ public:
+  /// Allocates zeroed storage for the block structure.  `bs` must outlive
+  /// the BlockMatrix.
+  explicit BlockMatrix(const symbolic::BlockStructure& bs);
+
+  const symbolic::BlockStructure& structure() const { return *bs_; }
+  int num_block_columns() const { return bs_->num_blocks(); }
+
+  /// Scatters a CSC matrix (already permuted to the analysis ordering) into
+  /// the blocks.  Throws if an entry falls outside the block pattern.
+  void load(const CscMatrix& a);
+
+  /// Resets all values to zero (for refactorization on the same structure).
+  void set_zero();
+
+  /// Dense view of block (i, j); block must be structurally present.
+  blas::MatrixView block(int i, int j);
+  blas::ConstMatrixView block(int i, int j) const;
+
+  /// Contiguous panel of block column k: rows of all blocks i >= k.
+  blas::MatrixView panel(int k);
+  blas::ConstMatrixView panel(int k) const;
+
+  /// Number of rows in panel(k) (diagonal width + L row widths).
+  int panel_height(int k) const;
+
+  /// Total rows of block column j's buffer.
+  int column_height(int j) const;
+
+  /// Sorted structurally-nonzero row blocks of column j.
+  const std::vector<int>& column_blocks(int j) const { return blocks_[j]; }
+
+  /// Row offset of block i inside column j's buffer; -1 if absent.
+  int block_offset(int i, int j) const;
+
+  /// Buffer rows (in column j) corresponding to the packed panel rows of
+  /// panel k, in panel order.  Every row block of panel k must be present in
+  /// column j (guaranteed by block-level closure when Update(k, j) exists).
+  std::vector<int> panel_rows_in_column(int k, int j) const;
+
+  /// Swaps buffer rows r1 and r2 of column j (all of its width).
+  void swap_rows(int j, int r1, int r2);
+
+  /// Raw column buffer view (rows = column_height(j), ld likewise).
+  blas::MatrixView column(int j);
+  blas::ConstMatrixView column(int j) const;
+
+  /// Reconstructs the dense matrix this block storage represents (tests on
+  /// small problems only).
+  blas::DenseMatrix to_dense() const;
+
+  /// Sum of all buffer sizes, in doubles (memory diagnostics).
+  std::size_t stored_doubles() const;
+
+ private:
+  int block_pos(int i, int j) const;  // index of block i in blocks_[j]; -1 absent
+
+  const symbolic::BlockStructure* bs_;
+  std::vector<std::vector<double>> data_;    // per block column
+  std::vector<std::vector<int>> blocks_;     // sorted row-block ids
+  std::vector<std::vector<int>> offsets_;    // per column: offset per block + total
+  std::vector<int> diag_pos_;                // position of diagonal block in blocks_[j]
+};
+
+}  // namespace plu

@@ -1,0 +1,470 @@
+#include "core/numeric.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "blas/factor.h"
+#include "blas/level2.h"
+#include "blas/level3.h"
+#include "runtime/dag_executor.h"
+#include "taskgraph/analysis.h"
+
+namespace plu {
+
+namespace {
+
+/// Shared state and kernels for one factorization run.
+class Driver {
+ public:
+  Driver(const Analysis& an, BlockMatrix& bm, std::vector<std::vector<int>>& ipiv,
+         const NumericOptions& opt)
+      : an_(an), bm_(bm), ipiv_(ipiv), lazy_(opt.lazy_updates),
+        threshold_(opt.pivot_threshold), zero_pivots_(0), lazy_skipped_(0) {
+    // Lock-free execution is only honored when the analysis proved the
+    // unordered updates' block footprints disjoint (symbolic/blocks.h).
+    if (opt.use_column_locks || !an.blocks.lockfree_safe) {
+      locks_ = std::make_unique<std::vector<std::mutex>>(an.blocks.num_blocks());
+    }
+  }
+
+  void run_task(int id) {
+    const taskgraph::Task& t = an_.graph.tasks.task(id);
+    if (t.kind == taskgraph::TaskKind::kFactor) {
+      factor(t.k);
+    } else {
+      update(t.k, t.j);
+    }
+  }
+
+  void factor(int k) {
+    std::unique_lock<std::mutex> lock = maybe_lock(k);
+    blas::MatrixView p = bm_.panel(k);
+    int info = (threshold_ < 1.0)
+                   ? blas::getf2_threshold(p, ipiv_[k], threshold_)
+                   : blas::getrf(p, ipiv_[k]);
+    if (info != 0) zero_pivots_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void update(int k, int j) {
+    std::unique_lock<std::mutex> lock = maybe_lock(j);
+    const std::vector<int>& piv = ipiv_[k];
+    // (a) deferred pivoting: panel-k row swaps replayed on block column j.
+    std::vector<int> rows = bm_.panel_rows_in_column(k, j);
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) {
+        bm_.swap_rows(j, rows[c], rows[piv[c]]);
+      }
+    }
+    // LazyS+ elision: pivoting has been replayed (the swaps move other
+    // blocks of the column too), but a numerically zero B_kj produces a
+    // zero U_kj and zero Schur contributions -- skip the arithmetic.
+    if (lazy_ && blas::max_abs(bm_.block(k, j)) == 0.0) {
+      lazy_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // (b) U_kj = L_kk^{-1} B_kj (unit lower triangular solve).
+    const int wk = an_.blocks.part.width(k);
+    blas::ConstMatrixView panel_k = bm_.panel(k);
+    blas::ConstMatrixView lkk = panel_k.block(0, 0, wk, wk);
+    blas::MatrixView ukj = bm_.block(k, j);
+    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+               blas::Diag::Unit, 1.0, lkk, ukj);
+    // (c) Schur updates: B_tj -= L_tk * U_kj for every L row block t.
+    blas::ConstMatrixView ukj_c = ukj;
+    int off = wk;
+    for (int t : an_.blocks.l_blocks(k)) {
+      const int wt = an_.blocks.part.width(t);
+      blas::ConstMatrixView ltk = panel_k.block(off, 0, wt, wk);
+      blas::MatrixView btj = bm_.block(t, j);
+      blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, ltk, ukj_c, 1.0,
+                          btj);
+      off += wt;
+    }
+  }
+
+  int zero_pivots() const { return zero_pivots_.load(); }
+  long lazy_skipped() const { return lazy_skipped_.load(); }
+
+ private:
+  std::unique_lock<std::mutex> maybe_lock(int column) {
+    if (!locks_) return {};
+    return std::unique_lock<std::mutex>((*locks_)[column]);
+  }
+
+  const Analysis& an_;
+  BlockMatrix& bm_;
+  std::vector<std::vector<int>>& ipiv_;
+  const bool lazy_;
+  const double threshold_;
+  std::unique_ptr<std::vector<std::mutex>> locks_;
+  std::atomic<int> zero_pivots_;
+  std::atomic<long> lazy_skipped_;
+};
+
+}  // namespace
+
+Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
+                             const NumericOptions& opt)
+    : analysis_(&analysis), blocks_(analysis.blocks) {
+  if (a.rows() != analysis.n || a.cols() != analysis.n) {
+    throw std::invalid_argument("Factorization: matrix/analysis size mismatch");
+  }
+  blocks_.load(analysis.permute_input(a));
+  ipiv_.assign(analysis.blocks.num_blocks(), {});
+
+  Driver driver(analysis, blocks_, ipiv_, opt);
+  const int nb_total = analysis.blocks.num_blocks();
+  factored_blocks_ =
+      (opt.stop_after_block >= 0 && opt.stop_after_block < nb_total)
+          ? opt.stop_after_block
+          : nb_total;
+  if (factored_blocks_ < nb_total) {
+    // Partial factorization (Schur-complement mode) is sequential by
+    // definition: the right-looking sweep stops mid-way.
+    for (int k = 0; k < factored_blocks_; ++k) {
+      driver.factor(k);
+      for (int j : analysis.blocks.u_blocks(k)) {
+        driver.update(k, j);
+      }
+    }
+    zero_pivots_ = driver.zero_pivots();
+    lazy_skipped_ = driver.lazy_skipped();
+    return;
+  }
+  switch (opt.mode) {
+    case ExecutionMode::kSequential: {
+      // Right-looking, no task graph: factor each panel, then push its
+      // updates.  This is the correctness baseline.
+      const int nb = analysis.blocks.num_blocks();
+      for (int k = 0; k < nb; ++k) {
+        driver.factor(k);
+        for (int j : analysis.blocks.u_blocks(k)) {
+          driver.update(k, j);
+        }
+      }
+      break;
+    }
+    case ExecutionMode::kGraphSequential: {
+      rt::ExecutionReport rep = rt::execute_sequential(
+          analysis.graph, [&](int id) { driver.run_task(id); });
+      if (!rep.completed) {
+        throw std::logic_error("Factorization: task graph is cyclic");
+      }
+      break;
+    }
+    case ExecutionMode::kThreaded: {
+      rt::ExecutionReport rep = rt::execute_task_graph(
+          analysis.graph, opt.threads, [&](int id) { driver.run_task(id); });
+      if (!rep.completed) {
+        throw std::logic_error("Factorization: threaded execution incomplete");
+      }
+      break;
+    }
+  }
+  zero_pivots_ = driver.zero_pivots();
+  lazy_skipped_ = driver.lazy_skipped();
+}
+
+blas::DenseMatrix Factorization::schur_complement() const {
+  if (!partial()) {
+    throw std::logic_error(
+        "schur_complement: factorization is complete; use "
+        "NumericOptions::stop_after_block");
+  }
+  const Analysis& an = *analysis_;
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+  const int split_col = part.first(factored_blocks_);
+  const int m = an.n - split_col;
+  blas::DenseMatrix s(m, m);
+  for (int j = factored_blocks_; j < nb; ++j) {
+    for (int i : blocks_.column_blocks(j)) {
+      if (i < factored_blocks_) continue;
+      blas::ConstMatrixView b = blocks_.block(i, j);
+      for (int c = 0; c < b.cols; ++c) {
+        for (int r = 0; r < b.rows; ++r) {
+          s(part.first(i) + r - split_col, part.first(j) + c - split_col) =
+              b(r, c);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+long Factorization::pivot_interchanges() const {
+  long count = 0;
+  for (const std::vector<int>& piv : ipiv_) {
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<double> Factorization::solve(const std::vector<double>& b) const {
+  if (partial()) {
+    throw std::logic_error("solve: factorization is partial (Schur mode)");
+  }
+
+  const Analysis& an = *analysis_;
+  const int n = an.n;
+  if (static_cast<int>(b.size()) != n) {
+    throw std::invalid_argument("solve: rhs size mismatch");
+  }
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+
+  // y = Pr * b (rows to the analysis ordering), with the MC64 row scaling
+  // when the analysis carries one.
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    int old = an.row_perm.old_of(i);
+    y[i] = an.scaled() ? an.row_scale[old] * b[old] : b[old];
+  }
+
+  // Forward pass: replay (swap_k, eliminate_k) in panel order, exactly the
+  // operation sequence the factorization applied to the matrix columns.
+  std::vector<double> seg;
+  for (int k = 0; k < nb; ++k) {
+    const int wk = part.width(k);
+    // Global rows of panel k, in packed order.
+    seg.clear();
+    std::vector<int> grows;  // global rows of panel k, packed order
+    for (int r = part.first(k); r < part.end(k); ++r) grows.push_back(r);
+    for (int t : an.blocks.l_blocks(k)) {
+      for (int r = part.first(t); r < part.end(t); ++r) grows.push_back(r);
+    }
+    seg.resize(grows.size());
+    for (std::size_t p = 0; p < grows.size(); ++p) seg[p] = y[grows[p]];
+    // Pivot swaps.
+    const std::vector<int>& piv = ipiv_[k];
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) std::swap(seg[c], seg[piv[c]]);
+    }
+    // Unit-lower solve on the diagonal block, then L updates below.
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    blas::ConstMatrixView lkk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Lower, blas::Trans::No, blas::Diag::Unit, lkk,
+               seg.data(), 1);
+    const int below = static_cast<int>(grows.size()) - wk;
+    if (below > 0) {
+      blas::ConstMatrixView lbelow = panel.block(wk, 0, below, wk);
+      blas::gemv(blas::Trans::No, -1.0, lbelow, seg.data(), 1, 1.0,
+                 seg.data() + wk, 1);
+    }
+    for (std::size_t p = 0; p < grows.size(); ++p) y[grows[p]] = seg[p];
+  }
+
+  // Backward pass, column-oriented: z_k = U_kk^{-1} y_k, then subtract
+  // U_ik z_k from every U block above the diagonal of block column k.
+  for (int k = nb - 1; k >= 0; --k) {
+    const int wk = part.width(k);
+    double* yk = y.data() + part.first(k);
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    blas::ConstMatrixView ukk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Upper, blas::Trans::No, blas::Diag::NonUnit, ukk, yk, 1);
+    for (int i : blocks_.column_blocks(k)) {
+      if (i >= k) break;
+      blas::ConstMatrixView uik = blocks_.block(i, k);
+      blas::gemv(blas::Trans::No, -1.0, uik, yk, 1, 1.0,
+                 y.data() + part.first(i), 1);
+    }
+  }
+
+  // x[col_perm.old_of(j)] = y[j], undoing the MC64 column scaling.
+  std::vector<double> x(n);
+  for (int j = 0; j < n; ++j) {
+    int old = an.col_perm.old_of(j);
+    x[old] = an.scaled() ? an.col_scale[old] * y[j] : y[j];
+  }
+  return x;
+}
+
+void Factorization::solve_matrix(blas::ConstMatrixView b, blas::MatrixView x) const {
+  if (partial()) {
+    throw std::logic_error("solve: factorization is partial (Schur mode)");
+  }
+
+  const Analysis& an = *analysis_;
+  const int n = an.n;
+  const int nrhs = b.cols;
+  if (b.rows != n || x.rows != n || x.cols != nrhs) {
+    throw std::invalid_argument("solve_matrix: shape mismatch");
+  }
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+
+  // Y = (scaled) Pr B, column-major workspace.
+  blas::DenseMatrix y(n, nrhs);
+  for (int i = 0; i < n; ++i) {
+    int old = an.row_perm.old_of(i);
+    double s = an.scaled() ? an.row_scale[old] : 1.0;
+    for (int r = 0; r < nrhs; ++r) y(i, r) = s * b(old, r);
+  }
+
+  // Forward pass: per panel, gather the packed segment for all right-hand
+  // sides, replay the pivots, unit-lower trsm, one gemm for the L part.
+  blas::DenseMatrix seg_buf(0, 0);
+  for (int k = 0; k < nb; ++k) {
+    const int wk = part.width(k);
+    std::vector<int> grows;
+    for (int r = part.first(k); r < part.end(k); ++r) grows.push_back(r);
+    for (int t : an.blocks.l_blocks(k)) {
+      for (int r = part.first(t); r < part.end(t); ++r) grows.push_back(r);
+    }
+    const int m = static_cast<int>(grows.size());
+    blas::DenseMatrix seg(m, nrhs);
+    for (int p = 0; p < m; ++p) {
+      for (int r = 0; r < nrhs; ++r) seg(p, r) = y(grows[p], r);
+    }
+    blas::laswp(seg.view(), ipiv_[k], 0, static_cast<int>(ipiv_[k].size()));
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+               blas::Diag::Unit, 1.0, panel.block(0, 0, wk, wk),
+               seg.view().block(0, 0, wk, nrhs));
+    if (m > wk) {
+      blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0,
+                          panel.block(wk, 0, m - wk, wk),
+                          seg.view().block(0, 0, wk, nrhs), 1.0,
+                          seg.view().block(wk, 0, m - wk, nrhs));
+    }
+    for (int p = 0; p < m; ++p) {
+      for (int r = 0; r < nrhs; ++r) y(grows[p], r) = seg(p, r);
+    }
+  }
+
+  // Backward pass: per block column, upper trsm on the diagonal block, then
+  // one gemm per U block above it.
+  for (int k = nb - 1; k >= 0; --k) {
+    const int wk = part.width(k);
+    blas::MatrixView yk = y.view().block(part.first(k), 0, wk, nrhs);
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    blas::trsm(blas::Side::Left, blas::UpLo::Upper, blas::Trans::No,
+               blas::Diag::NonUnit, 1.0, panel.block(0, 0, wk, wk), yk);
+    blas::ConstMatrixView yk_c = yk;
+    for (int i : blocks_.column_blocks(k)) {
+      if (i >= k) break;
+      blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0,
+                          blocks_.block(i, k), yk_c, 1.0,
+                          y.view().block(part.first(i), 0, part.width(i), nrhs));
+    }
+  }
+
+  // X = (scaled) Qc Y.
+  for (int j = 0; j < n; ++j) {
+    int old = an.col_perm.old_of(j);
+    double s = an.scaled() ? an.col_scale[old] : 1.0;
+    for (int r = 0; r < nrhs; ++r) x(old, r) = s * y(j, r);
+  }
+}
+
+std::vector<double> Factorization::solve_transpose(const std::vector<double>& b) const {
+  if (partial()) {
+    throw std::logic_error("solve: factorization is partial (Schur mode)");
+  }
+
+  // A = Pr^T Apre Qc^T and Phat Apre = L U, so
+  //   A^T x = b  <=>  U^T L^T Phat (Pr x) = Qc^T b.
+  const Analysis& an = *analysis_;
+  const int n = an.n;
+  if (static_cast<int>(b.size()) != n) {
+    throw std::invalid_argument("solve_transpose: rhs size mismatch");
+  }
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+
+  // c = Qc^T b (column-scaled when the analysis carries MC64 scalings:
+  // A^T = Qc Dc Apre^T Dr Pr up to the permutation frames).
+  std::vector<double> y(n);
+  for (int j = 0; j < n; ++j) {
+    int old = an.col_perm.old_of(j);
+    y[j] = an.scaled() ? an.col_scale[old] * b[old] : b[old];
+  }
+
+  // Forward solve U^T z = c (U^T is lower triangular), column-oriented over
+  // the stored U blocks: subtract the already-solved pieces, then solve the
+  // transposed diagonal block.
+  for (int k = 0; k < nb; ++k) {
+    const int wk = part.width(k);
+    double* yk = y.data() + part.first(k);
+    for (int i : blocks_.column_blocks(k)) {
+      if (i >= k) break;
+      blas::ConstMatrixView uik = blocks_.block(i, k);
+      // y_k -= U_ik^T y_i.
+      blas::gemv(blas::Trans::Yes, -1.0, uik, y.data() + part.first(i), 1, 1.0,
+                 yk, 1);
+    }
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    blas::ConstMatrixView ukk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Upper, blas::Trans::Yes, blas::Diag::NonUnit, ukk, yk, 1);
+  }
+
+  // The stored L lives at deferred-pivot positions, so the global identity
+  // Apre = Phat^T L U cannot be applied with the stored blocks directly.
+  // Instead use the elimination-operator form: the forward factorization is
+  // E = L_N^{-1} S_N ... L_1^{-1} S_1 with S_k the panel-k interchanges and
+  // L_k the panel-k elementary eliminator (at the row positions current at
+  // step k -- exactly what the storage holds), and Apre = E^{-1} U.  Hence
+  // Apre^T w = c  solves as  v = U^{-T} c  followed by  w = E^T v, i.e. for
+  // k = N..1: v := L_k^{-T} v, then v := S_k^T v (reverse the interchanges).
+  std::vector<double> seg;
+  for (int k = nb - 1; k >= 0; --k) {
+    const int wk = part.width(k);
+    std::vector<int> grows;
+    for (int r = part.first(k); r < part.end(k); ++r) grows.push_back(r);
+    for (int t : an.blocks.l_blocks(k)) {
+      for (int r = part.first(t); r < part.end(t); ++r) grows.push_back(r);
+    }
+    seg.resize(grows.size());
+    for (std::size_t p = 0; p < grows.size(); ++p) seg[p] = y[grows[p]];
+    // L_k^{-T}: seg_K -= L_below^T seg_below, then unit-upper solve with
+    // the transposed diagonal block.
+    blas::ConstMatrixView panel = blocks_.panel(k);
+    const int below = static_cast<int>(grows.size()) - wk;
+    if (below > 0) {
+      blas::ConstMatrixView lbelow = panel.block(wk, 0, below, wk);
+      blas::gemv(blas::Trans::Yes, -1.0, lbelow, seg.data() + wk, 1, 1.0,
+                 seg.data(), 1);
+    }
+    blas::ConstMatrixView lkk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Lower, blas::Trans::Yes, blas::Diag::Unit, lkk,
+               seg.data(), 1);
+    // S_k^T: replay panel k's interchanges in reverse.
+    const std::vector<int>& piv = ipiv_[k];
+    for (std::size_t c = piv.size(); c-- > 0;) {
+      if (piv[c] != static_cast<int>(c)) {
+        std::swap(seg[c], seg[piv[c]]);
+      }
+    }
+    for (std::size_t p = 0; p < grows.size(); ++p) y[grows[p]] = seg[p];
+  }
+
+  // x = Pr^T w, undoing the row scaling.
+  std::vector<double> x(n);
+  for (int i = 0; i < n; ++i) {
+    int old = an.row_perm.old_of(i);
+    x[old] = an.scaled() ? an.row_scale[old] * y[i] : y[i];
+  }
+  return x;
+}
+
+double relative_residual(const CscMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  std::vector<double> r;
+  a.matvec(x, r);
+  double rn = 0.0, xn = 0.0, bn = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    rn = std::max(rn, std::abs(r[i] - b[i]));
+    bn = std::max(bn, std::abs(b[i]));
+  }
+  for (double v : x) xn = std::max(xn, std::abs(v));
+  double denom = a.norm_inf() * xn + bn;
+  return denom > 0.0 ? rn / denom : rn;
+}
+
+}  // namespace plu

@@ -1,0 +1,124 @@
+// Numeric factorization (step 3): executes the Factor/Update tasks over the
+// dense-block storage, with partial pivoting inside the static structure.
+//
+// Kernels (Section 4's task bodies):
+//   Factor(k):    getrf with partial pivoting on the packed panel of block
+//                 column k (diagonal block + L row blocks); the local pivot
+//                 sequence ipiv_k is recorded, not applied globally.
+//   Update(k,j):  (a) apply ipiv_k to the panel-k rows of block column j
+//                 (deferred pivoting), (b) trsm L_kk * U_kj = B_kj,
+//                 (c) gemm B_tj -= L_tk * U_kj for every L row block t.
+//
+// Why deferred pivoting is safe here: the block-level George-Ng closure
+// (symbolic/blocks.h) makes all pivot-candidate row blocks of a column share
+// one block-row structure, so every row ipiv_k touches exists in every block
+// column j with Update(k,j).  Why unordered independent-subtree updates are
+// safe: their candidate row-block sets are disjoint (Theorem 4 and the
+// block-level analogue of verify_candidate_disjointness), so their swaps and
+// gemm targets never overlap.
+#pragma once
+
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/block_storage.h"
+
+namespace plu {
+
+enum class ExecutionMode {
+  kSequential,       // right-looking loop, no task graph involved
+  kGraphSequential,  // single thread, tasks in a topological order of the graph
+  kThreaded,         // DAG executor on a thread pool
+};
+
+struct NumericOptions {
+  ExecutionMode mode = ExecutionMode::kSequential;
+  int threads = 4;
+  /// Serialize writers of each block column with a mutex.  Setting this to
+  /// false is honored only when the analysis proved the unordered updates'
+  /// block footprints disjoint (BlockStructure::lockfree_safe); otherwise
+  /// locks are taken regardless.
+  bool use_column_locks = true;
+  /// LazyS+-style zero-block elision (the paper's "recent developments show
+  /// that some of the zero blocks can be eliminated from the computation"):
+  /// Update(k, j) still replays the pivot interchanges, but skips the trsm
+  /// and gemms when the U block is numerically all zero at that point.
+  bool lazy_updates = false;
+  /// Threshold pivoting with diagonal preference: the diagonal entry stays
+  /// the pivot when |a_jj| >= pivot_threshold * max|column|.  1.0 is plain
+  /// partial pivoting; smaller values trade a bounded growth factor for
+  /// fewer interchanges -- the intended companion of
+  /// Options::scale_and_permute, whose big diagonal then rarely loses.
+  double pivot_threshold = 1.0;
+  /// Partial factorization: stop after this many block columns (-1 = all).
+  /// The trailing blocks then hold the SCHUR COMPLEMENT of the factored
+  /// leading part (right-looking updates have already been applied); use
+  /// Factorization::schur_complement() to extract it.  A partial
+  /// factorization cannot solve().  Runs sequentially.
+  int stop_after_block = -1;
+};
+
+class Factorization {
+ public:
+  /// Factorizes `a` (original ordering; permuted internally) over the given
+  /// analysis.  `analysis` must outlive the Factorization.
+  Factorization(const Analysis& analysis, const CscMatrix& a,
+                const NumericOptions& opt = {});
+
+  const Analysis& analysis() const { return *analysis_; }
+  const BlockMatrix& blocks() const { return blocks_; }
+  BlockMatrix& blocks() { return blocks_; }
+  const std::vector<int>& panel_ipiv(int k) const { return ipiv_[k]; }
+
+  bool singular() const { return zero_pivots_ > 0; }
+  int zero_pivots() const { return zero_pivots_; }
+
+  /// Updates elided by LazyS+ zero-block detection (0 unless
+  /// NumericOptions::lazy_updates was set).
+  long lazy_skipped_updates() const { return lazy_skipped_; }
+
+  /// Row interchanges actually performed across all panels (ipiv entries
+  /// that moved a row).  MC64 preprocessing plus threshold pivoting drives
+  /// this toward zero.
+  long pivot_interchanges() const;
+
+  /// Solves A x = b (original ordering).  b.size() == n.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves A^T x = b (original ordering).
+  std::vector<double> solve_transpose(const std::vector<double>& b) const;
+
+  /// Blocked multi-right-hand-side solve: B is n x nrhs column-major; the
+  /// result overwrites X (same shape).  Equivalent to nrhs solve() calls but
+  /// runs the triangular passes with level-3 kernels across all columns.
+  void solve_matrix(blas::ConstMatrixView b, blas::MatrixView x) const;
+
+  /// True when NumericOptions::stop_after_block cut the factorization short.
+  bool partial() const { return factored_blocks_ < analysis_->blocks.num_blocks(); }
+  int factored_blocks() const { return factored_blocks_; }
+
+  /// Dense Schur complement of the trailing (unfactored) block columns with
+  /// respect to the factored leading part; requires partial().  Rows and
+  /// columns are the trailing columns of the analysis ordering, with the
+  /// leading panels' pivot interchanges already folded in.
+  blas::DenseMatrix schur_complement() const;
+
+  /// In-place variant over multiple right-hand sides is deliberately not
+  /// offered; loop solve() instead (problem sizes here make it moot).
+
+ private:
+  friend class NumericDriver;
+
+  const Analysis* analysis_;
+  BlockMatrix blocks_;
+  std::vector<std::vector<int>> ipiv_;
+  int zero_pivots_ = 0;
+  long lazy_skipped_ = 0;
+  int factored_blocks_ = 0;
+};
+
+/// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).
+double relative_residual(const CscMatrix& a, const std::vector<double>& x,
+                         const std::vector<double>& b);
+
+}  // namespace plu

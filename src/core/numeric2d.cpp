@@ -1,0 +1,161 @@
+#include "core/numeric2d.h"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "blas/factor.h"
+#include "blas/level2.h"
+#include "blas/level3.h"
+#include "runtime/dag_executor.h"
+
+namespace plu {
+
+Factorization2D::Factorization2D(const Analysis& analysis, const CscMatrix& a,
+                                 const Numeric2DOptions& opt)
+    : analysis_(&analysis), blocks_(analysis.blocks),
+      graph_(taskgraph::build_task_graph_2d(analysis.blocks)) {
+  if (a.rows() != analysis.n || a.cols() != analysis.n) {
+    throw std::invalid_argument("Factorization2D: matrix/analysis size mismatch");
+  }
+  blocks_.load(analysis.permute_input(a));
+  const int nb = analysis.blocks.num_blocks();
+  diag_ipiv_.assign(nb, {});
+
+  double matrix_scale = 0.0;
+  for (int j = 0; j < nb; ++j) {
+    matrix_scale = std::max(matrix_scale, blas::max_abs(blocks_.column(j)));
+  }
+  if (matrix_scale == 0.0) matrix_scale = 1.0;
+
+  std::atomic<int> zero_pivots{0};
+  std::mutex min_pivot_mu;
+  double min_pivot = std::numeric_limits<double>::infinity();
+  // One mutex per target block column serializes concurrent UpdateBlock
+  // gemms into shared blocks (additive contributions commute; memory
+  // writes must not interleave).
+  std::vector<std::mutex> column_locks(nb);
+
+  auto run_task = [&](int id) {
+    const taskgraph::Task2D& t = graph_.tasks[id];
+    switch (t.kind) {
+      case taskgraph::Task2DKind::kFactorDiag: {
+        blas::MatrixView d = blocks_.block(t.k, t.k);
+        int info = blas::getf2(d, diag_ipiv_[t.k]);
+        if (info != 0) zero_pivots.fetch_add(1, std::memory_order_relaxed);
+        double local_min = std::numeric_limits<double>::infinity();
+        for (int c = 0; c < d.cols; ++c) {
+          double p = std::abs(d(c, c));
+          if (p > 0.0) local_min = std::min(local_min, p);
+        }
+        std::lock_guard<std::mutex> lock(min_pivot_mu);
+        min_pivot = std::min(min_pivot, local_min);
+        break;
+      }
+      case taskgraph::Task2DKind::kComputeU: {
+        blas::MatrixView ukj = blocks_.block(t.k, t.j);
+        blas::laswp(ukj, diag_ipiv_[t.k], 0,
+                    static_cast<int>(diag_ipiv_[t.k].size()));
+        blas::ConstMatrixView lkk = blocks_.block(t.k, t.k);
+        blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+                   blas::Diag::Unit, 1.0, lkk, ukj);
+        break;
+      }
+      case taskgraph::Task2DKind::kFactorL: {
+        blas::MatrixView lik = blocks_.block(t.i, t.k);
+        blas::ConstMatrixView ukk = blocks_.block(t.k, t.k);
+        blas::trsm(blas::Side::Right, blas::UpLo::Upper, blas::Trans::No,
+                   blas::Diag::NonUnit, 1.0, ukk, lik);
+        break;
+      }
+      case taskgraph::Task2DKind::kUpdateBlock: {
+        blas::ConstMatrixView lik = blocks_.block(t.i, t.k);
+        blas::ConstMatrixView ukj = blocks_.block(t.k, t.j);
+        std::lock_guard<std::mutex> lock(column_locks[t.j]);
+        blas::MatrixView bij = blocks_.block(t.i, t.j);
+        blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, lik, ukj,
+                            1.0, bij);
+        break;
+      }
+    }
+  };
+
+  if (opt.threads <= 1) {
+    std::vector<int> order = taskgraph::topological_order(graph_);
+    if (static_cast<int>(order.size()) != graph_.size()) {
+      throw std::logic_error("Factorization2D: cyclic task graph");
+    }
+    for (int id : order) run_task(id);
+  } else {
+    rt::ExecutionReport rep =
+        rt::execute_dag(graph_.succ, graph_.indegree, opt.threads, run_task);
+    if (!rep.completed) {
+      throw std::logic_error("Factorization2D: execution incomplete");
+    }
+  }
+  zero_pivots_ = zero_pivots.load();
+  min_pivot_ratio_ =
+      std::isfinite(min_pivot) ? min_pivot / matrix_scale : 0.0;
+}
+
+std::vector<double> Factorization2D::solve(const std::vector<double>& b) const {
+  const Analysis& an = *analysis_;
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int n = an.n;
+  const int nb = an.blocks.num_blocks();
+  if (static_cast<int>(b.size()) != n) {
+    throw std::invalid_argument("Factorization2D::solve: rhs size mismatch");
+  }
+
+  std::vector<double> y(n);
+  for (int i = 0; i < n; ++i) {
+    int old = an.row_perm.old_of(i);
+    y[i] = an.scaled() ? an.row_scale[old] * b[old] : b[old];
+  }
+
+  // Forward: column sweep.  Earlier blocks' solutions are subtracted via
+  // the L blocks (stored at unpermuted rows); the local pivots apply to a
+  // block's own rows just before its unit-lower solve.
+  for (int k = 0; k < nb; ++k) {
+    double* yk = y.data() + part.first(k);
+    // Apply P_k then L_kk^{-1}.
+    const std::vector<int>& piv = diag_ipiv_[k];
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) std::swap(yk[c], yk[piv[c]]);
+    }
+    blas::ConstMatrixView lkk = blocks_.block(k, k);
+    blas::trsv(blas::UpLo::Lower, blas::Trans::No, blas::Diag::Unit, lkk, yk, 1);
+    // Push contributions down the L blocks of column k.
+    for (int t : an.blocks.l_blocks(k)) {
+      blas::ConstMatrixView ltk = blocks_.block(t, k);
+      blas::gemv(blas::Trans::No, -1.0, ltk, yk, 1, 1.0,
+                 y.data() + part.first(t), 1);
+    }
+  }
+
+  // Backward: column-oriented upper solve.
+  for (int k = nb - 1; k >= 0; --k) {
+    double* yk = y.data() + part.first(k);
+    blas::ConstMatrixView ukk = blocks_.block(k, k);
+    blas::trsv(blas::UpLo::Upper, blas::Trans::No, blas::Diag::NonUnit, ukk, yk, 1);
+    for (int i : blocks_.column_blocks(k)) {
+      if (i >= k) break;
+      blas::ConstMatrixView uik = blocks_.block(i, k);
+      blas::gemv(blas::Trans::No, -1.0, uik, yk, 1, 1.0,
+                 y.data() + part.first(i), 1);
+    }
+  }
+
+  std::vector<double> x(n);
+  for (int j = 0; j < n; ++j) {
+    int old = an.col_perm.old_of(j);
+    x[old] = an.scaled() ? an.col_scale[old] * y[j] : y[j];
+  }
+  return x;
+}
+
+}  // namespace plu

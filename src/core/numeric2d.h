@@ -1,0 +1,63 @@
+// 2-D numeric factorization (the paper's future-work direction, following
+// the S+ 2.0 scheme): executes the 2-D task graph of taskgraph/build2d.h
+// for real, over the same dense-block storage as the 1-D factorization.
+//
+// Pivoting is RESTRICTED to each diagonal block (the price of 2-D
+// distribution: a pivot search across the whole block column would
+// serialize the very dimension the decomposition parallelizes).  The
+// factorization computed is
+//
+//   A_kk^(k) = P_k^T L_kk U_kk          (diagonal factor, local pivots)
+//   U_kj = L_kk^{-1} P_k A_kj^(k)       (ComputeU)
+//   L_ik = A_ik^(k) U_kk^{-1}           (FactorL; rows stay unpermuted)
+//   A_ij^(k+1) = A_ij^(k) - L_ik U_kj   (UpdateBlock)
+//
+// where A^(k) denotes the partially updated matrix.  Restricted pivoting is
+// numerically weaker than the 1-D panel pivoting -- a diagonal block can be
+// ill-conditioned or singular even when the full column is fine -- so the
+// class reports zero/small pivots and callers should pair it with iterative
+// refinement (tests demonstrate both the typical accuracy and a crafted
+// failure the 1-D factorization survives).
+#pragma once
+
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/block_storage.h"
+#include "taskgraph/build2d.h"
+
+namespace plu {
+
+struct Numeric2DOptions {
+  /// 1 = sequential topological execution; > 1 = DAG executor threads.
+  int threads = 1;
+};
+
+class Factorization2D {
+ public:
+  Factorization2D(const Analysis& analysis, const CscMatrix& a,
+                  const Numeric2DOptions& opt = {});
+
+  const Analysis& analysis() const { return *analysis_; }
+  const taskgraph::TaskGraph2D& graph() const { return graph_; }
+
+  bool singular() const { return zero_pivots_ > 0; }
+  int zero_pivots() const { return zero_pivots_; }
+
+  /// Smallest |pivot| accepted, relative to the matrix max-abs; a crude
+  /// stability indicator (restricted pivoting can drive it tiny).
+  double min_pivot_ratio() const { return min_pivot_ratio_; }
+
+  /// Solves A x = b (original ordering).
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+ private:
+  const Analysis* analysis_;
+  BlockMatrix blocks_;
+  taskgraph::TaskGraph2D graph_;
+  std::vector<std::vector<int>> diag_ipiv_;  // local pivots per block
+  int zero_pivots_ = 0;
+  double min_pivot_ratio_ = 0.0;
+};
+
+}  // namespace plu

@@ -1,0 +1,201 @@
+#include "core/parallel_solve.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "blas/level2.h"
+#include "runtime/dag_executor.h"
+
+namespace plu {
+
+namespace {
+
+void add_edge_unique(std::vector<std::vector<int>>& succ, std::vector<int>& indeg,
+                     int from, int to) {
+  auto& s = succ[from];
+  if (std::find(s.begin(), s.end(), to) != s.end()) return;
+  s.push_back(to);
+  ++indeg[to];
+}
+
+std::vector<int> panel_global_rows(const Analysis& an, int k) {
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  std::vector<int> rows;
+  for (int r = part.first(k); r < part.end(k); ++r) rows.push_back(r);
+  for (int t : an.blocks.l_blocks(k)) {
+    for (int r = part.first(t); r < part.end(t); ++r) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+ParallelSolver::ParallelSolver(const Factorization& f) : f_(&f) {
+  const Analysis& an = f.analysis();
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+  const int n = an.n;
+
+  // Eager positions of every panel's below-diagonal rows: walk panels
+  // backwards accumulating the suffix of interchanges (cf. extract_l_dense).
+  eager_rows_.assign(nb, {});
+  std::vector<int> pos(n);
+  std::iota(pos.begin(), pos.end(), 0);
+  for (int k = nb - 1; k >= 0; --k) {
+    std::vector<int> grows = panel_global_rows(an, k);
+    const int wk = part.width(k);
+    eager_rows_[k].reserve(grows.size() - wk);
+    for (std::size_t r = wk; r < grows.size(); ++r) {
+      eager_rows_[k].push_back(pos[grows[r]]);
+    }
+    const std::vector<int>& piv = f.panel_ipiv(k);
+    for (std::size_t c = piv.size(); c-- > 0;) {
+      if (piv[c] != static_cast<int>(c)) {
+        std::swap(pos[grows[c]], pos[grows[piv[c]]]);
+      }
+    }
+  }
+
+  // pre_perm_[r] = Apre row sitting at eager position r after all pivots:
+  // replay the interchanges forward on an identity map.
+  pre_perm_.resize(n);
+  std::iota(pre_perm_.begin(), pre_perm_.end(), 0);
+  for (int k = 0; k < nb; ++k) {
+    std::vector<int> grows = panel_global_rows(an, k);
+    const std::vector<int>& piv = f.panel_ipiv(k);
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) {
+        std::swap(pre_perm_[grows[c]], pre_perm_[grows[piv[c]]]);
+      }
+    }
+  }
+
+  // Forward DAG: consumer edges k -> block(eager position).
+  fwd_succ_.assign(nb, {});
+  fwd_indeg_.assign(nb, 0);
+  for (int k = 0; k < nb; ++k) {
+    for (int p : eager_rows_[k]) {
+      int t = part.supernode_of(p);
+      assert(t > k);  // contributions always go strictly downward
+      add_edge_unique(fwd_succ_, fwd_indeg_, k, t);
+    }
+  }
+
+  // Backward DAG: consumer edges k -> i for every U block (i, k).
+  bwd_succ_.assign(nb, {});
+  bwd_indeg_.assign(nb, 0);
+  for (int k = 0; k < nb; ++k) {
+    for (const int* it = an.blocks.bpattern.col_begin(k);
+         it != an.blocks.bpattern.col_end(k) && *it < k; ++it) {
+      add_edge_unique(bwd_succ_, bwd_indeg_, k, *it);
+    }
+  }
+
+  row_locks_ = std::make_unique<std::vector<std::mutex>>(nb);
+}
+
+std::vector<double> ParallelSolver::solve(const std::vector<double>& b,
+                                          int threads) const {
+  const Factorization& f = *f_;
+  const Analysis& an = f.analysis();
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int n = an.n;
+  assert(static_cast<int>(b.size()) == n);
+
+  // y = Phat Pr b, both permutations folded into one gather (plus the MC64
+  // row scaling when present).
+  std::vector<double> y(n);
+  for (int r = 0; r < n; ++r) {
+    int old = an.row_perm.old_of(pre_perm_[r]);
+    y[r] = an.scaled() ? an.row_scale[old] * b[old] : b[old];
+  }
+
+  const BlockMatrix& bm = f.blocks();
+  auto forward_step = [&](int k) {
+    const int wk = part.width(k);
+    double* yk = y.data() + part.first(k);
+    blas::ConstMatrixView panel = bm.panel(k);
+    blas::ConstMatrixView lkk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Lower, blas::Trans::No, blas::Diag::Unit, lkk, yk, 1);
+    const int below = static_cast<int>(eager_rows_[k].size());
+    if (below == 0) return;
+    std::vector<double> contrib(below, 0.0);
+    blas::ConstMatrixView lbelow = panel.block(wk, 0, below, wk);
+    blas::gemv(blas::Trans::No, 1.0, lbelow, yk, 1, 0.0, contrib.data(), 1);
+    // Scatter-subtract under per-block locks, grouping runs by target block
+    // to bound lock traffic.
+    int r = 0;
+    while (r < below) {
+      int t = part.supernode_of(eager_rows_[k][r]);
+      int e = r;
+      while (e < below && part.supernode_of(eager_rows_[k][e]) == t) ++e;
+      {
+        std::lock_guard<std::mutex> lock((*row_locks_)[t]);
+        for (int q = r; q < e; ++q) y[eager_rows_[k][q]] -= contrib[q];
+      }
+      r = e;
+    }
+  };
+  rt::ExecutionReport fwd =
+      rt::execute_dag(fwd_succ_, fwd_indeg_, threads, forward_step);
+  assert(fwd.completed);
+  (void)fwd;
+
+  auto backward_step = [&](int k) {
+    const int wk = part.width(k);
+    double* yk = y.data() + part.first(k);
+    blas::ConstMatrixView panel = bm.panel(k);
+    blas::ConstMatrixView ukk = panel.block(0, 0, wk, wk);
+    blas::trsv(blas::UpLo::Upper, blas::Trans::No, blas::Diag::NonUnit, ukk, yk, 1);
+    for (int i : bm.column_blocks(k)) {
+      if (i >= k) break;
+      blas::ConstMatrixView uik = bm.block(i, k);
+      std::lock_guard<std::mutex> lock((*row_locks_)[i]);
+      blas::gemv(blas::Trans::No, -1.0, uik, yk, 1, 1.0,
+                 y.data() + part.first(i), 1);
+    }
+  };
+  rt::ExecutionReport bwd =
+      rt::execute_dag(bwd_succ_, bwd_indeg_, threads, backward_step);
+  assert(bwd.completed);
+  (void)bwd;
+
+  std::vector<double> x(n);
+  for (int j = 0; j < n; ++j) {
+    int old = an.col_perm.old_of(j);
+    x[old] = an.scaled() ? an.col_scale[old] * y[j] : y[j];
+  }
+  return x;
+}
+
+std::vector<double> ParallelSolver::forward_flops() const {
+  const Analysis& an = f_->analysis();
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+  std::vector<double> flops(nb, 0.0);
+  for (int k = 0; k < nb; ++k) {
+    const double wk = part.width(k);
+    flops[k] = wk * wk + 2.0 * static_cast<double>(eager_rows_[k].size()) * wk;
+  }
+  return flops;
+}
+
+std::vector<double> ParallelSolver::backward_flops() const {
+  const Analysis& an = f_->analysis();
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int nb = an.blocks.num_blocks();
+  std::vector<double> flops(nb, 0.0);
+  for (int k = 0; k < nb; ++k) {
+    const double wk = part.width(k);
+    double above = 0;
+    for (const int* it = an.blocks.bpattern.col_begin(k);
+         it != an.blocks.bpattern.col_end(k) && *it < k; ++it) {
+      above += part.width(*it);
+    }
+    flops[k] = wk * wk + 2.0 * above * wk;
+  }
+  return flops;
+}
+
+}  // namespace plu

@@ -1,0 +1,29 @@
+#include "core/refine.h"
+
+namespace plu {
+
+RefineResult refined_solve(const Factorization& f, const CscMatrix& a,
+                           const std::vector<double>& b,
+                           const RefineOptions& opt) {
+  RefineResult res;
+  res.x = f.solve(b);
+  res.residual_history.push_back(relative_residual(a, res.x, b));
+  std::vector<double> r(b.size());
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    if (res.residual_history.back() <= opt.target_residual) {
+      res.converged = true;
+      break;
+    }
+    // r = b - A x
+    a.matvec(res.x, r);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+    std::vector<double> d = f.solve(r);
+    for (std::size_t i = 0; i < r.size(); ++i) res.x[i] += d[i];
+    ++res.iterations;
+    res.residual_history.push_back(relative_residual(a, res.x, b));
+  }
+  if (res.residual_history.back() <= opt.target_residual) res.converged = true;
+  return res;
+}
+
+}  // namespace plu

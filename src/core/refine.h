@@ -1,0 +1,29 @@
+// Iterative refinement: recovers accuracy lost to pivot growth by iterating
+// x += A^{-1}(b - Ax) with the (approximate) factored inverse.
+#pragma once
+
+#include <vector>
+
+#include "core/numeric.h"
+
+namespace plu {
+
+struct RefineResult {
+  std::vector<double> x;
+  std::vector<double> residual_history;  // relative residual per iteration,
+                                         // starting with the unrefined solve
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct RefineOptions {
+  int max_iterations = 5;
+  double target_residual = 1e-14;
+};
+
+/// Solves A x = b with iterative refinement on top of the factorization.
+RefineResult refined_solve(const Factorization& f, const CscMatrix& a,
+                           const std::vector<double>& b,
+                           const RefineOptions& opt = {});
+
+}  // namespace plu

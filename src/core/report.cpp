@@ -1,0 +1,74 @@
+#include "core/report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace plu {
+
+AnalysisReport report(const Analysis& an) {
+  AnalysisReport r;
+  r.n = an.n;
+  r.nnz = an.nnz_input;
+  r.fill_ratio = an.fill_ratio();
+  r.nnz_abar = an.symbolic.abar.nnz();
+  r.mc64_scaled = an.scaled();
+  r.diag_blocks = static_cast<int>(an.diag_block_sizes.size());
+  r.supernodes = symbolic::supernode_stats(an.partition);
+  r.exact_supernodes = symbolic::supernode_stats(an.exact_partition);
+  r.extra_closure_blocks = an.blocks.extra_blocks_from_closure;
+  r.lockfree_safe = an.blocks.lockfree_safe;
+  r.beforest = graph::forest_stats(an.blocks.beforest);
+  r.graph_kind = taskgraph::to_string(an.graph.kind);
+  r.graph = taskgraph::graph_stats(an.graph, an.costs);
+  return r;
+}
+
+FactorizationReport report(const Factorization& f) {
+  FactorizationReport r;
+  r.singular = f.singular();
+  r.zero_pivots = f.zero_pivots();
+  r.pivot_interchanges = f.pivot_interchanges();
+  r.lazy_skipped_updates = f.lazy_skipped_updates();
+  r.stored_doubles = f.blocks().stored_doubles();
+  return r;
+}
+
+std::string to_string(const AnalysisReport& r) {
+  std::ostringstream os;
+  os << "matrix:      n=" << r.n << ", nnz=" << r.nnz
+     << (r.mc64_scaled ? " (MC64-scaled)" : "") << '\n';
+  os << "symbolic:    |Abar|=" << r.nnz_abar << " (" << r.fill_ratio
+     << "x fill), " << r.diag_blocks << " diagonal block(s)\n";
+  os << "supernodes:  " << r.supernodes.count << " (exact "
+     << r.exact_supernodes.count << "), avg width " << r.supernodes.avg_width
+     << ", max " << r.supernodes.max_width << ", closure padding "
+     << r.extra_closure_blocks << " block(s)\n";
+  os << "beforest:    " << r.beforest.trees << " tree(s), " << r.beforest.leaves
+     << " leaves, height " << r.beforest.height << ", max branching "
+     << r.beforest.max_branching
+     << (r.lockfree_safe ? ", lock-free safe" : ", needs column locks") << '\n';
+  os << "task graph:  " << r.graph_kind << ", " << r.graph.tasks << " tasks, "
+     << r.graph.edges << " edges, " << r.graph.total_flops / 1e9
+     << " Gflop total, max parallelism " << r.graph.max_parallelism();
+  return os.str();
+}
+
+std::string to_string(const FactorizationReport& r) {
+  std::ostringstream os;
+  os << "numeric:     " << (r.singular ? "SINGULAR, " : "")
+     << r.pivot_interchanges << " interchange(s), " << r.zero_pivots
+     << " zero pivot(s), " << r.lazy_skipped_updates
+     << " lazy-skipped update(s), " << 8.0 * r.stored_doubles / 1e6
+     << " MB factor storage";
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const AnalysisReport& r) {
+  return os << to_string(r);
+}
+
+std::ostream& operator<<(std::ostream& os, const FactorizationReport& r) {
+  return os << to_string(r);
+}
+
+}  // namespace plu

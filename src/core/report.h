@@ -1,0 +1,58 @@
+// Structured analysis/factorization report: every statistic the examples,
+// the CLI and the benches keep re-deriving, gathered once with a printable
+// rendering.  A downstream user's first stop when a factorization behaves
+// unexpectedly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/numeric.h"
+#include "graph/forest.h"
+#include "symbolic/supernodes.h"
+#include "taskgraph/analysis.h"
+
+namespace plu {
+
+struct AnalysisReport {
+  // Input.
+  int n = 0;
+  int nnz = 0;
+  // Symbolic.
+  double fill_ratio = 0.0;
+  long nnz_abar = 0;
+  bool mc64_scaled = false;
+  int diag_blocks = 0;
+  // Supernodes / blocks.
+  symbolic::SupernodeStats supernodes;
+  symbolic::SupernodeStats exact_supernodes;
+  long extra_closure_blocks = 0;
+  bool lockfree_safe = false;
+  // Forest shape (the block eforest driving the task graph).
+  graph::ForestStats beforest;
+  // Task graph.
+  std::string graph_kind;
+  taskgraph::GraphStats graph;
+};
+
+/// Collects the report from an analysis.
+AnalysisReport report(const Analysis& an);
+
+struct FactorizationReport {
+  bool singular = false;
+  int zero_pivots = 0;
+  long pivot_interchanges = 0;
+  long lazy_skipped_updates = 0;
+  std::size_t stored_doubles = 0;
+};
+
+FactorizationReport report(const Factorization& f);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const AnalysisReport& r);
+std::string to_string(const FactorizationReport& r);
+
+std::ostream& operator<<(std::ostream& os, const AnalysisReport& r);
+std::ostream& operator<<(std::ostream& os, const FactorizationReport& r);
+
+}  // namespace plu

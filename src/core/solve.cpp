@@ -1,0 +1,252 @@
+#include "core/solve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace plu {
+
+namespace {
+
+/// Parity sign of a permutation given in gather form.
+int permutation_sign(const std::vector<int>& old_of) {
+  const int n = static_cast<int>(old_of.size());
+  std::vector<char> seen(n, 0);
+  int transpositions = 0;
+  for (int i = 0; i < n; ++i) {
+    if (seen[i]) continue;
+    int len = 0;
+    int j = i;
+    while (!seen[j]) {
+      seen[j] = 1;
+      j = old_of[j];
+      ++len;
+    }
+    transpositions += len - 1;
+  }
+  return (transpositions % 2 == 0) ? 1 : -1;
+}
+
+/// Global rows of panel k in packed order.
+std::vector<int> panel_global_rows(const Analysis& an, int k) {
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  std::vector<int> rows;
+  for (int r = part.first(k); r < part.end(k); ++r) rows.push_back(r);
+  for (int t : an.blocks.l_blocks(k)) {
+    for (int r = part.first(t); r < part.end(t); ++r) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<double> solve_many(const Factorization& f,
+                               const std::vector<double>& b_colmajor, int nrhs) {
+  const int n = f.analysis().n;
+  std::vector<double> x(b_colmajor.size());
+  std::vector<double> col(n);
+  for (int r = 0; r < nrhs; ++r) {
+    std::copy(b_colmajor.begin() + static_cast<std::ptrdiff_t>(r) * n,
+              b_colmajor.begin() + static_cast<std::ptrdiff_t>(r + 1) * n,
+              col.begin());
+    std::vector<double> xr = f.solve(col);
+    std::copy(xr.begin(), xr.end(), x.begin() + static_cast<std::ptrdiff_t>(r) * n);
+  }
+  return x;
+}
+
+std::vector<int> pivot_old_of(const Factorization& f) {
+  const Analysis& an = f.analysis();
+  const int n = an.n;
+  std::vector<int> cur(n);
+  std::iota(cur.begin(), cur.end(), 0);
+  for (int k = 0; k < an.blocks.num_blocks(); ++k) {
+    std::vector<int> grows = panel_global_rows(an, k);
+    const std::vector<int>& piv = f.panel_ipiv(k);
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) {
+        std::swap(cur[grows[c]], cur[grows[piv[c]]]);
+      }
+    }
+  }
+  return cur;
+}
+
+Determinant determinant(const Factorization& f) {
+  const Analysis& an = f.analysis();
+  Determinant d;
+  d.log_abs = 0.0;
+  int sign = 1;
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  for (int k = 0; k < an.blocks.num_blocks(); ++k) {
+    blas::ConstMatrixView panel = f.blocks().panel(k);
+    const int wk = part.width(k);
+    for (int c = 0; c < wk; ++c) {
+      double u = panel(c, c);
+      if (u == 0.0) {
+        d.sign = 0;
+        d.log_abs = -std::numeric_limits<double>::infinity();
+        return d;
+      }
+      if (u < 0.0) sign = -sign;
+      d.log_abs += std::log(std::abs(u));
+    }
+    const std::vector<int>& piv = f.panel_ipiv(k);
+    for (std::size_t c = 0; c < piv.size(); ++c) {
+      if (piv[c] != static_cast<int>(c)) sign = -sign;
+    }
+  }
+  sign *= permutation_sign(an.row_perm.old_positions());
+  sign *= permutation_sign(an.col_perm.old_positions());
+  // Apre = Pr Dr A Dc Qc-style scaling: divide the scales back out (they
+  // are positive, so the sign is unaffected).
+  if (an.scaled()) {
+    for (double r : an.row_scale) d.log_abs -= std::log(r);
+    for (double c : an.col_scale) d.log_abs -= std::log(c);
+  }
+  d.sign = sign;
+  return d;
+}
+
+double inverse_norm1_estimate(const Factorization& f, int max_iterations) {
+  const int n = f.analysis().n;
+  if (n == 0) return 0.0;
+  // Higham's 1-norm estimator: power iteration on |A^{-1}| using solves
+  // with A and A^T, steering with the sign vector.
+  std::vector<double> x(n, 1.0 / n);
+  double best = 0.0;
+  int last_unit = -1;
+  for (int it = 0; it < max_iterations; ++it) {
+    std::vector<double> y = f.solve(x);  // y = A^{-1} x
+    double norm_y = 0.0;
+    for (double v : y) norm_y += std::abs(v);
+    best = std::max(best, norm_y);
+    std::vector<double> xi(n);
+    for (int i = 0; i < n; ++i) xi[i] = (y[i] >= 0.0) ? 1.0 : -1.0;
+    std::vector<double> z = f.solve_transpose(xi);  // z = A^{-T} xi
+    // Convergence test: max |z_j| <= z^T x means the current x is optimal.
+    int j = 0;
+    double zmax = 0.0, ztx = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (std::abs(z[i]) > zmax) {
+        zmax = std::abs(z[i]);
+        j = i;
+      }
+      ztx += z[i] * x[i];
+    }
+    if (zmax <= ztx + 1e-15 * std::abs(ztx) || j == last_unit) break;
+    std::fill(x.begin(), x.end(), 0.0);
+    x[j] = 1.0;
+    last_unit = j;
+  }
+  // Alternate lower bound from the classic "staircase" vector, which guards
+  // against adversarial cancellation in the power iteration.
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) {
+    v[i] = (i % 2 == 0 ? 1.0 : -1.0) * (1.0 + static_cast<double>(i) / (n - 1 + 1e-300));
+  }
+  std::vector<double> w = f.solve(v);
+  double alt = 0.0;
+  for (double t : w) alt += std::abs(t);
+  alt = 2.0 * alt / (3.0 * n);
+  return std::max(best, alt);
+}
+
+ConditionEstimate estimate_condition(const Factorization& f, const CscMatrix& a) {
+  ConditionEstimate c;
+  c.norm_a = a.norm1();
+  c.norm_ainv = inverse_norm1_estimate(f);
+  c.cond1 = c.norm_a * c.norm_ainv;
+  return c;
+}
+
+double pivot_growth(const Factorization& f, const CscMatrix& a) {
+  const Analysis& an = f.analysis();
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const BlockMatrix& bm = f.blocks();
+  // max|U| over the stored factor: the upper triangle of every diagonal
+  // block plus all U blocks.
+  double umax = 0.0;
+  for (int k = 0; k < an.blocks.num_blocks(); ++k) {
+    const int wk = part.width(k);
+    blas::ConstMatrixView diag = bm.panel(k).block(0, 0, wk, wk);
+    for (int c = 0; c < wk; ++c) {
+      for (int r = 0; r <= c; ++r) umax = std::max(umax, std::abs(diag(r, c)));
+    }
+    for (int i : bm.column_blocks(k)) {
+      if (i >= k) break;
+      umax = std::max(umax, blas::max_abs(bm.block(i, k)));
+    }
+  }
+  // max|Apre| directly from the input entries and the scalings (the
+  // permutations do not change the set of magnitudes).
+  double amax = 0.0;
+  for (int j = 0; j < a.cols(); ++j) {
+    double cs = an.scaled() ? an.col_scale[j] : 1.0;
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k) {
+      double rs = an.scaled() ? an.row_scale[a.row_index(k)] : 1.0;
+      amax = std::max(amax, std::abs(rs * a.value(k) * cs));
+    }
+  }
+  return amax > 0.0 ? umax / amax : 0.0;
+}
+
+blas::DenseMatrix extract_l_dense(const Factorization& f) {
+  // Deferred pivoting never replays a panel's swaps on columns LEFT of the
+  // panel, so the stored L column k sits at the row positions current at
+  // panel k's time.  The eager-getrf L (the one satisfying L U = P Apre)
+  // has those rows additionally moved by every later panel's swaps; `pos`
+  // accumulates that suffix composition while we walk panels backwards.
+  const Analysis& an = f.analysis();
+  const int n = an.n;
+  const int nb = an.blocks.num_blocks();
+  blas::DenseMatrix l(n, n);
+  for (int i = 0; i < n; ++i) l(i, i) = 1.0;
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  std::vector<int> pos(n);  // pos[r] = final position of current row r
+  std::iota(pos.begin(), pos.end(), 0);
+  for (int k = nb - 1; k >= 0; --k) {
+    blas::ConstMatrixView panel = f.blocks().panel(k);
+    std::vector<int> grows = panel_global_rows(an, k);
+    for (int c = 0; c < part.width(k); ++c) {
+      const int col = part.first(k) + c;
+      for (std::size_t r = c + 1; r < grows.size(); ++r) {
+        double v = panel(static_cast<int>(r), c);
+        if (v != 0.0) l(pos[grows[r]], col) = v;
+      }
+    }
+    // Fold panel k's own swaps into pos (applied in reverse swap order so
+    // that pos ends up as (later swaps) o (panel k swaps)).
+    const std::vector<int>& piv = f.panel_ipiv(k);
+    for (std::size_t c = piv.size(); c-- > 0;) {
+      if (piv[c] != static_cast<int>(c)) {
+        std::swap(pos[grows[c]], pos[grows[piv[c]]]);
+      }
+    }
+  }
+  return l;
+}
+
+blas::DenseMatrix extract_u_dense(const Factorization& f) {
+  const Analysis& an = f.analysis();
+  const int n = an.n;
+  blas::DenseMatrix u(n, n);
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const BlockMatrix& bm = f.blocks();
+  for (int j = 0; j < an.blocks.num_blocks(); ++j) {
+    for (int i : bm.column_blocks(j)) {
+      if (i > j) break;
+      blas::ConstMatrixView b = bm.block(i, j);
+      for (int c = 0; c < b.cols; ++c) {
+        for (int r = 0; r < b.rows; ++r) {
+          const int grow = part.first(i) + r;
+          const int gcol = part.first(j) + c;
+          if (grow <= gcol) u(grow, gcol) = b(r, c);
+        }
+      }
+    }
+  }
+  return u;
+}
+
+}  // namespace plu

@@ -1,0 +1,81 @@
+#include "core/sparse_lu.h"
+
+#include <stdexcept>
+
+#include "core/parallel_solve.h"
+
+namespace plu {
+
+SparseLU::SparseLU() = default;
+SparseLU::SparseLU(const Options& opt) : options_(opt) {}
+SparseLU::~SparseLU() = default;
+SparseLU::SparseLU(SparseLU&&) noexcept = default;
+SparseLU& SparseLU::operator=(SparseLU&&) noexcept = default;
+
+void SparseLU::analyze(const CscMatrix& a) {
+  analysis_ = std::make_unique<Analysis>(plu::analyze(a, options_));
+  analyzed_pattern_ = a.pattern();
+  factorization_.reset();
+  parallel_solver_.reset();
+  last_matrix_.reset();
+}
+
+void SparseLU::factorize(const CscMatrix& a) {
+  // Reuse the analysis only for the SAME sparsity pattern: a same-size
+  // matrix with new structure needs its own symbolic factorization (values
+  // may change freely -- that is the point of the static approach).
+  const bool same_pattern = analysis_ && analyzed_pattern_.rows == a.rows() &&
+                            analyzed_pattern_.ptr == a.col_ptr() &&
+                            analyzed_pattern_.idx == a.row_ind();
+  if (!same_pattern) {
+    analyze(a);
+  }
+  parallel_solver_.reset();  // bound to the factorization it was built from
+  factorization_ = std::make_unique<Factorization>(*analysis_, a, numeric_options_);
+  last_matrix_ = a;
+}
+
+const Analysis& SparseLU::analysis() const {
+  if (!analysis_) throw std::logic_error("SparseLU: analyze() not called");
+  return *analysis_;
+}
+
+const Factorization& SparseLU::factorization() const {
+  if (!factorization_) throw std::logic_error("SparseLU: factorize() not called");
+  return *factorization_;
+}
+
+std::vector<double> SparseLU::solve(const std::vector<double>& b) const {
+  return factorization().solve(b);
+}
+
+std::vector<double> SparseLU::solve_transpose(const std::vector<double>& b) const {
+  return factorization().solve_transpose(b);
+}
+
+std::vector<double> SparseLU::solve_parallel(const std::vector<double>& b,
+                                             int threads) const {
+  const Factorization& f = factorization();
+  if (!parallel_solver_) {
+    parallel_solver_ = std::make_unique<ParallelSolver>(f);
+  }
+  return parallel_solver_->solve(b, threads);
+}
+
+RefineResult SparseLU::solve_refined(const std::vector<double>& b,
+                                     const RefineOptions& opt) const {
+  if (!last_matrix_) throw std::logic_error("SparseLU: factorize() not called");
+  return refined_solve(factorization(), *last_matrix_, b, opt);
+}
+
+std::vector<double> SparseLU::solve_system(const CscMatrix& a,
+                                           const std::vector<double>& b,
+                                           const Options& opt,
+                                           const NumericOptions& nopt) {
+  SparseLU lu(opt);
+  lu.numeric_options() = nopt;
+  lu.factorize(a);
+  return lu.solve(b);
+}
+
+}  // namespace plu

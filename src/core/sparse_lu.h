@@ -1,0 +1,80 @@
+// Public facade of the library: analyze / factorize / solve in one object.
+//
+//   plu::SparseLU lu;
+//   lu.analyze(A);               // symbolic pipeline (reusable across values)
+//   lu.factorize(A);             // numeric factorization
+//   std::vector<double> x = lu.solve(b);
+//
+// Options select the paper's techniques: eforest postordering on/off,
+// S* vs eforest task graph, ordering, amalgamation, execution mode.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/numeric.h"
+#include "core/refine.h"
+
+namespace plu {
+
+class SparseLU {
+ public:
+  SparseLU();
+  explicit SparseLU(const Options& opt);
+  ~SparseLU();  // out of line: ParallelSolver is incomplete here
+  SparseLU(SparseLU&&) noexcept;
+  SparseLU& operator=(SparseLU&&) noexcept;
+
+  const Options& options() const { return options_; }
+  Options& options() { return options_; }
+  NumericOptions& numeric_options() { return numeric_options_; }
+
+  /// Runs the symbolic pipeline.  Invalidates any previous factorization.
+  void analyze(const CscMatrix& a);
+
+  /// Numeric factorization; runs analyze() first when none is cached.
+  void factorize(const CscMatrix& a);
+
+  /// One call doing both.
+  void compute(const CscMatrix& a) { factorize(a); }
+
+  bool analyzed() const { return analysis_ != nullptr; }
+  bool factorized() const { return factorization_ != nullptr; }
+
+  const Analysis& analysis() const;
+  const Factorization& factorization() const;
+
+  /// Solves A x = b; requires factorized().
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// Solves A^T x = b; requires factorized().
+  std::vector<double> solve_transpose(const std::vector<double>& b) const;
+
+  /// Parallel triangular solves on `threads` threads (agrees with solve()
+  /// up to roundoff).  Builds the solve DAGs on first use.
+  std::vector<double> solve_parallel(const std::vector<double>& b,
+                                     int threads) const;
+
+  /// Solve with iterative refinement against the matrix last factorized.
+  RefineResult solve_refined(const std::vector<double>& b,
+                             const RefineOptions& opt = {}) const;
+
+  /// Convenience one-shot: factor a and solve a x = b.
+  static std::vector<double> solve_system(const CscMatrix& a,
+                                          const std::vector<double>& b,
+                                          const Options& opt = {},
+                                          const NumericOptions& nopt = {});
+
+ private:
+  Options options_;
+  NumericOptions numeric_options_;
+  Pattern analyzed_pattern_;  // guards analysis reuse across factorize calls
+  std::unique_ptr<Analysis> analysis_;
+  std::unique_ptr<Factorization> factorization_;
+  mutable std::unique_ptr<class ParallelSolver> parallel_solver_;
+  std::optional<CscMatrix> last_matrix_;  // kept for refinement
+};
+
+}  // namespace plu

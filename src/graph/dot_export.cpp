@@ -1,0 +1,29 @@
+#include "graph/dot_export.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace plu::graph {
+
+void write_forest_dot(std::ostream& os, const Forest& f,
+                      const std::string& graph_name) {
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=BT;\n  node [shape=circle];\n";
+  for (int v = 0; v < f.size(); ++v) {
+    os << "  n" << v << " [label=\"" << v << "\"];\n";
+  }
+  for (int v = 0; v < f.size(); ++v) {
+    if (f.parent(v) != kNone) {
+      os << "  n" << v << " -> n" << f.parent(v) << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string forest_to_dot(const Forest& f, const std::string& graph_name) {
+  std::ostringstream os;
+  write_forest_dot(os, f, graph_name);
+  return os.str();
+}
+
+}  // namespace plu::graph

@@ -1,0 +1,20 @@
+// Graphviz DOT export for forests and (later) task graphs, used by the
+// examples to render the paper's Figures 1-4 for arbitrary inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/forest.h"
+
+namespace plu::graph {
+
+/// Writes the forest as a DOT digraph with edges child -> parent.
+/// `label(v)` customization hook: extra per-node annotation text.
+void write_forest_dot(std::ostream& os, const Forest& f,
+                      const std::string& graph_name = "eforest");
+
+std::string forest_to_dot(const Forest& f,
+                          const std::string& graph_name = "eforest");
+
+}  // namespace plu::graph

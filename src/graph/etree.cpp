@@ -1,0 +1,49 @@
+#include "graph/etree.h"
+
+#include <cassert>
+
+namespace plu::graph {
+
+namespace {
+
+/// Liu's etree algorithm with path compression.  `upper_of_col(j)` must
+/// enumerate rows i < j adjacent to j in the symmetric graph.
+Forest etree_from_upper(const Pattern& p) {
+  const int n = p.cols;
+  std::vector<int> parent(n, kNone);
+  std::vector<int> ancestor(n, kNone);
+  for (int j = 0; j < n; ++j) {
+    for (int k = p.ptr[j]; k < p.ptr[j + 1]; ++k) {
+      int i = p.idx[k];
+      if (i >= j) continue;
+      // Walk from i to the current root, compressing toward j.
+      int r = i;
+      while (ancestor[r] != kNone && ancestor[r] != j) {
+        int next = ancestor[r];
+        ancestor[r] = j;
+        r = next;
+      }
+      if (ancestor[r] == kNone) {
+        ancestor[r] = j;
+        parent[r] = j;
+      }
+    }
+  }
+  return Forest(std::move(parent));
+}
+
+}  // namespace
+
+Forest elimination_tree(const Pattern& symmetric_pattern) {
+  assert(symmetric_pattern.rows == symmetric_pattern.cols);
+  // Symmetrize defensively so both triangles drive the same tree.
+  Pattern s = Pattern::symmetrized(symmetric_pattern);
+  return etree_from_upper(s);
+}
+
+Forest column_elimination_tree(const Pattern& a) {
+  Pattern ata = Pattern::ata(a);
+  return etree_from_upper(ata);
+}
+
+}  // namespace plu::graph

@@ -1,0 +1,25 @@
+// Elimination trees (Liu, ref. [9] of the paper).
+//
+// Two variants are used in the paper's context:
+//   * the symmetric etree of a symmetric pattern (the classic definition:
+//     parent(j) = min{ i > j : l_ij != 0 } for the Cholesky factor of the
+//     pattern), computed by Liu's nearly-linear algorithm;
+//   * the COLUMN elimination tree, i.e. the etree of A^T A, which SuperLU
+//     uses to permute columns; the paper contrasts it with the LU eforest.
+#pragma once
+
+#include "graph/forest.h"
+#include "matrix/csc.h"
+
+namespace plu::graph {
+
+/// Etree of a symmetric pattern (uses the upper-triangular entries of each
+/// column; the input need not be stored symmetrically as long as for every
+/// (i, j) with i < j either (i, j) or (j, i) is present -- we symmetrize).
+Forest elimination_tree(const Pattern& symmetric_pattern);
+
+/// Column elimination tree: etree of the A^T A pattern.  `a` is the original
+/// (possibly rectangular rows >= cols) pattern.
+Forest column_elimination_tree(const Pattern& a);
+
+}  // namespace plu::graph

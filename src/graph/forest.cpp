@@ -1,0 +1,223 @@
+#include "graph/forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace plu::graph {
+
+Forest::Forest(std::vector<int> parent) : parent_(std::move(parent)) {
+  if (!valid()) throw std::invalid_argument("Forest: invalid parent array");
+}
+
+std::vector<int> Forest::roots() const {
+  std::vector<int> r;
+  for (int v = 0; v < size(); ++v) {
+    if (parent_[v] == kNone) r.push_back(v);
+  }
+  return r;
+}
+
+void Forest::build_children() const {
+  if (!dirty_) return;
+  children_.assign(size(), {});
+  for (int v = 0; v < size(); ++v) {
+    if (parent_[v] != kNone) children_[parent_[v]].push_back(v);
+  }
+  // Children are pushed in ascending v automatically.
+  dirty_ = false;
+}
+
+const std::vector<int>& Forest::children(int v) const {
+  build_children();
+  return children_[v];
+}
+
+int Forest::num_trees() const {
+  int n = 0;
+  for (int v = 0; v < size(); ++v) {
+    if (parent_[v] == kNone) ++n;
+  }
+  return n;
+}
+
+bool Forest::is_topological() const {
+  for (int v = 0; v < size(); ++v) {
+    if (parent_[v] != kNone && parent_[v] <= v) return false;
+  }
+  return true;
+}
+
+bool Forest::valid() const {
+  const int n = size();
+  for (int v = 0; v < n; ++v) {
+    if (parent_[v] != kNone && (parent_[v] < 0 || parent_[v] >= n || parent_[v] == v)) {
+      return false;
+    }
+  }
+  // Cycle check: walk up from each node with a visit stamp.  Stopping at a
+  // node stamped by the *current* walk means the walk re-entered its own
+  // path, i.e. a cycle; a node stamped by an earlier walk is already known
+  // to reach a root.
+  std::vector<int> stamp(n, -1);
+  for (int v = 0; v < n; ++v) {
+    int u = v;
+    while (u != kNone && stamp[u] == -1) {
+      stamp[u] = v;
+      u = parent_[u];
+    }
+    if (u != kNone && stamp[u] == v) return false;
+  }
+  return true;
+}
+
+bool Forest::is_ancestor(int u, int v) const {
+  int w = parent_[v];
+  while (w != kNone) {
+    if (w == u) return true;
+    w = parent_[w];
+  }
+  return false;
+}
+
+std::vector<int> Forest::subtree(int v) const {
+  build_children();
+  std::vector<int> out;
+  std::vector<int> stack = {v};
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (int c : children_[u]) stack.push_back(c);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> Forest::subtree_sizes() const {
+  // For elimination forests (parent > child) a single ascending sweep works;
+  // for general forests accumulate in postorder.
+  std::vector<int> sz(size(), 1);
+  for (int v : postorder()) {
+    if (parent_[v] != kNone) sz[parent_[v]] += sz[v];
+  }
+  return sz;
+}
+
+std::vector<int> Forest::depths() const {
+  std::vector<int> d(size(), -1);
+  for (int v = 0; v < size(); ++v) {
+    // Path-compress along the walk.
+    int u = v;
+    std::vector<int> path;
+    while (u != kNone && d[u] == -1) {
+      path.push_back(u);
+      u = parent_[u];
+    }
+    int base = (u == kNone) ? -1 : d[u];
+    for (auto it = path.rbegin(); it != path.rend(); ++it) d[*it] = ++base;
+  }
+  return d;
+}
+
+std::vector<int> Forest::postorder() const {
+  build_children();
+  std::vector<int> order;
+  order.reserve(size());
+  // Iterative DFS emitting a node after all its children.
+  std::vector<std::pair<int, std::size_t>> stack;  // (node, next child index)
+  for (int r : roots()) {
+    stack.emplace_back(r, 0);
+    while (!stack.empty()) {
+      auto& [v, ci] = stack.back();
+      if (ci < children_[v].size()) {
+        int c = children_[v][ci++];
+        stack.emplace_back(c, 0);
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+Permutation Forest::postorder_permutation() const {
+  return Permutation::from_old_positions(postorder());
+}
+
+bool Forest::is_postordered() const {
+  std::vector<int> sz = subtree_sizes();
+  build_children();
+  for (int v = 0; v < size(); ++v) {
+    // Children (hence all descendants) must be < v and the subtree must be
+    // the contiguous range ending at v; contiguity follows if every child c
+    // satisfies: c's subtree ends at c and the children pack back-to-back.
+    int expected_end = v - 1;
+    const std::vector<int>& ch = children_[v];
+    for (auto it = ch.rbegin(); it != ch.rend(); ++it) {
+      if (*it != expected_end) return false;
+      expected_end -= sz[*it];
+    }
+  }
+  return true;
+}
+
+Forest Forest::relabeled(const Permutation& p) const {
+  assert(p.size() == size());
+  std::vector<int> np(size(), kNone);
+  for (int v = 0; v < size(); ++v) {
+    int pv = parent_[v];
+    np[p.new_of(v)] = (pv == kNone) ? kNone : p.new_of(pv);
+  }
+  return Forest(std::move(np));
+}
+
+ForestStats forest_stats(const Forest& f) {
+  ForestStats st;
+  st.nodes = f.size();
+  st.trees = f.num_trees();
+  std::vector<int> depths = f.depths();
+  long depth_sum = 0;
+  for (int v = 0; v < f.size(); ++v) {
+    if (f.children(v).empty()) ++st.leaves;
+    st.max_branching = std::max(st.max_branching,
+                                static_cast<int>(f.children(v).size()));
+    st.height = std::max(st.height, depths[v]);
+    depth_sum += depths[v];
+  }
+  st.avg_depth = f.size() > 0 ? static_cast<double>(depth_sum) / f.size() : 0.0;
+  return st;
+}
+
+void Forest::swap_adjacent_labels(int x) {
+  assert(x >= 0 && x + 1 < size());
+  const int y = x + 1;
+  // Redirect children of x and y first (uses current parent array).
+  for (int v = 0; v < size(); ++v) {
+    if (v == x || v == y) continue;
+    if (parent_[v] == x) {
+      parent_[v] = y;
+    } else if (parent_[v] == y) {
+      parent_[v] = x;
+    }
+  }
+  // Swap the two nodes' own parents, handling the adjacent-edge cases.
+  int px = parent_[x];
+  int py = parent_[y];
+  if (py == x) {
+    // y was x's child: after the swap, node labeled x is the old y whose
+    // parent becomes the label of old x, which is now y.
+    parent_[x] = y;
+    parent_[y] = px;
+  } else if (px == y) {
+    parent_[y] = x;
+    parent_[x] = py;
+  } else {
+    parent_[x] = py;
+    parent_[y] = px;
+  }
+  dirty_ = true;
+}
+
+}  // namespace plu::graph

@@ -1,0 +1,100 @@
+// Rooted forests over nodes 0..n-1, the shared representation for
+// elimination trees and LU elimination forests.
+//
+// Invariant for elimination forests: parent[v] > v or parent[v] == kNone.
+// The general Forest type does not require it; `is_topological()` checks it.
+#pragma once
+
+#include <vector>
+
+#include "matrix/permutation.h"
+
+namespace plu::graph {
+
+inline constexpr int kNone = -1;
+
+class Forest {
+ public:
+  Forest() = default;
+  explicit Forest(int n) : parent_(n, kNone) {}
+  explicit Forest(std::vector<int> parent);
+
+  int size() const { return static_cast<int>(parent_.size()); }
+  int parent(int v) const { return parent_[v]; }
+  void set_parent(int v, int p) { parent_[v] = p; dirty_ = true; }
+  const std::vector<int>& parents() const { return parent_; }
+
+  bool is_root(int v) const { return parent_[v] == kNone; }
+
+  /// Roots in ascending order.
+  std::vector<int> roots() const;
+
+  /// Children of v in ascending order (built lazily, cached).
+  const std::vector<int>& children(int v) const;
+
+  int num_trees() const;
+
+  /// True if parent[v] > v for all non-roots (elimination-forest invariant).
+  bool is_topological() const;
+
+  /// True if v's parent pointers contain no cycle and all are in range.
+  bool valid() const;
+
+  /// True if u is an ancestor of v (u != v counts; a node is not its own
+  /// ancestor here).  O(depth).
+  bool is_ancestor(int u, int v) const;
+
+  /// Nodes of the subtree rooted at v (paper notation T[v]), ascending.
+  std::vector<int> subtree(int v) const;
+
+  /// subtree_size[v] = |T[v]| for every v, computed in O(n).
+  std::vector<int> subtree_sizes() const;
+
+  /// depth[v] = #edges from v to its root.
+  std::vector<int> depths() const;
+
+  /// DFS postorder: order[i] = node visited i-th; children (ascending) before
+  /// parents, roots in ascending order, each subtree contiguous.
+  std::vector<int> postorder() const;
+
+  /// Permutation relabeling nodes by DFS postorder (new label = postorder
+  /// rank).  gather-form: old_of(i) = postorder()[i].
+  Permutation postorder_permutation() const;
+
+  /// True if labels already satisfy the postorder property: every subtree
+  /// T[v] occupies the contiguous label range [v - |T[v]| + 1, v].
+  bool is_postordered() const;
+
+  /// Forest with labels renamed: node v becomes p.new_of(v).
+  Forest relabeled(const Permutation& p) const;
+
+  /// Swaps the labels of nodes x and x+1 (adjacent transposition), as used
+  /// by the paper's interchange-based postorder algorithm.
+  void swap_adjacent_labels(int x);
+
+  friend bool operator==(const Forest& a, const Forest& b) {
+    return a.parent_ == b.parent_;
+  }
+
+ private:
+  void build_children() const;
+
+  std::vector<int> parent_;
+  mutable std::vector<std::vector<int>> children_;
+  mutable bool dirty_ = true;
+};
+
+/// Shape statistics of a forest -- the quantities that predict how much
+/// tree parallelism a task graph built on it can expose.
+struct ForestStats {
+  int nodes = 0;
+  int trees = 0;
+  int leaves = 0;
+  int height = 0;         // max depth (edges), 0 for empty/singleton trees
+  int max_branching = 0;  // max children of any node
+  double avg_depth = 0.0;
+};
+
+ForestStats forest_stats(const Forest& f);
+
+}  // namespace plu::graph

@@ -1,0 +1,109 @@
+#include "graph/postorder.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace plu::graph {
+
+Permutation postorder_permutation(const Forest& f) {
+  return f.postorder_permutation();
+}
+
+namespace {
+
+/// Recursive phase of the interchange postorder: settle the trees rooted at
+/// `roots` (ascending) so that each occupies a contiguous label range, then
+/// recurse into children.  `f` is relabeled in place; swaps are recorded.
+void settle(Forest& f, std::vector<int> roots, std::vector<int>& swaps) {
+  // Work from the last root down, with the previous root (or -1) as the
+  // lower fence: every member of T[R_i] must end up above R_{i-1}.
+  for (int i = static_cast<int>(roots.size()) - 1; i >= 0; --i) {
+    for (;;) {
+      // The fence is the *current* label of the previous root: swaps can
+      // push that root downward as this tree's members claim its zone.
+      const int fence = (i == 0) ? -1 : roots[i - 1];
+      int r = roots[i];
+      // Largest member of T[r] at or below the fence.
+      std::vector<int> members = f.subtree(r);
+      int x = kNone;
+      for (int m : members) {
+        if (m <= fence) x = std::max(x, m);
+      }
+      if (x == kNone) break;
+      // x+1 cannot be a member: the fence carries another tree's root, so
+      // x < fence strictly, and a member at x+1 <= fence would contradict
+      // the maximality of x.  The swap therefore moves the member up by one
+      // past a non-member.
+      f.swap_adjacent_labels(x);
+      swaps.push_back(x);
+      // Relabeling may have renamed roots at or below the fence.
+      for (int& rr : roots) {
+        if (rr == x) {
+          rr = x + 1;
+        } else if (rr == x + 1) {
+          rr = x;
+        }
+      }
+    }
+    // Recurse into the children of the settled root.
+    std::vector<int> kids = f.children(roots[i]);
+    if (!kids.empty()) settle(f, kids, swaps);
+  }
+}
+
+}  // namespace
+
+InterchangePostorder interchange_postorder(const Forest& f) {
+  InterchangePostorder out;
+  Forest work = f;
+  std::vector<int> swaps;
+  settle(work, work.roots(), swaps);
+  assert(work.is_postordered());
+  // Reconstruct the overall permutation by replaying the swaps on an
+  // identity labeling: new_of[old] after all transpositions.
+  std::vector<int> new_of(f.size());
+  std::iota(new_of.begin(), new_of.end(), 0);
+  // Each swap exchanges the *labels* x and x+1: track where each original
+  // node currently sits.
+  std::vector<int> node_at(f.size());  // node currently labeled l
+  std::iota(node_at.begin(), node_at.end(), 0);
+  for (int x : swaps) {
+    std::swap(node_at[x], node_at[x + 1]);
+  }
+  for (int l = 0; l < f.size(); ++l) new_of[node_at[l]] = l;
+  out.perm = Permutation::from_new_positions(std::move(new_of));
+  out.interchanges = std::move(swaps);
+  return out;
+}
+
+Pattern apply_symmetric_permutation(const Pattern& abar, const Permutation& p) {
+  return abar.permuted(p, p);
+}
+
+std::vector<int> diagonal_block_sizes(const Forest& postordered) {
+  assert(postordered.is_postordered());
+  std::vector<int> sz = postordered.subtree_sizes();
+  std::vector<int> blocks;
+  for (int r : postordered.roots()) blocks.push_back(sz[r]);
+  // Roots ascending and trees contiguous: block order matches label order.
+  return blocks;
+}
+
+bool is_block_upper_triangular(const Pattern& a, const std::vector<int>& block_sizes) {
+  // block_of[i] via prefix sums.
+  std::vector<int> block_of(a.rows);
+  int pos = 0;
+  for (std::size_t b = 0; b < block_sizes.size(); ++b) {
+    for (int k = 0; k < block_sizes[b]; ++k) block_of[pos++] = static_cast<int>(b);
+  }
+  if (pos != a.rows) return false;
+  for (int j = 0; j < a.cols; ++j) {
+    for (const int* it = a.col_begin(j); it != a.col_end(j); ++it) {
+      if (block_of[*it] > block_of[j]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plu::graph

@@ -1,0 +1,60 @@
+// Postordering of LU elimination forests (Section 3 of the paper).
+//
+// Relabeling the columns of Abar by a postorder of its LU eforest
+//   * does not change the static symbolic factorization (Theorem 3),
+//   * brings supernode columns together (larger supernodes, Table 3),
+//   * puts the symmetrically-permuted matrix in block upper triangular
+//     form, one diagonal block per tree of the forest (Figure 3).
+//
+// Two implementations are provided:
+//   * postorder_permutation(): the DFS postorder the paper actually codes
+//     ("for the ease of implementation, we preferred to code the postorder
+//     depth-first search");
+//   * interchange_postorder(): a reconstruction of the paper's
+//     adjacent-interchange procedure, the device behind Theorem 3's proof.
+//     It reaches a postorder through a sequence of (x, x+1) label swaps,
+//     each of which individually preserves the static symbolic
+//     factorization.  The swap list is returned so tests can verify the
+//     invariance step by step.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/forest.h"
+#include "matrix/csc.h"
+
+namespace plu::graph {
+
+/// Postorder permutation of a forest (wrapper over Forest::postorder with
+/// roots taken in ascending order).  gather-form: old_of(new) = order[new].
+Permutation postorder_permutation(const Forest& f);
+
+struct InterchangePostorder {
+  Permutation perm;               // final relabeling (same convention as above)
+  std::vector<int> interchanges;  // sequence of swapped positions x (x <-> x+1),
+                                  // expressed in the labels current at the
+                                  // time of each swap
+};
+
+/// The paper's interchange-based postorder: repeatedly bubbles the largest
+/// out-of-range subtree member upward by adjacent transpositions until each
+/// subtree occupies the contiguous label range ending at its root, recursing
+/// from the last root down.  O(n^2) swaps worst case; intended for
+/// demonstrating Theorem 3, not as the production path.
+InterchangePostorder interchange_postorder(const Forest& f);
+
+/// Applies a column+row relabeling permutation to a filled pattern:
+/// result(i, j) = abar(p.old_of(i), p.old_of(j)).  The symmetric
+/// permutation preserves the zero-free diagonal (Theorem 3's setting).
+Pattern apply_symmetric_permutation(const Pattern& abar, const Permutation& p);
+
+/// Diagnoses the block-upper-triangular decomposition after postordering:
+/// returns the sizes of the diagonal blocks (= tree sizes, in label order).
+std::vector<int> diagonal_block_sizes(const Forest& postordered);
+
+/// True if the pattern is block upper triangular with the given diagonal
+/// block sizes (no entries below the block diagonal).
+bool is_block_upper_triangular(const Pattern& a, const std::vector<int>& block_sizes);
+
+}  // namespace plu::graph

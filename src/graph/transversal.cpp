@@ -1,0 +1,112 @@
+#include "graph/transversal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace plu::graph {
+
+TransversalResult maximum_transversal(const Pattern& a) {
+  const int n = a.cols;
+  TransversalResult res;
+  res.row_of_col.assign(n, -1);
+  std::vector<int> col_of_row(a.rows, -1);
+  // cheap[j]: next unexplored position in column j for the cheap scan.
+  std::vector<int> cheap(a.ptr.begin(), a.ptr.end() - 1);
+  std::vector<int> visited(n, -1);
+
+  // Iterative DFS state.
+  std::vector<int> col_stack, pos_stack, row_hold;
+
+  for (int start = 0; start < n; ++start) {
+    // Diagonal preference: when the matrix already has a zero-free diagonal
+    // (e.g. after MC64 preprocessing), matching each column to its own row
+    // keeps that diagonal -- the permutation comes out as the identity.
+    if (start < a.rows && col_of_row[start] == -1 &&
+        std::binary_search(a.idx.begin() + a.ptr[start],
+                           a.idx.begin() + a.ptr[start + 1], start)) {
+      res.row_of_col[start] = start;
+      col_of_row[start] = start;
+      continue;
+    }
+    // Try to match column `start` via an augmenting path.
+    col_stack.assign(1, start);
+    pos_stack.assign(1, a.ptr[start]);
+    row_hold.assign(1, -1);
+    visited[start] = start;
+    bool augmented = false;
+    while (!col_stack.empty() && !augmented) {
+      int j = col_stack.back();
+      // Cheap scan: an unmatched row in column j ends the path immediately.
+      bool found_free = false;
+      for (int& k = cheap[j]; k < a.ptr[j + 1]; ++k) {
+        int r = a.idx[k];
+        if (col_of_row[r] == -1) {
+          row_hold.back() = r;
+          found_free = true;
+          ++k;
+          break;
+        }
+      }
+      if (found_free) {
+        // Augment along the stack: reassign every column to its held row.
+        for (std::size_t t = col_stack.size(); t-- > 0;) {
+          int cj = col_stack[t];
+          int rj = row_hold[t];
+          int prev = res.row_of_col[cj];
+          res.row_of_col[cj] = rj;
+          col_of_row[rj] = cj;
+          (void)prev;
+        }
+        augmented = true;
+        break;
+      }
+      // Deep scan: follow a matched row to its column.  Indices only: the
+      // push_back below may reallocate the stacks, so no references into
+      // them may be held across it.
+      bool descended = false;
+      const std::size_t level = col_stack.size() - 1;
+      while (pos_stack[level] < a.ptr[j + 1]) {
+        int k = pos_stack[level]++;
+        int r = a.idx[k];
+        int next_col = col_of_row[r];
+        assert(next_col != -1);
+        if (visited[next_col] != start) {
+          visited[next_col] = start;
+          row_hold[level] = r;  // row we would steal if next_col re-matches
+          col_stack.push_back(next_col);
+          pos_stack.push_back(a.ptr[next_col]);
+          row_hold.push_back(-1);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        col_stack.pop_back();
+        pos_stack.pop_back();
+        row_hold.pop_back();
+      }
+    }
+  }
+  for (int j = 0; j < n; ++j) {
+    if (res.row_of_col[j] != -1) ++res.matched;
+  }
+  return res;
+}
+
+std::optional<Permutation> zero_free_diagonal_permutation(const Pattern& a) {
+  assert(a.rows == a.cols);
+  TransversalResult t = maximum_transversal(a);
+  if (t.matched != a.cols) return std::nullopt;
+  // New row j must be old row row_of_col[j] so that (PA)(j,j) = A(row_of_col[j], j).
+  return Permutation::from_old_positions(t.row_of_col);
+}
+
+bool has_structural_diagonal(const Pattern& a) {
+  if (a.rows != a.cols) return false;
+  for (int j = 0; j < a.cols; ++j) {
+    if (!a.contains(j, j)) return false;
+  }
+  return true;
+}
+
+}  // namespace plu::graph

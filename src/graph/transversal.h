@@ -1,0 +1,35 @@
+// Maximum transversal (Duff's MC21 algorithm, ref. [3] of the paper).
+//
+// Finds a row permutation P such that PA has a zero-free diagonal, a
+// precondition of the static symbolic factorization (the paper assumes A is
+// nonsingular and permuted to a zero-free diagonal).
+#pragma once
+
+#include <optional>
+
+#include "matrix/csc.h"
+
+namespace plu::graph {
+
+/// Result of a maximum-matching pass over the bipartite column->row graph.
+struct TransversalResult {
+  /// Number of matched columns (== n iff the matrix is structurally
+  /// nonsingular).
+  int matched = 0;
+  /// row_of_col[j] = row matched to column j, or -1 when unmatched.
+  std::vector<int> row_of_col;
+};
+
+/// Computes a maximum transversal of the pattern via augmenting paths with
+/// the cheap-assignment heuristic (MC21-style).
+TransversalResult maximum_transversal(const Pattern& a);
+
+/// Row permutation placing matched rows on the diagonal: applying the
+/// returned P (rows) to A yields (PA)(j, j) != 0 structurally.  Returns
+/// nullopt when the matrix is structurally singular.
+std::optional<Permutation> zero_free_diagonal_permutation(const Pattern& a);
+
+/// True if every diagonal entry of the pattern is present.
+bool has_structural_diagonal(const Pattern& a);
+
+}  // namespace plu::graph

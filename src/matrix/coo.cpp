@@ -1,0 +1,48 @@
+#include "matrix/coo.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+void CooMatrix::add(int i, int j, double v) {
+  assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  entries_.push_back({i, j, v});
+}
+
+void CooMatrix::sum_duplicates() {
+  std::sort(entries_.begin(), entries_.end(), [](const Triplet& a, const Triplet& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < entries_.size(); ++k) {
+    if (out > 0 && entries_[out - 1].row == entries_[k].row &&
+        entries_[out - 1].col == entries_[k].col) {
+      entries_[out - 1].val += entries_[k].val;
+    } else {
+      entries_[out++] = entries_[k];
+    }
+  }
+  entries_.resize(out);
+}
+
+CscMatrix CooMatrix::to_csc() const {
+  CooMatrix tmp = *this;
+  tmp.sum_duplicates();
+  std::vector<int> col_ptr(cols_ + 1, 0);
+  for (const Triplet& t : tmp.entries_) col_ptr[t.col + 1]++;
+  for (int j = 0; j < cols_; ++j) col_ptr[j + 1] += col_ptr[j];
+  std::vector<int> row_ind(tmp.entries_.size());
+  std::vector<double> values(tmp.entries_.size());
+  // Entries are already column-major sorted after sum_duplicates.
+  for (std::size_t k = 0; k < tmp.entries_.size(); ++k) {
+    row_ind[k] = tmp.entries_[k].row;
+    values[k] = tmp.entries_[k].val;
+  }
+  return CscMatrix(rows_, cols_, std::move(col_ptr), std::move(row_ind),
+                   std::move(values));
+}
+
+}  // namespace plu

@@ -1,0 +1,49 @@
+// Coordinate-format sparse matrix builder.
+//
+// COO is the assembly format: generators and Matrix Market readers append
+// triplets in arbitrary order, duplicates are summed, then the matrix is
+// converted to CSC for all downstream algorithms.
+#pragma once
+
+#include <vector>
+
+namespace plu {
+
+class CscMatrix;
+
+struct Triplet {
+  int row = 0;
+  int col = 0;
+  double val = 0.0;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(int rows, int cols) : rows_(rows), cols_(cols) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return static_cast<int>(entries_.size()); }
+
+  /// Appends entry (i, j) += v.  Bounds-checked via assert.
+  void add(int i, int j, double v);
+
+  /// Sorts column-major and sums duplicate coordinates in place.
+  void sum_duplicates();
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Converts to CSC (sums duplicates first).
+  CscMatrix to_csc() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace plu

@@ -1,0 +1,321 @@
+#include "matrix/csc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace plu {
+
+// ---------------------------------------------------------------------------
+// Pattern
+// ---------------------------------------------------------------------------
+
+bool Pattern::contains(int i, int j) const {
+  const int* b = col_begin(j);
+  const int* e = col_end(j);
+  return std::binary_search(b, e, i);
+}
+
+Pattern Pattern::transpose() const {
+  Pattern t(cols, rows);
+  t.ptr.assign(rows + 1, 0);
+  for (int e : idx) t.ptr[e + 1]++;
+  for (int i = 0; i < rows; ++i) t.ptr[i + 1] += t.ptr[i];
+  t.idx.resize(idx.size());
+  std::vector<int> next(t.ptr.begin(), t.ptr.end() - 1);
+  for (int j = 0; j < cols; ++j) {
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      t.idx[next[idx[k]]++] = j;
+    }
+  }
+  // Transposing a column-sorted pattern yields sorted columns automatically.
+  return t;
+}
+
+void Pattern::sort_columns() {
+  for (int j = 0; j < cols; ++j) {
+    std::sort(idx.begin() + ptr[j], idx.begin() + ptr[j + 1]);
+  }
+}
+
+bool Pattern::columns_sorted() const {
+  for (int j = 0; j < cols; ++j) {
+    if (!std::is_sorted(col_begin(j), col_end(j))) return false;
+  }
+  return true;
+}
+
+bool Pattern::valid() const {
+  if (static_cast<int>(ptr.size()) != cols + 1) return false;
+  if (!ptr.empty() && ptr.front() != 0) return false;
+  for (int j = 0; j < cols; ++j) {
+    if (ptr[j] > ptr[j + 1]) return false;
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      if (idx[k] < 0 || idx[k] >= rows) return false;
+      if (k > ptr[j] && idx[k] <= idx[k - 1]) return false;  // sorted, unique
+    }
+  }
+  return ptr.empty() || ptr.back() == static_cast<int>(idx.size());
+}
+
+bool operator==(const Pattern& a, const Pattern& b) {
+  return a.rows == b.rows && a.cols == b.cols && a.ptr == b.ptr && a.idx == b.idx;
+}
+
+Pattern Pattern::union_with(const Pattern& other) const {
+  assert(rows == other.rows && cols == other.cols);
+  Pattern u(rows, cols);
+  u.idx.reserve(idx.size() + other.idx.size());
+  for (int j = 0; j < cols; ++j) {
+    std::set_union(col_begin(j), col_end(j), other.col_begin(j),
+                   other.col_end(j), std::back_inserter(u.idx));
+    u.ptr[j + 1] = static_cast<int>(u.idx.size());
+  }
+  return u;
+}
+
+bool Pattern::subset_of(const Pattern& other) const {
+  if (rows != other.rows || cols != other.cols) return false;
+  for (int j = 0; j < cols; ++j) {
+    if (!std::includes(other.col_begin(j), other.col_end(j), col_begin(j),
+                       col_end(j))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Pattern Pattern::permuted(const Permutation& rp, const Permutation& cp) const {
+  assert(rp.size() == rows && cp.size() == cols);
+  Pattern out(rows, cols);
+  out.idx.reserve(idx.size());
+  std::vector<int> buf;
+  for (int j = 0; j < cols; ++j) {
+    int oj = cp.old_of(j);
+    buf.clear();
+    for (int k = ptr[oj]; k < ptr[oj + 1]; ++k) {
+      buf.push_back(rp.new_of(idx[k]));
+    }
+    std::sort(buf.begin(), buf.end());
+    out.idx.insert(out.idx.end(), buf.begin(), buf.end());
+    out.ptr[j + 1] = static_cast<int>(out.idx.size());
+  }
+  return out;
+}
+
+Pattern Pattern::ata(const Pattern& a) {
+  // (A^T A)(i, j) != 0 iff columns i and j of A share a row.  Build row lists
+  // once, then for each column j mark every column that shares any row.
+  Pattern at = a.transpose();  // rows of A as columns
+  Pattern out(a.cols, a.cols);
+  std::vector<int> mark(a.cols, -1);
+  std::vector<int> buf;
+  for (int j = 0; j < a.cols; ++j) {
+    buf.clear();
+    for (int k = a.ptr[j]; k < a.ptr[j + 1]; ++k) {
+      int r = a.idx[k];
+      for (int t = at.ptr[r]; t < at.ptr[r + 1]; ++t) {
+        int c = at.idx[t];
+        if (mark[c] != j) {
+          mark[c] = j;
+          buf.push_back(c);
+        }
+      }
+    }
+    std::sort(buf.begin(), buf.end());
+    out.idx.insert(out.idx.end(), buf.begin(), buf.end());
+    out.ptr[j + 1] = static_cast<int>(out.idx.size());
+  }
+  return out;
+}
+
+Pattern Pattern::symmetrized(const Pattern& a) {
+  assert(a.rows == a.cols);
+  return a.union_with(a.transpose());
+}
+
+// ---------------------------------------------------------------------------
+// CscMatrix
+// ---------------------------------------------------------------------------
+
+CscMatrix::CscMatrix(int rows, int cols, std::vector<int> col_ptr,
+                     std::vector<int> row_ind, std::vector<double> values)
+    : rows_(rows), cols_(cols), col_ptr_(std::move(col_ptr)),
+      row_ind_(std::move(row_ind)), values_(std::move(values)) {
+  if (!valid()) {
+    throw std::invalid_argument("CscMatrix: inconsistent arrays");
+  }
+}
+
+double CscMatrix::at(int i, int j) const {
+  assert(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+  const int* b = row_ind_.data() + col_ptr_[j];
+  const int* e = row_ind_.data() + col_ptr_[j + 1];
+  const int* it = std::lower_bound(b, e, i);
+  if (it != e && *it == i) return values_[it - row_ind_.data()];
+  return 0.0;
+}
+
+Pattern CscMatrix::pattern() const {
+  Pattern p(rows_, cols_);
+  p.ptr = col_ptr_;
+  p.idx = row_ind_;
+  return p;
+}
+
+CscMatrix CscMatrix::transpose() const {
+  std::vector<int> tptr(rows_ + 1, 0);
+  for (int e : row_ind_) tptr[e + 1]++;
+  for (int i = 0; i < rows_; ++i) tptr[i + 1] += tptr[i];
+  std::vector<int> tind(row_ind_.size());
+  std::vector<double> tval(values_.size());
+  std::vector<int> next(tptr.begin(), tptr.end() - 1);
+  for (int j = 0; j < cols_; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      int pos = next[row_ind_[k]]++;
+      tind[pos] = j;
+      tval[pos] = values_[k];
+    }
+  }
+  return CscMatrix(cols_, rows_, std::move(tptr), std::move(tind), std::move(tval));
+}
+
+CscMatrix CscMatrix::permuted(const Permutation& rp, const Permutation& cp) const {
+  assert(rp.size() == rows_ && cp.size() == cols_);
+  std::vector<int> ptr(cols_ + 1, 0);
+  std::vector<int> ind;
+  std::vector<double> val;
+  ind.reserve(row_ind_.size());
+  val.reserve(values_.size());
+  std::vector<std::pair<int, double>> buf;
+  for (int j = 0; j < cols_; ++j) {
+    int oj = cp.old_of(j);
+    buf.clear();
+    for (int k = col_ptr_[oj]; k < col_ptr_[oj + 1]; ++k) {
+      buf.emplace_back(rp.new_of(row_ind_[k]), values_[k]);
+    }
+    std::sort(buf.begin(), buf.end());
+    for (auto& [r, v] : buf) {
+      ind.push_back(r);
+      val.push_back(v);
+    }
+    ptr[j + 1] = static_cast<int>(ind.size());
+  }
+  return CscMatrix(rows_, cols_, std::move(ptr), std::move(ind), std::move(val));
+}
+
+void CscMatrix::matvec(const std::vector<double>& x, std::vector<double>& y) const {
+  assert(static_cast<int>(x.size()) == cols_);
+  y.assign(rows_, 0.0);
+  matvec_add(1.0, x, y);
+}
+
+void CscMatrix::matvec_add(double alpha, const std::vector<double>& x,
+                           std::vector<double>& y) const {
+  assert(static_cast<int>(x.size()) == cols_);
+  assert(static_cast<int>(y.size()) == rows_);
+  for (int j = 0; j < cols_; ++j) {
+    double xj = alpha * x[j];
+    if (xj == 0.0) continue;
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      y[row_ind_[k]] += values_[k] * xj;
+    }
+  }
+}
+
+void CscMatrix::matvec_transpose(const std::vector<double>& x,
+                                 std::vector<double>& y) const {
+  assert(static_cast<int>(x.size()) == rows_);
+  y.assign(cols_, 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    double sum = 0.0;
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      sum += values_[k] * x[row_ind_[k]];
+    }
+    y[j] = sum;
+  }
+}
+
+double CscMatrix::norm1() const {
+  double best = 0.0;
+  for (int j = 0; j < cols_; ++j) {
+    double s = 0.0;
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) s += std::abs(values_[k]);
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double CscMatrix::norm_inf() const {
+  std::vector<double> rowsum(rows_, 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      rowsum[row_ind_[k]] += std::abs(values_[k]);
+    }
+  }
+  double best = 0.0;
+  for (double s : rowsum) best = std::max(best, s);
+  return best;
+}
+
+double CscMatrix::norm_frobenius() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+std::vector<double> CscMatrix::to_dense_colmajor() const {
+  std::vector<double> d(static_cast<std::size_t>(rows_) * cols_, 0.0);
+  for (int j = 0; j < cols_; ++j) {
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      d[static_cast<std::size_t>(j) * rows_ + row_ind_[k]] = values_[k];
+    }
+  }
+  return d;
+}
+
+bool CscMatrix::valid() const {
+  if (static_cast<int>(col_ptr_.size()) != cols_ + 1) return false;
+  if (!col_ptr_.empty() && col_ptr_.front() != 0) return false;
+  if (row_ind_.size() != values_.size()) return false;
+  for (int j = 0; j < cols_; ++j) {
+    if (col_ptr_[j] > col_ptr_[j + 1]) return false;
+    for (int k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      if (row_ind_[k] < 0 || row_ind_[k] >= rows_) return false;
+      if (k > col_ptr_[j] && row_ind_[k] <= row_ind_[k - 1]) return false;
+    }
+  }
+  return col_ptr_.empty() || col_ptr_.back() == static_cast<int>(row_ind_.size());
+}
+
+bool CscMatrix::has_zero_free_diagonal() const {
+  if (rows_ != cols_) return false;
+  for (int j = 0; j < cols_; ++j) {
+    if (at(j, j) == 0.0) return false;
+  }
+  return true;
+}
+
+CscMatrix CscMatrix::identity(int n) {
+  std::vector<int> ptr(n + 1);
+  std::vector<int> ind(n);
+  std::vector<double> val(n, 1.0);
+  for (int j = 0; j <= n; ++j) ptr[j] = j;
+  for (int j = 0; j < n; ++j) ind[j] = j;
+  return CscMatrix(n, n, std::move(ptr), std::move(ind), std::move(val));
+}
+
+CscMatrix CscMatrix::from_pattern(const Pattern& p, double v) {
+  return CscMatrix(p.rows, p.cols, p.ptr, p.idx,
+                   std::vector<double>(p.idx.size(), v));
+}
+
+std::string describe(const CscMatrix& a) {
+  std::ostringstream os;
+  os << a.rows() << " x " << a.cols() << ", nnz=" << a.nnz();
+  return os.str();
+}
+
+}  // namespace plu

@@ -1,0 +1,141 @@
+// Compressed sparse column matrix and CSC-format sparsity patterns.
+//
+// CscMatrix is the main interchange type of the library; `Pattern` is the
+// values-free variant used by the symbolic algorithms (elimination trees,
+// static symbolic factorization, orderings).  Row indices are sorted within
+// each column.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/permutation.h"
+
+namespace plu {
+
+class CooMatrix;
+
+/// CSC-format sparsity pattern (no values).  For a CSR interpretation, treat
+/// `ptr` as row pointers; `transpose()` converts between the two views.
+struct Pattern {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int> ptr;  // size cols + 1
+  std::vector<int> idx;  // size nnz, sorted within each column
+
+  Pattern() = default;
+  Pattern(int r, int c) : rows(r), cols(c), ptr(c + 1, 0) {}
+
+  int nnz() const { return ptr.empty() ? 0 : ptr.back(); }
+
+  /// True if (i, j) is present (binary search within column j).
+  bool contains(int i, int j) const;
+
+  /// Begin/end of column j in idx.
+  const int* col_begin(int j) const { return idx.data() + ptr[j]; }
+  const int* col_end(int j) const { return idx.data() + ptr[j + 1]; }
+  int col_size(int j) const { return ptr[j + 1] - ptr[j]; }
+
+  /// Structural transpose (CSC of the transposed pattern == CSR of this).
+  Pattern transpose() const;
+
+  /// Sorts indices within each column (idempotent).
+  void sort_columns();
+
+  bool columns_sorted() const;
+
+  /// Checks internal consistency (monotone ptr, in-range sorted indices).
+  bool valid() const;
+
+  /// a == b as sets of coordinates.
+  friend bool operator==(const Pattern& a, const Pattern& b);
+
+  /// Pattern of this + other (set union); dimensions must match.
+  Pattern union_with(const Pattern& other) const;
+
+  /// True if every entry of this pattern is also in `other`.
+  bool subset_of(const Pattern& other) const;
+
+  /// Pattern after symmetric permutation rows<-rp, cols<-cp:
+  /// result(i, j) = this(rp.old_of(i), cp.old_of(j)).
+  Pattern permuted(const Permutation& rp, const Permutation& cp) const;
+
+  /// Pattern of A^T * A (column intersection graph), no numeric cancellation.
+  static Pattern ata(const Pattern& a);
+
+  /// Pattern of A + A^T (square input).
+  static Pattern symmetrized(const Pattern& a);
+};
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+  CscMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), col_ptr_(cols + 1, 0) {}
+  CscMatrix(int rows, int cols, std::vector<int> col_ptr,
+            std::vector<int> row_ind, std::vector<double> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return col_ptr_.empty() ? 0 : col_ptr_.back(); }
+
+  const std::vector<int>& col_ptr() const { return col_ptr_; }
+  const std::vector<int>& row_ind() const { return row_ind_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  int col_begin(int j) const { return col_ptr_[j]; }
+  int col_end(int j) const { return col_ptr_[j + 1]; }
+  int row_index(int k) const { return row_ind_[k]; }
+  double value(int k) const { return values_[k]; }
+
+  /// Value at (i, j), 0 if not stored (binary search).
+  double at(int i, int j) const;
+
+  Pattern pattern() const;
+
+  CscMatrix transpose() const;
+
+  /// PAQ^T-style reorder: result(i, j) = this(rp.old_of(i), cp.old_of(j)).
+  CscMatrix permuted(const Permutation& rp, const Permutation& cp) const;
+
+  /// y := A x (y resized).
+  void matvec(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y := A^T x.
+  void matvec_transpose(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// y := y + alpha * A x.
+  void matvec_add(double alpha, const std::vector<double>& x,
+                  std::vector<double>& y) const;
+
+  double norm1() const;     // max column sum of |a_ij|
+  double norm_inf() const;  // max row sum of |a_ij|
+  double norm_frobenius() const;
+
+  /// Dense copy for small-matrix tests.
+  std::vector<double> to_dense_colmajor() const;
+
+  /// True if pattern and values arrays are structurally consistent.
+  bool valid() const;
+
+  /// Structural check: every diagonal entry present and numerically nonzero.
+  bool has_zero_free_diagonal() const;
+
+  static CscMatrix identity(int n);
+
+  /// Builds from a pattern with all stored values = v.
+  static CscMatrix from_pattern(const Pattern& p, double v = 1.0);
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> col_ptr_;
+  std::vector<int> row_ind_;
+  std::vector<double> values_;
+};
+
+/// Human-readable one-line summary ("rows x cols, nnz=...").
+std::string describe(const CscMatrix& a);
+
+}  // namespace plu

@@ -1,0 +1,30 @@
+#include "matrix/csr.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace plu {
+
+CsrMatrix::CsrMatrix(int rows, int cols, std::vector<int> row_ptr,
+                     std::vector<int> col_ind, std::vector<double> values)
+    : rows_(rows), cols_(cols), row_ptr_(std::move(row_ptr)),
+      col_ind_(std::move(col_ind)), values_(std::move(values)) {
+  if (static_cast<int>(row_ptr_.size()) != rows_ + 1 ||
+      col_ind_.size() != values_.size()) {
+    throw std::invalid_argument("CsrMatrix: inconsistent arrays");
+  }
+}
+
+CsrMatrix CsrMatrix::from_csc(const CscMatrix& a) {
+  // CSR of A == CSC of A^T with rows/cols swapped back.
+  CscMatrix t = a.transpose();
+  return CsrMatrix(a.rows(), a.cols(), t.col_ptr(), t.row_ind(), t.values());
+}
+
+CscMatrix CsrMatrix::to_csc() const {
+  // CSR arrays reinterpreted as CSC describe the transpose; transpose again.
+  CscMatrix t(cols_, rows_, row_ptr_, col_ind_, values_);
+  return t.transpose();
+}
+
+}  // namespace plu

@@ -1,0 +1,44 @@
+// Compressed sparse row matrix.
+//
+// Used where row access dominates: the LU eforest needs the first
+// off-diagonal entry of each row of U, and the transversal algorithm walks
+// rows.  Conversions to/from CSC are lossless.
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  CsrMatrix(int rows, int cols, std::vector<int> row_ptr,
+            std::vector<int> col_ind, std::vector<double> values);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int nnz() const { return row_ptr_.empty() ? 0 : row_ptr_.back(); }
+
+  const std::vector<int>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_ind() const { return col_ind_; }
+  const std::vector<double>& values() const { return values_; }
+
+  int row_begin(int i) const { return row_ptr_[i]; }
+  int row_end(int i) const { return row_ptr_[i + 1]; }
+  int col_index(int k) const { return col_ind_[k]; }
+  double value(int k) const { return values_[k]; }
+
+  static CsrMatrix from_csc(const CscMatrix& a);
+  CscMatrix to_csc() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<int> row_ptr_;
+  std::vector<int> col_ind_;
+  std::vector<double> values_;
+};
+
+}  // namespace plu

@@ -1,0 +1,65 @@
+#include "matrix/equilibrate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace plu {
+
+CscMatrix Equilibration::apply(const CscMatrix& a) const {
+  assert(static_cast<int>(row_scale.size()) == a.rows());
+  assert(static_cast<int>(col_scale.size()) == a.cols());
+  std::vector<int> ptr = a.col_ptr();
+  std::vector<int> ind = a.row_ind();
+  std::vector<double> val = a.values();
+  for (int j = 0; j < a.cols(); ++j) {
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      val[k] *= row_scale[ind[k]] * col_scale[j];
+    }
+  }
+  return CscMatrix(a.rows(), a.cols(), std::move(ptr), std::move(ind),
+                   std::move(val));
+}
+
+Equilibration ruiz_equilibrate(const CscMatrix& a,
+                               const EquilibrationOptions& opt) {
+  const int m = a.rows();
+  const int n = a.cols();
+  Equilibration eq;
+  eq.row_scale.assign(m, 1.0);
+  eq.col_scale.assign(n, 1.0);
+
+  std::vector<double> row_max(m), col_max(n);
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    std::fill(row_max.begin(), row_max.end(), 0.0);
+    std::fill(col_max.begin(), col_max.end(), 0.0);
+    for (int j = 0; j < n; ++j) {
+      for (int k = a.col_begin(j); k < a.col_end(j); ++k) {
+        double v = std::abs(a.value(k)) * eq.row_scale[a.row_index(k)] *
+                   eq.col_scale[j];
+        row_max[a.row_index(k)] = std::max(row_max[a.row_index(k)], v);
+        col_max[j] = std::max(col_max[j], v);
+      }
+    }
+    double dev = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (row_max[i] > 0.0) dev = std::max(dev, std::abs(1.0 - row_max[i]));
+    }
+    for (int j = 0; j < n; ++j) {
+      if (col_max[j] > 0.0) dev = std::max(dev, std::abs(1.0 - col_max[j]));
+    }
+    eq.max_deviation = dev;
+    if (dev <= opt.tolerance) break;
+    // Ruiz step: divide each side by the square root of its current max.
+    for (int i = 0; i < m; ++i) {
+      if (row_max[i] > 0.0) eq.row_scale[i] /= std::sqrt(row_max[i]);
+    }
+    for (int j = 0; j < n; ++j) {
+      if (col_max[j] > 0.0) eq.col_scale[j] /= std::sqrt(col_max[j]);
+    }
+    ++eq.iterations;
+  }
+  return eq;
+}
+
+}  // namespace plu

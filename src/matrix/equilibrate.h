@@ -1,0 +1,37 @@
+// Ruiz iterative equilibration: symmetric-style row/column scaling driving
+// every row and column's max-magnitude toward 1.
+//
+// A cheaper, value-only alternative to the MC64 I-matrix scaling
+// (graph/weighted_matching.h): no matching, no permutation, just scales --
+// useful when the diagonal is already acceptable but the dynamic range is
+// not.  Converges geometrically (Ruiz 2001).
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+struct Equilibration {
+  std::vector<double> row_scale;
+  std::vector<double> col_scale;
+  int iterations = 0;
+  /// max over rows/cols of |1 - max|scaled entry|| at exit.
+  double max_deviation = 0.0;
+
+  /// Applies the scaling: returns diag(row_scale) * a * diag(col_scale).
+  CscMatrix apply(const CscMatrix& a) const;
+};
+
+struct EquilibrationOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-6;  // stop when every row/col max is within this of 1
+};
+
+/// Computes the Ruiz scaling of `a` (entries with value 0 ignored; rows or
+/// columns that are entirely zero keep scale 1).
+Equilibration ruiz_equilibrate(const CscMatrix& a,
+                               const EquilibrationOptions& opt = {});
+
+}  // namespace plu

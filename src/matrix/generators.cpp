@@ -1,0 +1,275 @@
+#include "matrix/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <random>
+
+#include "matrix/coo.h"
+
+namespace plu::gen {
+
+namespace {
+
+using Rng = std::mt19937_64;
+
+double uniform(Rng& rng, double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(rng);
+}
+
+/// Adds a diagonal sized relative to each row's off-diagonal abs-sum, then
+/// converts to CSC.  A dominance factor < 1 keeps partial pivoting active.
+CscMatrix finish_with_diagonal(CooMatrix& coo, int n, double dominance, Rng& rng) {
+  std::vector<double> row_abs(n, 0.0);
+  for (const Triplet& t : coo.entries()) {
+    if (t.row != t.col) row_abs[t.row] += std::abs(t.val);
+  }
+  for (int i = 0; i < n; ++i) {
+    double base = row_abs[i] > 0.0 ? row_abs[i] : 1.0;
+    coo.add(i, i, dominance * base * uniform(rng, 0.8, 1.2));
+  }
+  return coo.to_csc();
+}
+
+/// Unsymmetric off-diagonal pair: a symmetric diffusive part plus an
+/// antisymmetric convective part of relative strength `convection`.
+std::pair<double, double> offdiag_pair(Rng& rng, double convection) {
+  double sym = uniform(rng, 0.3, 1.0);
+  double skew = convection * uniform(rng, -1.0, 1.0);
+  return {-(sym + skew), -(sym - skew)};
+}
+
+}  // namespace
+
+CscMatrix grid2d(int nx, int ny, const StencilOptions& opt) {
+  assert(nx > 0 && ny > 0);
+  const int n = nx * ny;
+  Rng rng(opt.seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 5);
+  auto id = [nx](int x, int y) { return y * nx + x; };
+  std::bernoulli_distribution drop(opt.drop_probability);
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      int me = id(x, y);
+      // Each neighbor pair is emitted once, from its lexicographically
+      // smaller endpoint, so the drop decision is shared by both entries.
+      if (x + 1 < nx && !drop(rng)) {
+        auto [a, b] = offdiag_pair(rng, opt.convection);
+        coo.add(me, id(x + 1, y), a);
+        coo.add(id(x + 1, y), me, b);
+      }
+      if (y + 1 < ny && !drop(rng)) {
+        auto [a, b] = offdiag_pair(rng, opt.convection);
+        coo.add(me, id(x, y + 1), a);
+        coo.add(id(x, y + 1), me, b);
+      }
+    }
+  }
+  return finish_with_diagonal(coo, n, opt.diag_dominance, rng);
+}
+
+CscMatrix grid3d(int nx, int ny, int nz, const StencilOptions& opt) {
+  assert(nx > 0 && ny > 0 && nz > 0);
+  const int n = nx * ny * nz;
+  Rng rng(opt.seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(n) * 7);
+  auto id = [nx, ny](int x, int y, int z) { return (z * ny + y) * nx + x; };
+  std::bernoulli_distribution drop(opt.drop_probability);
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        int me = id(x, y, z);
+        if (x + 1 < nx && !drop(rng)) {
+          auto [a, b] = offdiag_pair(rng, opt.convection);
+          coo.add(me, id(x + 1, y, z), a);
+          coo.add(id(x + 1, y, z), me, b);
+        }
+        if (y + 1 < ny && !drop(rng)) {
+          auto [a, b] = offdiag_pair(rng, opt.convection);
+          coo.add(me, id(x, y + 1, z), a);
+          coo.add(id(x, y + 1, z), me, b);
+        }
+        if (z + 1 < nz && !drop(rng)) {
+          auto [a, b] = offdiag_pair(rng, opt.convection);
+          coo.add(me, id(x, y, z + 1), a);
+          coo.add(id(x, y, z + 1), me, b);
+        }
+      }
+    }
+  }
+  return finish_with_diagonal(coo, n, opt.diag_dominance, rng);
+}
+
+CscMatrix banded(int n, const std::vector<int>& offsets, double keep_probability,
+                 double diag_dominance, std::uint64_t seed) {
+  assert(n > 0);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  std::bernoulli_distribution keep(keep_probability);
+  for (int off : offsets) {
+    if (off == 0) continue;
+    for (int i = 0; i < n; ++i) {
+      int j = i + off;
+      if (j < 0 || j >= n) continue;
+      if (!keep(rng)) continue;
+      coo.add(i, j, uniform(rng, -1.0, 1.0));
+    }
+  }
+  return finish_with_diagonal(coo, n, diag_dominance, rng);
+}
+
+int fem_p2_order(int nx, int ny, int dofs_per_node) {
+  int vertices = (nx + 1) * (ny + 1);
+  int hedges = nx * (ny + 1);
+  int vedges = (nx + 1) * ny;
+  int dedges = nx * ny;  // one diagonal per quad
+  return dofs_per_node * (vertices + hedges + vedges + dedges);
+}
+
+CscMatrix fem_p2(int nx, int ny, int dofs_per_node, std::uint64_t seed) {
+  assert(nx > 0 && ny > 0 && dofs_per_node > 0);
+  Rng rng(seed);
+  const int d = dofs_per_node;
+
+  // Node numbering: vertices, then horizontal, vertical, diagonal edge
+  // midpoints.
+  const int vtx_base = 0;
+  const int nvtx = (nx + 1) * (ny + 1);
+  const int he_base = vtx_base + nvtx;
+  const int nhe = nx * (ny + 1);
+  const int ve_base = he_base + nhe;
+  const int nve = (nx + 1) * ny;
+  const int de_base = ve_base + nve;
+  const int nde = nx * ny;
+  const int nnodes = nvtx + nhe + nve + nde;
+  const int n = nnodes * d;
+
+  auto vtx = [&](int x, int y) { return vtx_base + y * (nx + 1) + x; };
+  auto hedge = [&](int x, int y) { return he_base + y * nx + x; };       // (x,y)-(x+1,y)
+  auto vedge = [&](int x, int y) { return ve_base + y * (nx + 1) + x; }; // (x,y)-(x,y+1)
+  auto dedge = [&](int x, int y) { return de_base + y * nx + x; };       // (x,y)-(x+1,y+1)
+
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(2 * nx) * ny * 36 * d * d);
+
+  auto stamp = [&](const int nodes[6]) {
+    // Random unsymmetric element matrix: mildly diagonally weighted so the
+    // assembled operator is nonsingular, with convection-like skew terms.
+    const int m = 6 * d;
+    std::vector<double> elem(static_cast<std::size_t>(m) * m);
+    for (int c = 0; c < m; ++c) {
+      for (int r = 0; r < m; ++r) {
+        double sym = uniform(rng, -0.5, 0.5);
+        elem[static_cast<std::size_t>(c) * m + r] = (r == c) ? 2.0 + sym : sym;
+      }
+    }
+    for (int bc = 0; bc < 6; ++bc) {
+      for (int br = 0; br < 6; ++br) {
+        for (int cc = 0; cc < d; ++cc) {
+          for (int rr = 0; rr < d; ++rr) {
+            coo.add(nodes[br] * d + rr, nodes[bc] * d + cc,
+                    elem[static_cast<std::size_t>(bc * d + cc) * m + br * d + rr]);
+          }
+        }
+      }
+    }
+  };
+
+  for (int y = 0; y < ny; ++y) {
+    for (int x = 0; x < nx; ++x) {
+      // Quad (x, y) split along the (x,y)-(x+1,y+1) diagonal into 2 triangles.
+      // Lower triangle: vertices (x,y), (x+1,y), (x+1,y+1).
+      int lo[6] = {vtx(x, y), vtx(x + 1, y), vtx(x + 1, y + 1),
+                   hedge(x, y), vedge(x + 1, y), dedge(x, y)};
+      stamp(lo);
+      // Upper triangle: vertices (x,y), (x+1,y+1), (x,y+1).
+      int up[6] = {vtx(x, y), vtx(x + 1, y + 1), vtx(x, y + 1),
+                   dedge(x, y), hedge(x, y + 1), vedge(x, y)};
+      stamp(up);
+    }
+  }
+  // The assembled diagonal is already positive; strengthen it mildly so the
+  // matrix is comfortably nonsingular without killing pivoting entirely.
+  for (int i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  return coo.to_csc();
+}
+
+CscMatrix circuit(int n, int num_rails, double avg_fanout, std::uint64_t seed) {
+  assert(n > 0 && num_rails >= 0 && num_rails < n);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  // Local device connections: each node couples to a few nearby nodes
+  // (netlists are locally clustered), structurally symmetric couplings with
+  // unsymmetric conductance stamps.
+  std::poisson_distribution<int> fanout(std::max(0.1, avg_fanout));
+  std::uniform_int_distribution<int> hop(1, std::max(2, n / 20));
+  for (int i = num_rails; i < n; ++i) {
+    int k = fanout(rng);
+    for (int c = 0; c < k; ++c) {
+      int j = i - hop(rng);
+      if (j < num_rails || j == i) continue;
+      coo.add(i, j, uniform(rng, -1.0, 1.0));
+      coo.add(j, i, uniform(rng, -1.0, 1.0));
+    }
+  }
+  // Rails: a handful of nodes nearly every device touches (dense row AND
+  // column), the structural signature of circuit matrices.
+  std::bernoulli_distribution touches(0.6);
+  for (int r = 0; r < num_rails; ++r) {
+    for (int i = num_rails; i < n; ++i) {
+      if (!touches(rng)) continue;
+      coo.add(r, i, uniform(rng, -1.0, 1.0));
+      if (touches(rng)) coo.add(i, r, uniform(rng, -1.0, 1.0));
+    }
+  }
+  return finish_with_diagonal(coo, n, 0.8, rng);
+}
+
+CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
+                        double diag_dominance, std::uint64_t seed) {
+  assert(n > 0 && nnz_per_row >= 0.0);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  std::uniform_int_distribution<int> col(0, n - 1);
+  std::bernoulli_distribution mirror(structural_symmetry);
+  const long targets = std::lround(nnz_per_row * n);
+  for (long k = 0; k < targets; ++k) {
+    int i = col(rng);
+    int j = col(rng);
+    if (i == j) continue;
+    coo.add(i, j, uniform(rng, -1.0, 1.0));
+    if (mirror(rng)) coo.add(j, i, uniform(rng, -1.0, 1.0));
+  }
+  return finish_with_diagonal(coo, n, diag_dominance, rng);
+}
+
+CscMatrix random_symmetric_permutation(const CscMatrix& a, std::uint64_t seed) {
+  assert(a.rows() == a.cols());
+  Rng rng(seed);
+  std::vector<int> p(a.rows());
+  std::iota(p.begin(), p.end(), 0);
+  std::shuffle(p.begin(), p.end(), rng);
+  Permutation perm = Permutation::from_old_positions(p);
+  return a.permuted(perm, perm);
+}
+
+double structural_symmetry(const CscMatrix& a) {
+  Pattern p = a.pattern();
+  Pattern pt = p.transpose();
+  long off = 0;
+  long mirrored = 0;
+  for (int j = 0; j < p.cols; ++j) {
+    for (int k = p.ptr[j]; k < p.ptr[j + 1]; ++k) {
+      int i = p.idx[k];
+      if (i == j) continue;
+      ++off;
+      if (pt.contains(i, j)) ++mirrored;
+    }
+  }
+  return off == 0 ? 1.0 : static_cast<double>(mirrored) / static_cast<double>(off);
+}
+
+}  // namespace plu::gen

@@ -1,0 +1,74 @@
+// Synthetic sparse matrix generators.
+//
+// These stand in for the paper's Harwell-Boeing / UF matrices (no network
+// access in this environment; see DESIGN.md section 3).  Each generator
+// reproduces the *structural class* of its target: finite-difference
+// stencils for the oil-reservoir matrices, banded unsymmetric operators for
+// the fluid-flow matrices, finite-element assembly for goodwin.
+//
+// All generators are deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix/csc.h"
+
+namespace plu::gen {
+
+/// Tuning knobs shared by the stencil generators.
+struct StencilOptions {
+  /// Strength of the unsymmetric (convection) perturbation of off-diagonals.
+  double convection = 0.4;
+  /// Probability of dropping an off-diagonal *pair* (keeps the structure
+  /// symmetric while thinning it, like the sherman matrices).
+  double drop_probability = 0.0;
+  /// Diagonal magnitude as a fraction of the row's off-diagonal abs-sum.
+  /// Values < 1 leave room for partial pivoting to actually trigger.
+  double diag_dominance = 0.7;
+  std::uint64_t seed = 1;
+};
+
+/// 5-point stencil on an nx x ny grid with convection terms.
+CscMatrix grid2d(int nx, int ny, const StencilOptions& opt = {});
+
+/// 7-point stencil on an nx x ny x nz grid with convection terms.
+CscMatrix grid3d(int nx, int ny, int nz, const StencilOptions& opt = {});
+
+/// Banded unsymmetric operator of order n with nonzeros at the given
+/// diagonal offsets (0 is implied).  Entries on each band are kept with
+/// probability keep_probability.  Models linearized fluid-flow operators
+/// (lns3937-class matrices).
+CscMatrix banded(int n, const std::vector<int>& offsets, double keep_probability,
+                 double diag_dominance, std::uint64_t seed);
+
+/// Unsymmetric finite-element matrix: quadratic (P2) triangles on a
+/// structured nx x ny quad mesh split into triangles, `dofs_per_node`
+/// unknowns per mesh node, dense 6*d x 6*d random element stamps
+/// (stiffness + convection).  Models goodwin-class matrices.
+CscMatrix fem_p2(int nx, int ny, int dofs_per_node, std::uint64_t seed);
+
+/// Number of unknowns fem_p2 will produce for the given mesh.
+int fem_p2_order(int nx, int ny, int dofs_per_node);
+
+/// Circuit-simulation-class matrix (the KLU domain): a sparse "netlist"
+/// graph of locally connected nodes plus a few high-degree rails (power /
+/// ground / clock nets) that give the characteristic dense rows+columns,
+/// highly unsymmetric values.  Very sparse, nearly reducible -- the class
+/// where supernodes barely exist and orderings behave differently than on
+/// mesh matrices.
+CscMatrix circuit(int n, int num_rails, double avg_fanout, std::uint64_t seed);
+
+/// Random sparse matrix: n rows, ~nnz_per_row off-diagonals per row;
+/// each entry (i,j) is mirrored at (j,i) with probability
+/// structural_symmetry.  Diagonal added per diag_dominance.
+CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
+                        double diag_dominance, std::uint64_t seed);
+
+/// Applies a random symmetric permutation (same on rows and columns).
+CscMatrix random_symmetric_permutation(const CscMatrix& a, std::uint64_t seed);
+
+/// Fraction of off-diagonal entries (i,j) whose mirror (j,i) is also stored.
+double structural_symmetry(const CscMatrix& a);
+
+}  // namespace plu::gen

@@ -1,0 +1,45 @@
+// Harwell-Boeing (HB) format reader.
+//
+// The paper's matrices come from the Harwell-Boeing collection; their
+// canonical distribution files (sherman3.rua etc.) use this fixed-column
+// Fortran format.  Supported: assembled real/pattern matrices (RUA, RSA,
+// RZA, PUA, PSA), with symmetric/skew variants expanded to full storage.
+// Right-hand sides, if present, are skipped.  Elemental (xxE) matrices are
+// rejected.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+struct HarwellBoeingInfo {
+  std::string title;
+  std::string key;
+  std::string type;  // e.g. "RUA"
+};
+
+/// Parses an HB stream; throws std::runtime_error on malformed input.
+/// `info`, when non-null, receives the header metadata.
+CscMatrix read_harwell_boeing(std::istream& in, HarwellBoeingInfo* info = nullptr);
+
+CscMatrix read_harwell_boeing_file(const std::string& path,
+                                   HarwellBoeingInfo* info = nullptr);
+
+namespace hb_detail {
+
+/// Parsed Fortran edit descriptor, e.g. "(13I6)" or "(1P,5E16.8)".
+struct FortranFormat {
+  int repeat = 0;  // fields per line
+  int width = 0;   // characters per field
+  char kind = 'I';
+};
+
+/// Parses the descriptor; throws on unsupported forms.
+FortranFormat parse_fortran_format(const std::string& fmt);
+
+}  // namespace hb_detail
+
+}  // namespace plu

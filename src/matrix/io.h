@@ -1,0 +1,30 @@
+// Matrix Market I/O (coordinate format, real, general/symmetric/skew).
+//
+// The paper's matrices come from the Harwell-Boeing collection and Tim
+// Davis's ftp site; Matrix Market is the standard interchange format for
+// both today.  This environment has no network access, so the benchmark
+// suite uses the synthetic stand-ins from named_matrices.h, but a user with
+// the original files can load them through these functions.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+/// Parses a Matrix Market stream; throws std::runtime_error on bad input.
+CscMatrix read_matrix_market(std::istream& in);
+
+/// Loads a Matrix Market file from disk.
+CscMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes `a` in coordinate real general format.
+void write_matrix_market(std::ostream& out, const CscMatrix& a,
+                         const std::string& comment = "");
+
+void write_matrix_market_file(const std::string& path, const CscMatrix& a,
+                              const std::string& comment = "");
+
+}  // namespace plu

@@ -1,0 +1,114 @@
+#include "matrix/named_matrices.h"
+
+#include <stdexcept>
+
+#include "matrix/generators.h"
+
+namespace plu {
+
+namespace {
+
+NamedMatrix sherman3_like() {
+  gen::StencilOptions opt;
+  opt.drop_probability = 0.42;  // sherman3 has ~4 nnz/row, thinner than 7-pt
+  opt.convection = 0.35;
+  opt.seed = 1003;
+  return {"sherman3", "oil reservoir", gen::grid3d(35, 13, 11, opt), 5005, 20033};
+}
+
+NamedMatrix sherman5_like() {
+  // The paper singles sherman5 out for "large sparsity and lack of
+  // structure" that defeats supernode identification with or without
+  // postordering; an irregular multi-band operator reproduces that
+  // behaviour (a regular 3-D stencil does not -- it postorders too well).
+  return {"sherman5", "oil reservoir",
+          gen::banded(3312, {-55, -34, -33, -3, -1, 1, 3, 33, 34, 55}, 0.5, 0.6,
+                      1005),
+          3312, 20793};
+}
+
+CscMatrix lns_core() {
+  // Linearized Navier-Stokes style: tridiagonal coupling plus grid-width
+  // bands; keep probability tuned for ~6.5 nnz/row like lns3937.
+  return gen::banded(3937, {-63, -62, -1, 1, 62, 63}, 0.78, 0.6, 2001);
+}
+
+NamedMatrix lns3937_like() {
+  return {"lns3937", "fluid flow", lns_core(), 3937, 25407};
+}
+
+NamedMatrix lnsp3937_like() {
+  // In the collection, lnsp3937 is the same operator under a different
+  // ordering; model that as a random symmetric permutation of lns3937.
+  return {"lnsp3937", "fluid flow",
+          gen::random_symmetric_permutation(lns_core(), 2002), 3937, 25407};
+}
+
+NamedMatrix orsreg1_like() {
+  gen::StencilOptions opt;
+  opt.convection = 0.3;
+  opt.seed = 3001;
+  return {"orsreg1", "oil reservoir", gen::grid3d(21, 21, 5, opt), 2205, 14133};
+}
+
+NamedMatrix saylr4_like() {
+  gen::StencilOptions opt;
+  opt.convection = 0.25;
+  opt.drop_probability = 0.04;
+  opt.seed = 3004;
+  return {"saylr4", "oil reservoir", gen::grid3d(33, 12, 9, opt), 3564, 22316};
+}
+
+NamedMatrix goodwin_like() {
+  // Original: n=7320, fluid-mechanics FEM.  Scaled-down P2 mesh with 2
+  // dof/node (n=1458) keeps the FEM structure class while letting the full
+  // suite run in minutes on one core.
+  return {"goodwin", "fluid mechanics FEM", gen::fem_p2(13, 13, 2, 4001), 7320,
+          324772};
+}
+
+}  // namespace
+
+NamedMatrix make_named_matrix(const std::string& name) {
+  if (name == "sherman3") return sherman3_like();
+  if (name == "sherman5") return sherman5_like();
+  if (name == "lnsp3937") return lnsp3937_like();
+  if (name == "lns3937") return lns3937_like();
+  if (name == "orsreg1") return orsreg1_like();
+  if (name == "saylr4") return saylr4_like();
+  if (name == "goodwin") return goodwin_like();
+  throw std::invalid_argument("unknown benchmark matrix: " + name);
+}
+
+std::vector<NamedMatrix> make_benchmark_suite() {
+  return {sherman3_like(), sherman5_like(), lnsp3937_like(), lns3937_like(),
+          orsreg1_like(),  saylr4_like(),   goodwin_like()};
+}
+
+std::vector<std::string> figure5_names() {
+  return {"sherman3", "sherman5", "orsreg1", "goodwin"};
+}
+
+std::vector<std::string> figure6_names() {
+  return {"lns3937", "lnsp3937", "saylr4"};
+}
+
+std::vector<NamedMatrix> make_small_suite() {
+  gen::StencilOptions grid_opt;
+  grid_opt.convection = 0.4;
+  grid_opt.seed = 7;
+  std::vector<NamedMatrix> out;
+  out.push_back({"grid2d-small", "test", gen::grid2d(12, 11, grid_opt), 132, 0});
+  gen::StencilOptions g3 = grid_opt;
+  g3.seed = 8;
+  out.push_back({"grid3d-small", "test", gen::grid3d(6, 5, 5, g3), 150, 0});
+  out.push_back({"banded-small", "test",
+                 gen::banded(160, {-13, -12, -1, 1, 12, 13}, 0.6, 0.6, 9), 160, 0});
+  out.push_back({"fem-small", "test", gen::fem_p2(4, 4, 1, 10),
+                 gen::fem_p2_order(4, 4, 1), 0});
+  out.push_back({"random-small", "test", gen::random_sparse(140, 3.0, 0.5, 0.7, 11),
+                 140, 0});
+  return out;
+}
+
+}  // namespace plu

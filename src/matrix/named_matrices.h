@@ -1,0 +1,52 @@
+// The benchmark suite: structure-matched stand-ins for the seven matrices of
+// Table 1 of the paper (sherman3, sherman5, lnsp3937, lns3937, orsreg1,
+// saylr4, goodwin).
+//
+// This environment has no access to the Harwell-Boeing collection or the UF
+// ftp site, so each matrix is replaced by a synthetic generator of the same
+// order (goodwin scaled down; see DESIGN.md section 3) and the same
+// structural class:
+//   sherman3   5005 = 35 x 13 x 11 grid, 7-point, thinned   (oil reservoir)
+//   sherman5   3312 = 16 x 23 x 9 grid, 7-point             (oil reservoir)
+//   lnsp3937   3937, banded unsymmetric, permuted lns3937   (fluid flow)
+//   lns3937    3937, banded unsymmetric                     (fluid flow)
+//   orsreg1    2205 = 21 x 21 x 5 grid, 7-point             (oil reservoir)
+//   saylr4     3564 = 33 x 12 x 9 grid, 7-point             (oil reservoir)
+//   goodwin    FEM P2 triangles, 2 dof/node, n=1458
+//              (original is n=7320; scaled so the suite runs in minutes
+//               on one core)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/csc.h"
+
+namespace plu {
+
+struct NamedMatrix {
+  std::string name;        // paper's matrix name + "-like"
+  std::string domain;      // application domain per Table 1
+  CscMatrix a;
+  int paper_order;         // order reported in the paper
+  int paper_nnz;           // |A| reported in the paper (0 if not reported)
+};
+
+/// One matrix by paper name ("sherman3", ..., "goodwin").  Throws on unknown
+/// names.
+NamedMatrix make_named_matrix(const std::string& name);
+
+/// All seven matrices, in the paper's Table 1 order.
+std::vector<NamedMatrix> make_benchmark_suite();
+
+/// Subset used by Figure 5 (sherman3, sherman5, orsreg1, goodwin).
+std::vector<std::string> figure5_names();
+
+/// Subset used by Figure 6 (lns3937, lnsp3937, saylr4).
+std::vector<std::string> figure6_names();
+
+/// A small suite for fast tests: reduced-size instances of the same
+/// structural classes.
+std::vector<NamedMatrix> make_small_suite();
+
+}  // namespace plu

@@ -1,0 +1,74 @@
+#include "matrix/permutation.h"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace plu {
+
+Permutation::Permutation(int n) : old_of_(n), new_of_(n) {
+  std::iota(old_of_.begin(), old_of_.end(), 0);
+  std::iota(new_of_.begin(), new_of_.end(), 0);
+}
+
+Permutation Permutation::from_old_positions(std::vector<int> old_of_new) {
+  if (!is_valid(old_of_new)) {
+    throw std::invalid_argument("Permutation::from_old_positions: not a bijection");
+  }
+  Permutation p;
+  p.new_of_.assign(old_of_new.size(), 0);
+  for (int i = 0; i < static_cast<int>(old_of_new.size()); ++i) {
+    p.new_of_[old_of_new[i]] = i;
+  }
+  p.old_of_ = std::move(old_of_new);
+  return p;
+}
+
+Permutation Permutation::from_new_positions(std::vector<int> new_of_old) {
+  if (!is_valid(new_of_old)) {
+    throw std::invalid_argument("Permutation::from_new_positions: not a bijection");
+  }
+  Permutation p;
+  p.old_of_.assign(new_of_old.size(), 0);
+  for (int i = 0; i < static_cast<int>(new_of_old.size()); ++i) {
+    p.old_of_[new_of_old[i]] = i;
+  }
+  p.new_of_ = std::move(new_of_old);
+  return p;
+}
+
+Permutation Permutation::inverse() const {
+  Permutation p;
+  p.old_of_ = new_of_;
+  p.new_of_ = old_of_;
+  return p;
+}
+
+Permutation Permutation::compose(const Permutation& first, const Permutation& second) {
+  assert(first.size() == second.size());
+  // gather(gather(x, first), second)[i] = x[first.old_of(second.old_of(i))].
+  std::vector<int> old_of(second.size());
+  for (int i = 0; i < second.size(); ++i) {
+    old_of[i] = first.old_of(second.old_of(i));
+  }
+  return from_old_positions(std::move(old_of));
+}
+
+bool Permutation::is_identity() const {
+  for (int i = 0; i < size(); ++i) {
+    if (old_of_[i] != i) return false;
+  }
+  return true;
+}
+
+bool Permutation::is_valid(const std::vector<int>& p) {
+  const int n = static_cast<int>(p.size());
+  std::vector<char> seen(n, 0);
+  for (int v : p) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = 1;
+  }
+  return true;
+}
+
+}  // namespace plu

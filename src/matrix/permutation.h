@@ -1,0 +1,65 @@
+// Permutation with O(1) lookup in both directions.
+//
+// Convention: `old_of(i)` is the ORIGINAL index of the entity placed at NEW
+// position i (gather form).  Applying a row permutation P to a matrix A means
+// (PA)(i, :) = A(old_of(i), :).
+#pragma once
+
+#include <vector>
+
+namespace plu {
+
+class Permutation {
+ public:
+  Permutation() = default;
+
+  /// Identity permutation of size n.
+  explicit Permutation(int n);
+
+  /// Builds from gather form: old_of_new[i] = original index at new slot i.
+  static Permutation from_old_positions(std::vector<int> old_of_new);
+
+  /// Builds from scatter form: new_of_old[i] = new slot of original index i.
+  static Permutation from_new_positions(std::vector<int> new_of_old);
+
+  int size() const { return static_cast<int>(old_of_.size()); }
+  bool empty() const { return old_of_.empty(); }
+
+  int old_of(int new_index) const { return old_of_[new_index]; }
+  int new_of(int old_index) const { return new_of_[old_index]; }
+
+  const std::vector<int>& old_positions() const { return old_of_; }
+  const std::vector<int>& new_positions() const { return new_of_; }
+
+  Permutation inverse() const;
+
+  /// Returns the permutation equivalent to applying `first`, then `second`.
+  static Permutation compose(const Permutation& first, const Permutation& second);
+
+  /// Reorders x so that result[i] = x[old_of(i)].
+  template <typename T>
+  std::vector<T> gather(const std::vector<T>& x) const {
+    std::vector<T> out(x.size());
+    for (int i = 0; i < size(); ++i) out[i] = x[old_of_[i]];
+    return out;
+  }
+
+  /// Inverse of gather: result[old_of(i)] = x[i], so scatter(gather(x)) == x.
+  template <typename T>
+  std::vector<T> scatter(const std::vector<T>& x) const {
+    std::vector<T> out(x.size());
+    for (int i = 0; i < size(); ++i) out[old_of_[i]] = x[i];
+    return out;
+  }
+
+  bool is_identity() const;
+
+  /// True if old_of is a bijection on [0, n).
+  static bool is_valid(const std::vector<int>& p);
+
+ private:
+  std::vector<int> old_of_;
+  std::vector<int> new_of_;
+};
+
+}  // namespace plu

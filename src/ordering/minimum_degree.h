@@ -1,0 +1,23 @@
+// Minimum-degree ordering on a symmetric pattern.
+//
+// The paper's fill-reducing step is "the minimum degree algorithm on A^T A"
+// (Section 1).  This is a quotient-graph implementation with exact external
+// degrees, element absorption and degree bucket lists (the classic MD
+// formulation; no supervariable detection, which the problem sizes here do
+// not need).
+#pragma once
+
+#include "matrix/csc.h"
+#include "matrix/permutation.h"
+
+namespace plu::ordering {
+
+/// Computes a minimum-degree elimination order for a symmetric pattern
+/// (diagonal ignored).  Returns the permutation in gather form:
+/// old_of(k) = the variable eliminated k-th.
+Permutation minimum_degree(const Pattern& symmetric_pattern);
+
+/// Convenience for unsymmetric LU: minimum degree on the A^T A pattern.
+Permutation minimum_degree_ata(const Pattern& a);
+
+}  // namespace plu::ordering

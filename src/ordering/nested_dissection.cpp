@@ -1,0 +1,165 @@
+#include "ordering/nested_dissection.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "matrix/coo.h"
+#include "ordering/minimum_degree.h"
+
+namespace plu::ordering {
+
+namespace {
+
+/// Extracts the subgraph induced by `verts` (local indices 0..k-1).
+Pattern induced_subpattern(const Pattern& g, const std::vector<int>& verts,
+                           std::vector<int>& global_to_local) {
+  for (std::size_t l = 0; l < verts.size(); ++l) {
+    global_to_local[verts[l]] = static_cast<int>(l);
+  }
+  CooMatrix coo(static_cast<int>(verts.size()), static_cast<int>(verts.size()));
+  for (std::size_t l = 0; l < verts.size(); ++l) {
+    int v = verts[l];
+    coo.add(static_cast<int>(l), static_cast<int>(l), 1.0);
+    for (const int* it = g.col_begin(v); it != g.col_end(v); ++it) {
+      int w = global_to_local[*it];
+      if (w >= 0) coo.add(w, static_cast<int>(l), 1.0);
+    }
+  }
+  Pattern sub = coo.to_csc().pattern();
+  for (int v : verts) global_to_local[v] = -1;
+  return sub;
+}
+
+class Dissector {
+ public:
+  Dissector(const Pattern& g, const NestedDissectionOptions& opt)
+      : g_(g), opt_(opt), in_set_(g.cols, -1), global_to_local_(g.cols, -1),
+        level_(g.cols, -1) {
+    order_.reserve(g.cols);
+  }
+
+  std::vector<int> run() {
+    std::vector<int> all(g_.cols);
+    for (int v = 0; v < g_.cols; ++v) all[v] = v;
+    dissect(std::move(all), 0);
+    return std::move(order_);
+  }
+
+ private:
+  /// BFS within the current set (marked with `stamp` in in_set_); fills
+  /// level_ for reached vertices and returns them in BFS order.
+  std::vector<int> bfs(int start, int stamp) {
+    std::vector<int> reach = {start};
+    level_[start] = 0;
+    for (std::size_t h = 0; h < reach.size(); ++h) {
+      int v = reach[h];
+      for (const int* it = g_.col_begin(v); it != g_.col_end(v); ++it) {
+        int w = *it;
+        if (w != v && in_set_[w] == stamp && level_[w] == -1) {
+          level_[w] = level_[v] + 1;
+          reach.push_back(w);
+        }
+      }
+    }
+    return reach;
+  }
+
+  void order_leaf(const std::vector<int>& verts) {
+    if (verts.size() <= 2) {
+      for (int v : verts) order_.push_back(v);
+      return;
+    }
+    Pattern sub = induced_subpattern(g_, verts, global_to_local_);
+    Permutation p = minimum_degree(sub);
+    for (int l = 0; l < p.size(); ++l) order_.push_back(verts[p.old_of(l)]);
+  }
+
+  void dissect(std::vector<int> verts, int depth) {
+    if (static_cast<int>(verts.size()) <= opt_.leaf_size || depth > 64) {
+      order_leaf(verts);
+      return;
+    }
+    const int stamp = ++stamp_counter_;
+    for (int v : verts) {
+      in_set_[v] = stamp;
+      level_[v] = -1;
+    }
+    // Pseudo-peripheral start: two BFS sweeps within the set.
+    std::vector<int> reach = bfs(verts[0], stamp);
+    int far = reach.back();
+    for (int v : reach) level_[v] = -1;
+    reach = bfs(far, stamp);
+
+    if (reach.size() < verts.size()) {
+      // Disconnected: the reached component and the rest are independent.
+      for (int v : reach) in_set_[v] = -2;  // un-mark the component
+      std::vector<int> rest;
+      for (int v : verts) {
+        if (in_set_[v] == stamp) rest.push_back(v);
+      }
+      std::vector<int> comp = reach;
+      for (int v : verts) level_[v] = -1;
+      dissect(std::move(comp), depth + 1);
+      dissect(std::move(rest), depth + 1);
+      return;
+    }
+
+    // Cut at the median level; the cut level itself is the separator.
+    int max_level = 0;
+    for (int v : reach) max_level = std::max(max_level, level_[v]);
+    if (max_level < 2) {
+      // No useful level structure (near-clique): fall back to the leaf path.
+      for (int v : verts) level_[v] = -1;
+      order_leaf(verts);
+      return;
+    }
+    std::vector<int> level_count(max_level + 1, 0);
+    for (int v : reach) ++level_count[level_[v]];
+    int half = static_cast<int>(verts.size()) / 2;
+    int cum = 0;
+    int cut = 1;
+    for (int l = 0; l <= max_level; ++l) {
+      cum += level_count[l];
+      if (cum >= half) {
+        cut = std::min(std::max(l, 1), max_level - 1);
+        break;
+      }
+    }
+    std::vector<int> left, right, sep;
+    for (int v : reach) {
+      if (level_[v] < cut) {
+        left.push_back(v);
+      } else if (level_[v] > cut) {
+        right.push_back(v);
+      } else {
+        sep.push_back(v);
+      }
+    }
+    for (int v : verts) level_[v] = -1;
+    dissect(std::move(left), depth + 1);
+    dissect(std::move(right), depth + 1);
+    // Separator last; small, so plain order suffices.
+    for (int v : sep) order_.push_back(v);
+  }
+
+  const Pattern& g_;
+  NestedDissectionOptions opt_;
+  std::vector<int> in_set_;
+  std::vector<int> global_to_local_;
+  std::vector<int> level_;
+  std::vector<int> order_;
+  int stamp_counter_ = 0;
+};
+
+}  // namespace
+
+Permutation nested_dissection(const Pattern& symmetric_pattern,
+                              const NestedDissectionOptions& opt) {
+  assert(symmetric_pattern.rows == symmetric_pattern.cols);
+  Pattern g = Pattern::symmetrized(symmetric_pattern);
+  if (g.cols == 0) return Permutation(0);
+  Dissector d(g, opt);
+  return Permutation::from_old_positions(d.run());
+}
+
+}  // namespace plu::ordering

@@ -1,0 +1,30 @@
+// Nested dissection ordering.
+//
+// Recursive graph bisection: find a small vertex separator, order the two
+// halves first (recursively) and the separator last.  On grid-like graphs
+// this both minimizes fill asymptotically and -- the property that matters
+// for this repository's task-graph experiments -- produces BALANCED, BUSHY
+// elimination forests: the two halves are independent subtrees, which is
+// exactly the parallelism Section 4's dependence graph exposes.
+//
+// The bisection here is level-set based (no multilevel machinery): BFS from
+// a pseudo-peripheral vertex, cut at the median level, take the boundary of
+// one side as the separator.  Simple, deterministic, and good enough to
+// beat minimum degree on tree parallelism for mesh-like matrices.
+#pragma once
+
+#include "matrix/csc.h"
+#include "matrix/permutation.h"
+
+namespace plu::ordering {
+
+struct NestedDissectionOptions {
+  /// Subgraphs at or below this size are ordered by simple minimum degree.
+  int leaf_size = 32;
+};
+
+/// Nested dissection on a symmetric pattern (symmetrized internally).
+Permutation nested_dissection(const Pattern& symmetric_pattern,
+                              const NestedDissectionOptions& opt = {});
+
+}  // namespace plu::ordering

@@ -1,0 +1,37 @@
+#include "ordering/ordering.h"
+
+#include "ordering/minimum_degree.h"
+#include "ordering/nested_dissection.h"
+#include "ordering/rcm.h"
+
+namespace plu::ordering {
+
+Permutation compute_column_ordering(const Pattern& a, Method method) {
+  switch (method) {
+    case Method::kNatural:
+      return Permutation(a.cols);
+    case Method::kMinimumDegreeAtA:
+      return minimum_degree_ata(a);
+    case Method::kRcmAtA:
+      return reverse_cuthill_mckee(Pattern::ata(a));
+    case Method::kNestedDissectionAtA:
+      return nested_dissection(Pattern::ata(a));
+  }
+  return Permutation(a.cols);
+}
+
+std::string to_string(Method m) {
+  switch (m) {
+    case Method::kNatural:
+      return "natural";
+    case Method::kMinimumDegreeAtA:
+      return "mindeg(AtA)";
+    case Method::kRcmAtA:
+      return "rcm(AtA)";
+    case Method::kNestedDissectionAtA:
+      return "nd(AtA)";
+  }
+  return "?";
+}
+
+}  // namespace plu::ordering

@@ -1,0 +1,27 @@
+// Fill-reducing column ordering dispatch for the unsymmetric LU pipeline.
+//
+// All methods operate on the A^T A pattern, matching the paper's choice
+// ("we use the minimum degree algorithm on A^T A").  Natural and RCM exist
+// for the A4 ordering ablation.
+#pragma once
+
+#include <string>
+
+#include "matrix/csc.h"
+#include "matrix/permutation.h"
+
+namespace plu::ordering {
+
+enum class Method {
+  kNatural,               // identity
+  kMinimumDegreeAtA,      // the paper's choice
+  kRcmAtA,                // reverse Cuthill-McKee on A^T A
+  kNestedDissectionAtA,   // recursive bisection on A^T A (bushy forests)
+};
+
+/// Column permutation for LU on `a` per the chosen method.
+Permutation compute_column_ordering(const Pattern& a, Method method);
+
+std::string to_string(Method m);
+
+}  // namespace plu::ordering

@@ -1,0 +1,89 @@
+#include "ordering/rcm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace plu::ordering {
+
+namespace {
+
+/// BFS from start over the pattern; returns (last-level vertex of minimum
+/// degree, eccentricity).  `visited` is stamped with `stamp`.
+std::pair<int, int> bfs_far_vertex(const Pattern& g, int start,
+                                   std::vector<int>& visit, int stamp) {
+  std::vector<int> frontier = {start};
+  visit[start] = stamp;
+  int depth = 0;
+  std::vector<int> last_level = frontier;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int v : frontier) {
+      for (const int* it = g.col_begin(v); it != g.col_end(v); ++it) {
+        if (*it != v && visit[*it] != stamp) {
+          visit[*it] = stamp;
+          next.push_back(*it);
+        }
+      }
+    }
+    if (!next.empty()) {
+      last_level = next;
+      ++depth;
+    }
+    frontier = std::move(next);
+  }
+  int best = last_level.front();
+  for (int v : last_level) {
+    if (g.col_size(v) < g.col_size(best)) best = v;
+  }
+  return {best, depth};
+}
+
+}  // namespace
+
+Permutation reverse_cuthill_mckee(const Pattern& symmetric_pattern) {
+  assert(symmetric_pattern.rows == symmetric_pattern.cols);
+  const int n = symmetric_pattern.cols;
+  Pattern g = Pattern::symmetrized(symmetric_pattern);
+
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<char> placed(n, 0);
+  std::vector<int> visit(n, -1);
+  int stamp = 0;
+
+  for (int seed = 0; seed < n; ++seed) {
+    if (placed[seed]) continue;
+    // Pseudo-peripheral start: two BFS sweeps from the component seed.
+    auto [far1, ecc1] = bfs_far_vertex(g, seed, visit, ++stamp);
+    auto [far2, ecc2] = bfs_far_vertex(g, far1, visit, ++stamp);
+    int start = (ecc2 > ecc1) ? far2 : far1;
+
+    // Cuthill-McKee BFS: visit neighbors in increasing degree order.
+    std::queue<int> q;
+    q.push(start);
+    placed[start] = 1;
+    std::vector<int> nbrs;
+    while (!q.empty()) {
+      int v = q.front();
+      q.pop();
+      order.push_back(v);
+      nbrs.clear();
+      for (const int* it = g.col_begin(v); it != g.col_end(v); ++it) {
+        if (*it != v && !placed[*it]) nbrs.push_back(*it);
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](int a, int b) {
+        int da = g.col_size(a), db = g.col_size(b);
+        return da != db ? da < db : a < b;
+      });
+      for (int u : nbrs) {
+        placed[u] = 1;
+        q.push(u);
+      }
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return Permutation::from_old_positions(std::move(order));
+}
+
+}  // namespace plu::ordering

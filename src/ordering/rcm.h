@@ -1,0 +1,14 @@
+// Reverse Cuthill-McKee ordering (bandwidth reduction), used as a
+// comparison point in the A4 ordering ablation.
+#pragma once
+
+#include "matrix/csc.h"
+#include "matrix/permutation.h"
+
+namespace plu::ordering {
+
+/// RCM on a symmetric pattern; starts each component from a
+/// pseudo-peripheral vertex found by repeated BFS.
+Permutation reverse_cuthill_mckee(const Pattern& symmetric_pattern);
+
+}  // namespace plu::ordering

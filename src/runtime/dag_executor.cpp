@@ -1,0 +1,67 @@
+#include "runtime/dag_executor.h"
+
+#include <atomic>
+#include <memory>
+
+#include "runtime/thread_pool.h"
+#include "taskgraph/analysis.h"
+
+namespace plu::rt {
+
+ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
+                            const std::vector<int>& indegree, int num_threads,
+                            const std::function<void(int)>& run) {
+  ExecutionReport rep;
+  const int n = static_cast<int>(succ.size());
+  if (n == 0) {
+    rep.completed = true;
+    return rep;
+  }
+
+  std::vector<std::atomic<int>> indeg(n);
+  for (int v = 0; v < n; ++v) indeg[v].store(indegree[v], std::memory_order_relaxed);
+  std::atomic<long> done{0};
+
+  ThreadPool pool(num_threads);
+  // self-submitting closure: running a task enqueues its newly-ready succs.
+  std::function<void(int)> run_task = [&](int id) {
+    run(id);
+    done.fetch_add(1, std::memory_order_relaxed);
+    for (int s : succ[id]) {
+      if (indeg[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        pool.submit([&run_task, s] { run_task(s); });
+      }
+    }
+  };
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) {
+      pool.submit([&run_task, v] { run_task(v); });
+    }
+  }
+  pool.wait_idle();
+  rep.tasks_run = done.load();
+  rep.completed = rep.tasks_run == n;
+  return rep;
+}
+
+ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_threads,
+                                   const std::function<void(int)>& run) {
+  if (g.size() != 0 && !taskgraph::is_acyclic(g)) return {};
+  return execute_dag(g.succ, g.indegree, num_threads, run);
+}
+
+ExecutionReport execute_sequential(const taskgraph::TaskGraph& g,
+                                   const std::function<void(int)>& run,
+                                   const std::vector<int>& order) {
+  ExecutionReport rep;
+  std::vector<int> topo = order.empty() ? taskgraph::topological_order(g) : order;
+  if (static_cast<int>(topo.size()) != g.size()) return rep;
+  for (int id : topo) {
+    run(id);
+    ++rep.tasks_run;
+  }
+  rep.completed = true;
+  return rep;
+}
+
+}  // namespace plu::rt

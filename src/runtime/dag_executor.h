@@ -1,0 +1,39 @@
+// Shared-memory execution of a task dependence graph.
+//
+// Dependences are enforced with atomic indegree counters: a finished task
+// decrements each successor's counter and enqueues those that hit zero.
+// Tasks left unordered by the graph (updates from independent subtrees)
+// touch disjoint blocks -- Theorem 4 / verify_candidate_disjointness -- so
+// no additional synchronization is required beyond what the numeric layer
+// chooses to take.
+#pragma once
+
+#include <functional>
+
+#include "taskgraph/build.h"
+
+namespace plu::rt {
+
+struct ExecutionReport {
+  long tasks_run = 0;
+  bool completed = false;  // false if the graph was cyclic / run threw
+};
+
+/// Executes the graph on `num_threads` threads, invoking run(task_id) for
+/// each task after all its predecessors finished.  run must not throw.
+ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_threads,
+                                   const std::function<void(int)>& run);
+
+/// Graph-shape-agnostic variant: any DAG as successor lists + indegrees
+/// (used by the parallel triangular solves and the 2-D experiments).
+ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
+                            const std::vector<int>& indegree, int num_threads,
+                            const std::function<void(int)>& run);
+
+/// Sequential reference execution in a given topological order (or the
+/// default one when `order` is empty).
+ExecutionReport execute_sequential(const taskgraph::TaskGraph& g,
+                                   const std::function<void(int)>& run,
+                                   const std::vector<int>& order = {});
+
+}  // namespace plu::rt

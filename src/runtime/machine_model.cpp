@@ -1,0 +1,15 @@
+#include "runtime/machine_model.h"
+
+#include <sstream>
+
+namespace plu::rt {
+
+std::string describe(const MachineModel& m) {
+  std::ostringstream os;
+  os << m.processors << " proc @ " << m.flops_per_second / 1e6 << " Mflop/s, "
+     << "latency " << m.latency_seconds * 1e6 << " us, bw "
+     << m.bandwidth_bytes_per_second / 1e6 << " MB/s";
+  return os.str();
+}
+
+}  // namespace plu::rt

@@ -1,0 +1,53 @@
+// Machine model for the discrete-event simulator.
+//
+// Substitution (DESIGN.md section 3): the paper measured on an SGI Origin
+// 2000 (R10000 @ 195 MHz, hypercube interconnect, SHMEM).  This host has a
+// single core, so the multiprocessor experiments (Table 2, Figures 5-6) are
+// reproduced on a simulated machine: P processors at a fixed flop rate,
+// messages costed latency + bytes/bandwidth, 1-D block-cyclic column
+// ownership (owner-computes).  The comparison between the two task graphs is
+// a property of graph shape + schedule, which the simulator executes
+// exactly; only absolute seconds are model-dependent.
+#pragma once
+
+#include <string>
+
+namespace plu::rt {
+
+struct MachineModel {
+  int processors = 1;
+  /// Sustained flop rate per processor.  ~10^8 matches the sparse-kernel
+  /// efficiency of a 195 MHz R10000 (peak 390 Mflop/s, sparse codes reach a
+  /// fraction of it).
+  double flops_per_second = 1.2e8;
+  /// One-way message latency.
+  double latency_seconds = 15e-6;
+  /// Link bandwidth (the Origin's peak node-to-node is ~600 Mbyte/s; SHMEM
+  /// payloads see less).
+  double bandwidth_bytes_per_second = 1.6e8;
+  /// Fixed per-task scheduling overhead (RAPID-style runtime dispatch).
+  double task_overhead_seconds = 4e-6;
+
+  double compute_seconds(double flops) const {
+    return task_overhead_seconds + flops / flops_per_second;
+  }
+  double message_seconds(double bytes) const {
+    return latency_seconds + bytes / bandwidth_bytes_per_second;
+  }
+
+  static MachineModel origin2000(int p) {
+    MachineModel m;
+    m.processors = p;
+    return m;
+  }
+};
+
+/// 1-D block-cyclic ownership: block column k lives on processor k mod P.
+struct OwnerMap {
+  int processors = 1;
+  int owner(int block_column) const { return block_column % processors; }
+};
+
+std::string describe(const MachineModel& m);
+
+}  // namespace plu::rt

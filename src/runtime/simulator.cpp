@@ -1,0 +1,567 @@
+#include "runtime/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+#include <set>
+#include <unordered_set>
+
+namespace plu::rt {
+
+namespace {
+
+struct Event {
+  double time;
+  int kind;  // 0 = task becomes ready (owner mode), 1 = task finishes
+  int id;
+  bool operator>(const Event& o) const {
+    if (time != o.time) return time > o.time;
+    if (kind != o.kind) return kind > o.kind;
+    return id > o.id;
+  }
+};
+
+struct ReadyEntry {
+  double priority;
+  int id;
+  bool operator<(const ReadyEntry& o) const {
+    // max-heap on priority; deterministic tie-break on id.
+    if (priority != o.priority) return priority < o.priority;
+    return id > o.id;
+  }
+};
+
+/// Per-edge payload: what the consumer fetches when it runs remotely from
+/// the producer.
+double edge_bytes(const taskgraph::TaskCosts& costs, int producer) {
+  return costs.output_bytes.empty() ? 0.0 : costs.output_bytes[producer];
+}
+
+struct Contrib {
+  double finish;
+  int proc;
+  double bytes;
+  int producer;
+};
+
+SimulationResult simulate_owner(const taskgraph::TaskGraph& g,
+                                const taskgraph::TaskCosts& costs,
+                                const MachineModel& machine,
+                                SchedulePolicy policy, bool keep_trace) {
+  const int n = g.size();
+  const OwnerMap owners{machine.processors};
+  SimulationResult res;
+  res.busy_seconds.assign(machine.processors, 0.0);
+  if (n == 0) return res;
+
+  std::vector<int> proc_of(n);
+  for (int id = 0; id < n; ++id) proc_of[id] = owners.owner(g.tasks.task(id).j);
+
+  std::vector<double> priority(n, 0.0);
+  if (policy == SchedulePolicy::kCriticalPath) {
+    priority = taskgraph::bottom_levels(g, costs.flops);
+  }
+
+  std::vector<int> remaining = g.indegree;
+  std::vector<double> ready_time(n, 0.0);
+  std::vector<double> finish_time(n, 0.0);
+  std::vector<double> start_time(n, 0.0);
+  std::vector<char> started(n, 0);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<std::priority_queue<ReadyEntry>> ready(machine.processors);
+  std::vector<char> busy(machine.processors, 0);
+  std::unordered_set<long long> message_keys;
+
+  for (int id = 0; id < n; ++id) {
+    if (g.indegree[id] == 0) events.push({0.0, 0, id});
+  }
+
+  auto try_start = [&](int p, double now) {
+    if (busy[p] || ready[p].empty()) return;
+    int id = ready[p].top().id;
+    ready[p].pop();
+    busy[p] = 1;
+    started[id] = 1;
+    start_time[id] = now;
+    double dur = machine.compute_seconds(costs.flops[id]);
+    finish_time[id] = now + dur;
+    res.busy_seconds[p] += dur;
+    events.push({finish_time[id], 1, id});
+  };
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    if (ev.kind == 0) {
+      int p = proc_of[ev.id];
+      ready[p].push({priority[ev.id], ev.id});
+      try_start(p, ev.time);
+    } else {
+      int id = ev.id;
+      int p = proc_of[id];
+      busy[p] = 0;
+      res.makespan = std::max(res.makespan, finish_time[id]);
+      for (int s : g.succ[id]) {
+        double delay = 0.0;
+        if (proc_of[s] != p) {
+          double bytes = edge_bytes(costs, id);
+          delay = machine.message_seconds(bytes);
+          long long key = static_cast<long long>(id) * machine.processors +
+                          proc_of[s];
+          if (message_keys.insert(key).second) {
+            ++res.messages;
+            res.message_bytes += bytes;
+          }
+        }
+        ready_time[s] = std::max(ready_time[s], finish_time[id] + delay);
+        if (--remaining[s] == 0) {
+          events.push({ready_time[s], 0, s});
+        }
+      }
+      try_start(p, ev.time);
+    }
+  }
+
+  if (keep_trace) {
+    res.trace.reserve(n);
+    for (int id = 0; id < n; ++id) {
+      if (started[id]) {
+        res.trace.push_back({id, proc_of[id], start_time[id], finish_time[id]});
+      }
+    }
+    std::sort(res.trace.begin(), res.trace.end(),
+              [](const SimulatedTask& a, const SimulatedTask& b) {
+                return a.start != b.start ? a.start < b.start : a.task < b.task;
+              });
+  }
+  return res;
+}
+
+/// Graph-shape-agnostic free-schedule core: the 1-D simulate() and the
+/// generic simulate_dag() both funnel here.
+SimulationResult simulate_free_core(const std::vector<std::vector<int>>& succ,
+                                    const std::vector<int>& indegree,
+                                    const std::vector<double>& flops,
+                                    const std::vector<double>& out_bytes,
+                                    const MachineModel& machine,
+                                    const std::vector<double>& priority_in,
+                                    bool fifo, bool keep_trace) {
+  const int n = static_cast<int>(succ.size());
+  const int np = machine.processors;
+  SimulationResult res;
+  res.busy_seconds.assign(np, 0.0);
+  if (n == 0) return res;
+
+  std::vector<double> priority = priority_in;
+  if (priority.empty()) priority.assign(n, 0.0);
+  double fifo_counter = static_cast<double>(n);
+
+  std::vector<int> remaining = indegree;
+  std::vector<std::vector<Contrib>> contribs(n);
+  std::vector<double> finish_time(n, 0.0);
+  std::vector<double> start_time(n, 0.0);
+  std::vector<int> proc_of(n, -1);
+  std::vector<char> started(n, 0);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::priority_queue<ReadyEntry> pool;  // enabled, unassigned tasks
+  std::set<int> idle;                    // idle processors, ascending ids
+  std::unordered_set<long long> message_keys;
+
+  // Earliest start of task id on processor p given its predecessors.
+  auto est = [&](int id, int p, double now) {
+    double t = now;
+    for (const Contrib& c : contribs[id]) {
+      double avail =
+          (c.proc == p) ? c.finish : c.finish + machine.message_seconds(c.bytes);
+      t = std::max(t, avail);
+    }
+    return t;
+  };
+
+  auto start_on = [&](int id, int p, double now) {
+    double s = est(id, p, now);
+    // Account remote fetches as messages (one per producer/destination).
+    for (const Contrib& c : contribs[id]) {
+      if (c.proc != p && c.proc != -1) {
+        long long key = static_cast<long long>(c.producer) * np + p;
+        if (message_keys.insert(key).second) {
+          ++res.messages;
+          res.message_bytes += c.bytes;
+        }
+      }
+    }
+    proc_of[id] = p;
+    started[id] = 1;
+    start_time[id] = s;
+    double dur = machine.compute_seconds(flops[id]);
+    finish_time[id] = s + dur;
+    res.busy_seconds[p] += dur;
+    idle.erase(p);
+    events.push({finish_time[id], 1, id});
+  };
+
+  auto enable = [&](int id, double now) {
+    double prio = fifo ? fifo_counter-- : priority[id];
+    if (!idle.empty()) {
+      // Give it to the idle processor that can start it soonest.
+      int best = -1;
+      double best_est = 0.0;
+      for (int p : idle) {
+        double e = est(id, p, now);
+        if (best == -1 || e < best_est) {
+          best = p;
+          best_est = e;
+        }
+      }
+      start_on(id, best, now);
+    } else {
+      pool.push({prio, id});
+    }
+  };
+
+  for (int p = 0; p < np; ++p) idle.insert(p);
+  for (int id = 0; id < n; ++id) {
+    if (indegree[id] == 0) enable(id, 0.0);
+  }
+
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    int id = ev.id;
+    int p = proc_of[id];
+    res.makespan = std::max(res.makespan, finish_time[id]);
+    for (int s : succ[id]) {
+      contribs[s].push_back({finish_time[id], p, out_bytes[id], id});
+      if (--remaining[s] == 0) enable(s, ev.time);
+    }
+    if (proc_of[id] == p && started[id]) {
+      // Processor p is free again.
+      if (!pool.empty()) {
+        int next = pool.top().id;
+        pool.pop();
+        start_on(next, p, ev.time);
+      } else {
+        idle.insert(p);
+      }
+    }
+  }
+
+  if (keep_trace) {
+    res.trace.reserve(n);
+    for (int id = 0; id < n; ++id) {
+      if (started[id]) {
+        res.trace.push_back({id, proc_of[id], start_time[id], finish_time[id]});
+      }
+    }
+    std::sort(res.trace.begin(), res.trace.end(),
+              [](const SimulatedTask& a, const SimulatedTask& b) {
+                return a.start != b.start ? a.start < b.start : a.task < b.task;
+              });
+  }
+  return res;
+}
+
+SimulationResult simulate_free(const taskgraph::TaskGraph& g,
+                               const taskgraph::TaskCosts& costs,
+                               const MachineModel& machine,
+                               SchedulePolicy policy, bool keep_trace) {
+  std::vector<double> priority;
+  if (policy == SchedulePolicy::kCriticalPath) {
+    priority = taskgraph::bottom_levels(g, costs.flops);
+  }
+  return simulate_free_core(g.succ, g.indegree, costs.flops, costs.output_bytes,
+                            machine, priority,
+                            policy == SchedulePolicy::kFifo, keep_trace);
+}
+
+}  // namespace
+
+SimulationResult simulate(const taskgraph::TaskGraph& g,
+                          const taskgraph::TaskCosts& costs,
+                          const MachineModel& machine, SchedulePolicy policy,
+                          bool keep_trace, MappingPolicy mapping) {
+  return mapping == MappingPolicy::kOwnerComputes
+             ? simulate_owner(g, costs, machine, policy, keep_trace)
+             : simulate_free(g, costs, machine, policy, keep_trace);
+}
+
+SimulationResult simulate_dag(const std::vector<std::vector<int>>& succ,
+                              const std::vector<int>& indegree,
+                              const std::vector<double>& flops,
+                              const std::vector<double>& output_bytes,
+                              const MachineModel& machine,
+                              const std::vector<double>& priorities) {
+  std::vector<double> priority = priorities;
+  if (priority.empty() && !succ.empty()) {
+    // Bottom levels via a generic Kahn sweep.
+    const int n = static_cast<int>(succ.size());
+    std::vector<int> indeg = indegree;
+    std::vector<int> order;
+    order.reserve(n);
+    for (int v = 0; v < n; ++v) {
+      if (indeg[v] == 0) order.push_back(v);
+    }
+    for (std::size_t h = 0; h < order.size(); ++h) {
+      for (int s : succ[order[h]]) {
+        if (--indeg[s] == 0) order.push_back(s);
+      }
+    }
+    priority.assign(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      double best = 0.0;
+      for (int s : succ[*it]) best = std::max(best, priority[s]);
+      priority[*it] = flops[*it] + best;
+    }
+  }
+  return simulate_free_core(succ, indegree, flops, output_bytes, machine,
+                            priority, false, false);
+}
+
+SimulationResult simulate_dag_pinned(const std::vector<std::vector<int>>& succ,
+                                     const std::vector<int>& indegree,
+                                     const std::vector<double>& flops,
+                                     const std::vector<double>& out_bytes,
+                                     const MachineModel& machine,
+                                     const std::vector<int>& owner_of,
+                                     const std::vector<double>& priorities) {
+  const int n = static_cast<int>(succ.size());
+  SimulationResult res;
+  res.busy_seconds.assign(machine.processors, 0.0);
+  if (n == 0) return res;
+  assert(static_cast<int>(owner_of.size()) == n);
+
+  std::vector<double> priority = priorities;
+  if (priority.empty()) {
+    // Generic bottom levels.
+    std::vector<int> indeg = indegree;
+    std::vector<int> order;
+    order.reserve(n);
+    for (int v = 0; v < n; ++v) {
+      if (indeg[v] == 0) order.push_back(v);
+    }
+    for (std::size_t h = 0; h < order.size(); ++h) {
+      for (int s : succ[order[h]]) {
+        if (--indeg[s] == 0) order.push_back(s);
+      }
+    }
+    priority.assign(n, 0.0);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      double best = 0.0;
+      for (int s : succ[*it]) best = std::max(best, priority[s]);
+      priority[*it] = flops[*it] + best;
+    }
+  }
+
+  std::vector<int> remaining = indegree;
+  std::vector<double> ready_time(n, 0.0);
+  std::vector<double> finish_time(n, 0.0);
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::vector<std::priority_queue<ReadyEntry>> ready(machine.processors);
+  std::vector<char> busy(machine.processors, 0);
+  std::unordered_set<long long> message_keys;
+
+  for (int id = 0; id < n; ++id) {
+    if (indegree[id] == 0) events.push({0.0, 0, id});
+  }
+  auto try_start = [&](int p, double now) {
+    if (busy[p] || ready[p].empty()) return;
+    int id = ready[p].top().id;
+    ready[p].pop();
+    busy[p] = 1;
+    double dur = machine.compute_seconds(flops[id]);
+    finish_time[id] = now + dur;
+    res.busy_seconds[p] += dur;
+    events.push({finish_time[id], 1, id});
+  };
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    if (ev.kind == 0) {
+      int p = owner_of[ev.id];
+      ready[p].push({priority[ev.id], ev.id});
+      try_start(p, ev.time);
+    } else {
+      int id = ev.id;
+      int p = owner_of[id];
+      busy[p] = 0;
+      res.makespan = std::max(res.makespan, finish_time[id]);
+      for (int s : succ[id]) {
+        double delay = 0.0;
+        if (owner_of[s] != p) {
+          double bytes = out_bytes[id];
+          delay = machine.message_seconds(bytes);
+          long long key = static_cast<long long>(id) * machine.processors +
+                          owner_of[s];
+          if (message_keys.insert(key).second) {
+            ++res.messages;
+            res.message_bytes += bytes;
+          }
+        }
+        ready_time[s] = std::max(ready_time[s], finish_time[id] + delay);
+        if (--remaining[s] == 0) events.push({ready_time[s], 0, s});
+      }
+      try_start(p, ev.time);
+    }
+  }
+  return res;
+}
+
+double simulated_serial_seconds(const taskgraph::TaskCosts& costs,
+                                const MachineModel& machine) {
+  double t = 0.0;
+  for (double f : costs.flops) t += machine.compute_seconds(f);
+  return t;
+}
+
+StaticSchedule plan_schedule(const taskgraph::TaskGraph& g,
+                             const taskgraph::TaskCosts& costs,
+                             const MachineModel& machine, SchedulePolicy policy,
+                             MappingPolicy mapping) {
+  SimulationResult r = simulate(g, costs, machine, policy, true, mapping);
+  StaticSchedule s;
+  s.proc_lists.assign(machine.processors, {});
+  // The trace is sorted by start time, so appending preserves per-processor
+  // execution order.
+  for (const SimulatedTask& t : r.trace) {
+    s.proc_lists[t.processor].push_back(t.task);
+  }
+  return s;
+}
+
+SimulationResult replay_schedule(const taskgraph::TaskGraph& g,
+                                 const taskgraph::TaskCosts& costs,
+                                 const std::vector<double>& actual_flops,
+                                 const MachineModel& machine,
+                                 const StaticSchedule& schedule, bool keep_trace) {
+  const int n = g.size();
+  const int np = static_cast<int>(schedule.proc_lists.size());
+  SimulationResult res;
+  res.busy_seconds.assign(np, 0.0);
+  if (n == 0) return res;
+  assert(static_cast<int>(actual_flops.size()) == n);
+
+  std::vector<int> proc_of(n, -1);
+  for (int p = 0; p < np; ++p) {
+    for (int id : schedule.proc_lists[p]) proc_of[id] = p;
+  }
+  std::vector<int> remaining = g.indegree;
+  std::vector<double> arrival(n, 0.0);  // latest pred finish (+ message)
+  std::vector<double> finish_time(n, 0.0);
+  std::vector<double> start_time(n, 0.0);
+  std::vector<std::size_t> next_in_list(np, 0);
+  std::vector<double> proc_avail(np, 0.0);
+  std::unordered_set<long long> message_keys;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  long done = 0;
+
+  // Starts every processor whose head task has all predecessors finished.
+  auto start_heads = [&](double now) {
+    for (int p = 0; p < np; ++p) {
+      while (next_in_list[p] < schedule.proc_lists[p].size()) {
+        int id = schedule.proc_lists[p][next_in_list[p]];
+        if (remaining[id] != 0) break;  // blocked on a predecessor
+        double s = std::max({now, proc_avail[p], arrival[id]});
+        start_time[id] = s;
+        double dur = machine.compute_seconds(actual_flops[id]);
+        finish_time[id] = s + dur;
+        res.busy_seconds[p] += dur;
+        proc_avail[p] = finish_time[id];
+        events.push({finish_time[id], 1, id});
+        ++next_in_list[p];
+        // Keep going: the next list entry may already be unblocked; it
+        // queues behind this one via proc_avail.
+      }
+    }
+  };
+
+  start_heads(0.0);
+  while (!events.empty()) {
+    Event ev = events.top();
+    events.pop();
+    int id = ev.id;
+    ++done;
+    res.makespan = std::max(res.makespan, finish_time[id]);
+    for (int s : g.succ[id]) {
+      double delay = 0.0;
+      if (proc_of[s] != proc_of[id]) {
+        double bytes = edge_bytes(costs, id);
+        delay = machine.message_seconds(bytes);
+        long long key = static_cast<long long>(id) * np + proc_of[s];
+        if (message_keys.insert(key).second) {
+          ++res.messages;
+          res.message_bytes += bytes;
+        }
+      }
+      arrival[s] = std::max(arrival[s], finish_time[id] + delay);
+      --remaining[s];
+    }
+    start_heads(ev.time);
+  }
+  assert(done == n);
+  (void)done;
+
+  if (keep_trace) {
+    res.trace.reserve(n);
+    for (int id = 0; id < n; ++id) {
+      res.trace.push_back({id, proc_of[id], start_time[id], finish_time[id]});
+    }
+    std::sort(res.trace.begin(), res.trace.end(),
+              [](const SimulatedTask& a, const SimulatedTask& b) {
+                return a.start != b.start ? a.start < b.start : a.task < b.task;
+              });
+  }
+  return res;
+}
+
+std::vector<double> perturb_costs(const std::vector<double>& flops, double spread,
+                                  std::uint64_t seed) {
+  std::vector<double> out(flops.size());
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    // splitmix64 of (i, seed) -> uniform in [-1, 1].
+    std::uint64_t z = (static_cast<std::uint64_t>(i) + 0x9e3779b97f4a7c15ull) *
+                      (seed * 2 + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    double u = 2.0 * (static_cast<double>(z >> 11) * 0x1.0p-53) - 1.0;
+    out[i] = flops[i] * std::exp(u * spread);
+  }
+  return out;
+}
+
+bool validate_trace(const taskgraph::TaskGraph& g, const SimulationResult& r,
+                    const MachineModel& machine) {
+  const double eps = 1e-12;
+  if (static_cast<int>(r.trace.size()) != g.size()) return false;
+  std::vector<double> start(g.size()), finish(g.size());
+  std::vector<int> proc(g.size());
+  std::vector<std::vector<std::pair<double, double>>> per_proc(r.busy_seconds.size());
+  for (const SimulatedTask& t : r.trace) {
+    start[t.task] = t.start;
+    finish[t.task] = t.finish;
+    proc[t.task] = t.processor;
+    per_proc[t.processor].push_back({t.start, t.finish});
+  }
+  // Non-overlap per processor.
+  for (auto& iv : per_proc) {
+    std::sort(iv.begin(), iv.end());
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+      if (iv[i].first < iv[i - 1].second - eps) return false;
+    }
+  }
+  // Edge ordering (with at least the compute dependence; message delays make
+  // the gap larger, so >= finish is the conservative check).
+  (void)machine;
+  for (int u = 0; u < g.size(); ++u) {
+    for (int v : g.succ[u]) {
+      if (start[v] < finish[u] - eps) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace plu::rt

@@ -1,0 +1,151 @@
+// Discrete-event simulation of the task graph on a P-processor machine
+// (the RAPID stand-in; DESIGN.md section 3).
+//
+// Two placement models:
+//
+//   kFreeSchedule (default; models RAPID on the ccNUMA Origin 2000): any
+//   idle processor takes the highest-priority enabled task; an edge whose
+//   endpoints ran on different processors delays the consumer by the edge's
+//   payload (panel data for F->U, the update's column footprint for U->U
+//   and U->F).  Independent-subtree updates to one column may run
+//   concurrently -- they write disjoint blocks (Theorem 4) -- which is
+//   precisely the parallelism the eforest graph exposes and the S* chain
+//   forbids.
+//
+//   kOwnerComputes (ablation; models a strict 1-D distributed-memory
+//   execution): Factor(k) and every Update(*, k) run on owner(k) =
+//   k mod P, serializing all updates into a column on its owner.  Under
+//   this model the two dependence graphs schedule almost identically --
+//   the motivation for measuring both.
+//
+// Each processor executes one task at a time; priority is the bottom level
+// (critical-path list scheduling) or FIFO for the A5 ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/machine_model.h"
+#include "taskgraph/analysis.h"
+#include "taskgraph/build.h"
+#include "taskgraph/costs.h"
+
+namespace plu::rt {
+
+enum class SchedulePolicy {
+  kCriticalPath,  // bottom-level priorities
+  kFifo,          // ready order (A5 ablation baseline)
+};
+
+enum class MappingPolicy {
+  kFreeSchedule,   // any idle processor takes the best enabled task
+  kOwnerComputes,  // tasks pinned to owner(target column) = j mod P
+};
+
+struct SimulatedTask {
+  int task = 0;
+  int processor = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct SimulationResult {
+  double makespan = 0.0;
+  std::vector<double> busy_seconds;  // per processor
+  long messages = 0;
+  double message_bytes = 0.0;
+  std::vector<SimulatedTask> trace;  // in start-time order
+
+  double efficiency(double serial_seconds) const {
+    return makespan > 0.0
+               ? serial_seconds / (makespan * static_cast<double>(busy_seconds.size()))
+               : 0.0;
+  }
+};
+
+/// Simulates the graph on the machine.  `costs` must match g.tasks.
+SimulationResult simulate(const taskgraph::TaskGraph& g,
+                          const taskgraph::TaskCosts& costs,
+                          const MachineModel& machine,
+                          SchedulePolicy policy = SchedulePolicy::kCriticalPath,
+                          bool keep_trace = false,
+                          MappingPolicy mapping = MappingPolicy::kFreeSchedule);
+
+/// Serial time under the same model (P = 1, no messages).
+double simulated_serial_seconds(const taskgraph::TaskCosts& costs,
+                                const MachineModel& machine);
+
+// ---------------------------------------------------------------------------
+// Static-schedule replay (the RAPID execution model)
+// ---------------------------------------------------------------------------
+// RAPID is an inspector/executor system: it computes one fixed schedule --
+// a task-to-processor mapping plus a per-processor execution ORDER -- from
+// cost estimates, then the executor runs each processor's list in order,
+// blocking until the next task's inputs arrive.  When actual task times
+// deviate from the estimates, a false dependence means a processor sits
+// blocked behind a late predecessor it never really needed; a graph with
+// only the least necessary dependences degrades gracefully.  This is the
+// regime where the paper's Figures 5-6 improvements live: a fully dynamic
+// work-conserving scheduler (simulate() above) absorbs the S* chains almost
+// completely, because list scheduling releases updates in ascending source
+// order anyway.
+
+struct StaticSchedule {
+  /// proc_lists[p] = task ids in execution order on processor p.
+  std::vector<std::vector<int>> proc_lists;
+};
+
+/// Plans a schedule by running simulate() on the estimated costs and
+/// recording each processor's task order.
+StaticSchedule plan_schedule(const taskgraph::TaskGraph& g,
+                             const taskgraph::TaskCosts& costs,
+                             const MachineModel& machine,
+                             SchedulePolicy policy = SchedulePolicy::kCriticalPath,
+                             MappingPolicy mapping = MappingPolicy::kFreeSchedule);
+
+/// Executes the fixed schedule with actual per-task times
+/// `actual_flops[id]` (same shape as costs.flops); every processor runs its
+/// list strictly in order, waiting for graph predecessors (plus message
+/// delays for cross-processor edges).  Returns the realized makespan etc.
+SimulationResult replay_schedule(const taskgraph::TaskGraph& g,
+                                 const taskgraph::TaskCosts& costs,
+                                 const std::vector<double>& actual_flops,
+                                 const MachineModel& machine,
+                                 const StaticSchedule& schedule,
+                                 bool keep_trace = false);
+
+/// Deterministic multiplicative perturbation of task costs: each flop count
+/// is scaled by exp(u * spread) with u in [-1, 1] derived from a hash of
+/// (task id, seed).  Models BLAS timing variance / cache effects between
+/// the inspector's estimate and the executor's reality.
+std::vector<double> perturb_costs(const std::vector<double>& flops,
+                                  double spread, std::uint64_t seed);
+
+/// Graph-shape-agnostic free-schedule simulation: any DAG given as
+/// successor lists with per-task flops and output payloads (the bytes a
+/// remote consumer must fetch).  This is what the 2-D task graphs
+/// (taskgraph/build2d.h) run through.  Priorities empty => bottom levels.
+SimulationResult simulate_dag(const std::vector<std::vector<int>>& succ,
+                              const std::vector<int>& indegree,
+                              const std::vector<double>& flops,
+                              const std::vector<double>& output_bytes,
+                              const MachineModel& machine,
+                              const std::vector<double>& priorities = {});
+
+/// Owner-computes variant of simulate_dag: task id runs on owner_of[id]
+/// (must be < machine.processors).  Used for 2-D block-cyclic process-grid
+/// placements of the 2-D task graphs.
+SimulationResult simulate_dag_pinned(const std::vector<std::vector<int>>& succ,
+                                     const std::vector<int>& indegree,
+                                     const std::vector<double>& flops,
+                                     const std::vector<double>& output_bytes,
+                                     const MachineModel& machine,
+                                     const std::vector<int>& owner_of,
+                                     const std::vector<double>& priorities = {});
+
+/// Checks the trace against the graph: per-processor non-overlap and every
+/// edge ordered (test helper).
+bool validate_trace(const taskgraph::TaskGraph& g, const SimulationResult& r,
+                    const MachineModel& machine);
+
+}  // namespace plu::rt

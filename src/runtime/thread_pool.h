@@ -1,0 +1,42 @@
+// Minimal fixed-size thread pool (shared-memory execution substrate).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace plu::rt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; jobs may enqueue further jobs.
+  void submit(std::function<void()> job);
+
+  /// Blocks until all submitted jobs (including transitively submitted ones)
+  /// have finished.
+  void wait_idle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_job_;
+  std::condition_variable cv_idle_;
+  int in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace plu::rt

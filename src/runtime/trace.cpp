@@ -1,0 +1,70 @@
+#include "runtime/trace.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "taskgraph/tasks.h"
+
+namespace plu::rt {
+
+namespace {
+
+char glyph_for(int task) {
+  static const char* kGlyphs =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+  return kGlyphs[task % 62];
+}
+
+}  // namespace
+
+void write_ascii_gantt(std::ostream& os, const SimulationResult& r,
+                       const GanttOptions& opt) {
+  const int np = static_cast<int>(r.busy_seconds.size());
+  if (r.makespan <= 0.0 || r.trace.empty()) {
+    os << "(empty trace)\n";
+    return;
+  }
+  const double scale = opt.width / r.makespan;
+  std::vector<std::string> rows(np, std::string(opt.width, '.'));
+  for (const SimulatedTask& t : r.trace) {
+    int from = std::min(opt.width - 1, static_cast<int>(t.start * scale));
+    int to = std::min(opt.width - 1, static_cast<int>(t.finish * scale));
+    for (int c = from; c <= to; ++c) rows[t.processor][c] = glyph_for(t.task);
+  }
+  for (int p = 0; p < np; ++p) {
+    os << "P" << p << " |" << rows[p] << "|\n";
+  }
+  os << "    0" << std::string(std::max(0, opt.width - 12), ' ')
+     << r.makespan << " s\n";
+}
+
+void write_trace_csv(std::ostream& os, const SimulationResult& r,
+                     const taskgraph::TaskList* tasks) {
+  os << "task,label,processor,start,finish\n";
+  for (const SimulatedTask& t : r.trace) {
+    std::string label =
+        tasks ? taskgraph::to_string(tasks->task(t.task)) : std::to_string(t.task);
+    os << t.task << ',' << label << ',' << t.processor << ',' << t.start << ','
+       << t.finish << '\n';
+  }
+}
+
+std::string utilization_summary(const SimulationResult& r) {
+  std::ostringstream os;
+  double total = 0.0;
+  os << "utilization:";
+  for (std::size_t p = 0; p < r.busy_seconds.size(); ++p) {
+    double u = r.makespan > 0 ? r.busy_seconds[p] / r.makespan : 0.0;
+    total += u;
+    os << " P" << p << "=" << static_cast<int>(100 * u + 0.5) << "%";
+  }
+  if (!r.busy_seconds.empty()) {
+    os << "  mean="
+       << static_cast<int>(100 * total / r.busy_seconds.size() + 0.5) << "%";
+  }
+  return os.str();
+}
+
+}  // namespace plu::rt

@@ -1,0 +1,32 @@
+// Schedule trace rendering: turn a SimulationResult trace into an ASCII
+// Gantt chart or a CSV stream for external plotting.  Used by the
+// taskgraph explorer example and the benches' --trace diagnostics.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/simulator.h"
+#include "taskgraph/build.h"
+
+namespace plu::rt {
+
+struct GanttOptions {
+  int width = 100;         // character columns for the time axis
+  int max_label_len = 10;  // task label budget per cell
+};
+
+/// Renders the trace as one row per processor; each task paints its span
+/// with an identifying letter (cycling A..Z a..z 0..9).  Idle time is '.'.
+void write_ascii_gantt(std::ostream& os, const SimulationResult& r,
+                       const GanttOptions& opt = {});
+
+/// CSV: task,label,processor,start,finish (label resolved from `tasks` when
+/// provided, else the numeric id).
+void write_trace_csv(std::ostream& os, const SimulationResult& r,
+                     const taskgraph::TaskList* tasks = nullptr);
+
+/// Utilization summary: per-processor busy fraction plus the mean.
+std::string utilization_summary(const SimulationResult& r);
+
+}  // namespace plu::rt

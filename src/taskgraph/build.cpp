@@ -1,0 +1,167 @@
+#include "taskgraph/build.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace plu::taskgraph {
+
+long TaskGraph::num_edges() const {
+  long e = 0;
+  for (const auto& s : succ) e += static_cast<long>(s.size());
+  return e;
+}
+
+TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind) {
+  const int nb = bs.num_blocks();
+  std::vector<std::vector<int>> u_targets(nb);
+  for (int k = 0; k < nb; ++k) u_targets[k] = bs.u_blocks(k);
+
+  TaskGraph g;
+  g.kind = kind;
+  g.tasks = TaskList(u_targets);
+  g.succ.assign(g.size(), {});
+  g.indegree.assign(g.size(), 0);
+  auto add_edge = [&](int from, int to) {
+    g.succ[from].push_back(to);
+    ++g.indegree[to];
+  };
+
+  // Common rule: F(k) -> U(k, j).
+  for (int k = 0; k < nb; ++k) {
+    auto [b, e] = g.tasks.update_range(k);
+    for (int id = b; id < e; ++id) {
+      add_edge(g.tasks.factor_id(k), id);
+    }
+  }
+
+  if (kind == GraphKind::kSStar || kind == GraphKind::kSStarProgramOrder) {
+    // Chain updates into each target by ascending source index; the target's
+    // Factor waits for the tail of the chain.
+    std::vector<int> last_update(nb, -1);  // per target column j
+    // Update ids are grouped by source k ascending, so scanning k ascending
+    // visits each target's updates in ascending source order.
+    for (int k = 0; k < nb; ++k) {
+      auto [b, e] = g.tasks.update_range(k);
+      for (int id = b; id < e; ++id) {
+        int j = g.tasks.task(id).j;
+        if (last_update[j] != -1) {
+          add_edge(last_update[j], id);
+        }
+        last_update[j] = id;
+      }
+    }
+    for (int j = 0; j < nb; ++j) {
+      if (last_update[j] != -1) {
+        add_edge(last_update[j], g.tasks.factor_id(j));
+      }
+    }
+    if (kind == GraphKind::kSStarProgramOrder) {
+      // Sequential inner-loop order: panel k's fan-out is a chain.
+      for (int k = 0; k < nb; ++k) {
+        auto [b, e] = g.tasks.update_range(k);
+        for (int id = b; id + 1 < e; ++id) {
+          add_edge(id, id + 1);
+        }
+      }
+    }
+  } else {
+    // Eforest rules 4 and 5.  On a fully George-Ng-closed block pattern,
+    // Theorem 1 guarantees U(parent(i), k) exists whenever U(i, k) does and
+    // parent(i) < k; the production pattern is only pairwise-closed (see
+    // symbolic/blocks.h), so the rule generalizes to the NEAREST ancestor
+    // with an update into k -- the chain skips ancestors whose blocks in
+    // column k are structurally absent (nothing to order against there).
+    const graph::Forest& t = bs.beforest;
+    for (int i = 0; i < nb; ++i) {
+      auto [b, e] = g.tasks.update_range(i);
+      for (int id = b; id < e; ++id) {
+        int k = g.tasks.task(id).j;
+        int a = t.parent(i);
+        // parent(i) <= k always: parent is the first off-diagonal entry of
+        // row i of the block Ubar, and (i, k) is such an entry.
+        while (a != graph::kNone && a < k) {
+          int next = g.tasks.update_id(a, k);
+          if (next != -1) {
+            add_edge(id, next);
+            break;
+          }
+          a = t.parent(a);
+        }
+        if (a == k) {
+          add_edge(id, g.tasks.factor_id(k));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph build_task_graph_from_compact(const symbolic::CompactStorage& cs,
+                                        int num_block_columns) {
+  const int nb = num_block_columns;
+  assert(cs.size() == nb);
+  const graph::Forest& t = cs.eforest();
+
+  // Update sources per target column: the ancestor closure of the column's
+  // U-subtree leaves (exactly Section 2's reconstruction).  Collected per
+  // target, then regrouped by source for the TaskList layout.
+  std::vector<std::vector<int>> u_targets(nb);
+  {
+    std::vector<int> mark(nb, -1);
+    for (int k = 0; k < nb; ++k) {
+      for (int leaf : cs.col_leaves(k)) {
+        int v = leaf;
+        while (v != graph::kNone && v < k && mark[v] != k) {
+          mark[v] = k;
+          u_targets[v].push_back(k);
+          v = t.parent(v);
+        }
+      }
+    }
+    for (auto& targets : u_targets) std::sort(targets.begin(), targets.end());
+  }
+
+  TaskGraph g;
+  g.kind = GraphKind::kEforest;
+  g.tasks = TaskList(u_targets);
+  g.succ.assign(g.size(), {});
+  g.indegree.assign(g.size(), 0);
+  auto add_edge = [&](int from, int to) {
+    g.succ[from].push_back(to);
+    ++g.indegree[to];
+  };
+  for (int i = 0; i < nb; ++i) {
+    auto [b, e] = g.tasks.update_range(i);
+    const int parent = t.parent(i);
+    for (int id = b; id < e; ++id) {
+      add_edge(g.tasks.factor_id(i), id);
+      const int k = g.tasks.task(id).j;
+      if (parent == graph::kNone) continue;
+      if (parent == k) {
+        add_edge(id, g.tasks.factor_id(k));
+      } else if (parent < k) {
+        // Ancestor closure of the reconstruction guarantees the parent's
+        // update into k exists -- no climb needed, unlike the raw-pattern
+        // construction.
+        int next = g.tasks.update_id(parent, k);
+        assert(next != -1);
+        if (next != -1) add_edge(id, next);
+      }
+    }
+  }
+  return g;
+}
+
+std::string to_string(GraphKind k) {
+  switch (k) {
+    case GraphKind::kSStar:
+      return "sstar";
+    case GraphKind::kSStarProgramOrder:
+      return "sstar-program-order";
+    case GraphKind::kEforest:
+      return "eforest";
+  }
+  return "?";
+}
+
+}  // namespace plu::taskgraph

@@ -1,0 +1,220 @@
+#include "taskgraph/build2d.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "blas/level3.h"
+
+namespace plu::taskgraph {
+
+std::string to_string(const Task2D& t) {
+  std::ostringstream os;
+  switch (t.kind) {
+    case Task2DKind::kFactorDiag:
+      os << "FD(" << t.k << ")";
+      break;
+    case Task2DKind::kFactorL:
+      os << "FL(" << t.i << "," << t.k << ")";
+      break;
+    case Task2DKind::kComputeU:
+      os << "CU(" << t.k << "," << t.j << ")";
+      break;
+    case Task2DKind::kUpdateBlock:
+      os << "UB(" << t.i << "," << t.k << "," << t.j << ")";
+      break;
+  }
+  return os.str();
+}
+
+long TaskGraph2D::num_edges() const {
+  long e = 0;
+  for (const auto& s : succ) e += static_cast<long>(s.size());
+  return e;
+}
+
+namespace {
+
+/// Index of `value` in a sorted vector; -1 when absent.
+int sorted_index(const std::vector<int>& v, int value) {
+  auto it = std::lower_bound(v.begin(), v.end(), value);
+  if (it == v.end() || *it != value) return -1;
+  return static_cast<int>(it - v.begin());
+}
+
+}  // namespace
+
+TaskGraph2D build_task_graph_2d(const symbolic::BlockStructure& bs) {
+  const int nb = bs.num_blocks();
+  TaskGraph2D g;
+
+  // Enumerate: FD per block, then FL/CU per stage, then UB per product.
+  std::vector<int> fd_id(nb);
+  std::vector<std::vector<int>> lblocks(nb), ublocks(nb);
+  std::vector<std::vector<int>> fl_id(nb), cu_id(nb);  // parallel to the lists
+  for (int k = 0; k < nb; ++k) {
+    lblocks[k] = bs.l_blocks(k);
+    ublocks[k] = bs.u_blocks(k);
+  }
+  auto add_task = [&](Task2D t) {
+    g.tasks.push_back(t);
+    return static_cast<int>(g.tasks.size()) - 1;
+  };
+  for (int k = 0; k < nb; ++k) {
+    fd_id[k] = add_task({Task2DKind::kFactorDiag, k, k, k});
+  }
+  for (int k = 0; k < nb; ++k) {
+    fl_id[k].reserve(lblocks[k].size());
+    for (int i : lblocks[k]) {
+      fl_id[k].push_back(add_task({Task2DKind::kFactorL, i, k, k}));
+    }
+    cu_id[k].reserve(ublocks[k].size());
+    for (int j : ublocks[k]) {
+      cu_id[k].push_back(add_task({Task2DKind::kComputeU, k, k, j}));
+    }
+  }
+  // Updates and all edges.
+  g.succ.assign(g.tasks.size(), {});  // grows as UB tasks are appended
+  g.indegree.assign(g.tasks.size(), 0);
+  auto add_edge = [&](int from, int to) {
+    g.succ[from].push_back(to);
+    ++g.indegree[to];
+  };
+  for (int k = 0; k < nb; ++k) {
+    for (std::size_t li = 0; li < lblocks[k].size(); ++li) {
+      add_edge(fd_id[k], fl_id[k][li]);
+    }
+    for (std::size_t uj = 0; uj < ublocks[k].size(); ++uj) {
+      add_edge(fd_id[k], cu_id[k][uj]);
+    }
+    for (std::size_t li = 0; li < lblocks[k].size(); ++li) {
+      const int i = lblocks[k][li];
+      for (std::size_t uj = 0; uj < ublocks[k].size(); ++uj) {
+        const int j = ublocks[k][uj];
+        int ub = static_cast<int>(g.tasks.size());
+        g.tasks.push_back({Task2DKind::kUpdateBlock, i, k, j});
+        g.succ.emplace_back();
+        g.indegree.push_back(0);
+        add_edge(fl_id[k][li], ub);
+        add_edge(cu_id[k][uj], ub);
+        // Consumer of block (i, j).
+        int consumer = -1;
+        if (i == j) {
+          consumer = fd_id[j];
+        } else if (i > j) {
+          int pos = sorted_index(lblocks[j], i);
+          assert(pos >= 0 && "pairwise closure violated: L target missing");
+          consumer = fl_id[j][pos];
+        } else {
+          int pos = sorted_index(ublocks[i], j);
+          assert(pos >= 0 && "pairwise closure violated: U target missing");
+          consumer = cu_id[i][pos];
+        }
+        if (consumer >= 0) add_edge(ub, consumer);
+      }
+    }
+  }
+
+  // Costs.
+  const auto& part = bs.part;
+  g.flops.assign(g.tasks.size(), 0.0);
+  g.output_bytes.assign(g.tasks.size(), 0.0);
+  for (int id = 0; id < g.size(); ++id) {
+    const Task2D& t = g.tasks[id];
+    const int wi = part.width(t.i);
+    const int wk = part.width(t.k);
+    const int wj = part.width(t.j);
+    switch (t.kind) {
+      case Task2DKind::kFactorDiag:
+        g.flops[id] = blas::getrf_flops(wk, wk);
+        g.output_bytes[id] = 8.0 * wk * wk;
+        break;
+      case Task2DKind::kFactorL:
+        g.flops[id] = blas::trsm_flops(blas::Side::Right, wi, wk);
+        g.output_bytes[id] = 8.0 * wi * wk;
+        break;
+      case Task2DKind::kComputeU:
+        g.flops[id] = blas::trsm_flops(blas::Side::Left, wk, wj);
+        g.output_bytes[id] = 8.0 * wk * wj;
+        break;
+      case Task2DKind::kUpdateBlock:
+        g.flops[id] = blas::gemm_flops(wi, wj, wk);
+        g.output_bytes[id] = 8.0 * wi * wj;
+        break;
+    }
+    g.total_flops += g.flops[id];
+  }
+  return g;
+}
+
+std::vector<int> topological_order(const TaskGraph2D& g) {
+  std::vector<int> indeg = g.indegree;
+  std::vector<int> order;
+  order.reserve(g.size());
+  std::vector<int> stack;
+  for (int v = 0; v < g.size(); ++v) {
+    if (indeg[v] == 0) stack.push_back(v);
+  }
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (int s : g.succ[v]) {
+      if (--indeg[s] == 0) stack.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != g.size()) order.clear();
+  return order;
+}
+
+double critical_path_2d(const TaskGraph2D& g) {
+  std::vector<int> order = topological_order(g);
+  std::vector<double> dist(g.size(), 0.0);
+  double best = 0.0;
+  for (int v : order) {
+    dist[v] += g.flops[v];
+    best = std::max(best, dist[v]);
+    for (int s : g.succ[v]) dist[s] = std::max(dist[s], dist[v]);
+  }
+  return best;
+}
+
+std::vector<int> owners_2d(const TaskGraph2D& g, int pr, int pc) {
+  std::vector<int> owners(g.size());
+  for (int id = 0; id < g.size(); ++id) {
+    const Task2D& t = g.tasks[id];
+    int i = 0, j = 0;
+    switch (t.kind) {
+      case Task2DKind::kFactorDiag:
+        i = j = t.k;
+        break;
+      case Task2DKind::kFactorL:
+        i = t.i;
+        j = t.k;
+        break;
+      case Task2DKind::kComputeU:
+        i = t.k;
+        j = t.j;
+        break;
+      case Task2DKind::kUpdateBlock:
+        i = t.i;
+        j = t.j;
+        break;
+    }
+    owners[id] = (i % pr) * pc + (j % pc);
+  }
+  return owners;
+}
+
+std::vector<double> bottom_levels_2d(const TaskGraph2D& g) {
+  std::vector<int> order = topological_order(g);
+  std::vector<double> bl(g.size(), 0.0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    double best = 0.0;
+    for (int s : g.succ[*it]) best = std::max(best, bl[s]);
+    bl[*it] = g.flops[*it] + best;
+  }
+  return bl;
+}
+
+}  // namespace plu::taskgraph

@@ -1,0 +1,82 @@
+// 2-D task decomposition (the paper's first "future work" item: "extend our
+// methods for a 2D partitioning of the matrix"; realized later in the
+// literature by S+ 2.0, Shen/Jiao/Yang's elimination-forest-guided 2-D
+// sparse LU).
+//
+// Where the 1-D model has one Factor task per block column and one Update
+// per U block, the 2-D model splits both along the row partition:
+//
+//   FactorDiag(k)      getrf with (block-local) pivoting on B_kk;
+//   FactorL(i, k)      L_ik := B_ik U_kk^{-1}            (i > k, L block)
+//   ComputeU(k, j)     U_kj := L_kk^{-1} P_k B_kj        (j > k, U block)
+//   UpdateBlock(i,k,j) B_ij -= L_ik U_kj                 (gemm per block)
+//
+// Dependences:
+//   FD(k) -> FL(i, k) and FD(k) -> CU(k, j);
+//   FL(i, k) -> UB(i, k, j), CU(k, j) -> UB(i, k, j);
+//   UB(i, k, j) -> the task that consumes block (i, j):
+//     FD(j) when i == j;  FL(i, j) when i > j;  CU(j, i)... no: CU(i, j)
+//     when i < j (block (i, j) is a U block of row i).
+//   Updates into the same block from different source panels are unordered
+//   (additive); the chain-vs-tree distinction of the 1-D Section 4 story
+//   collapses because the consumer edge already gives the least necessary
+//   ordering at this granularity.
+//
+// This module exists at the cost-model level: it builds the 2-D task graph
+// and its flop/byte costs from the same BlockStructure so the simulator can
+// contrast 1-D vs 2-D scalability (bench_ablation_2d).  The 2-D *numeric*
+// execution (block-local pivoting with row swaps confined to the diagonal
+// block, a la S+ 2.0's restricted pivoting) is out of scope here and noted
+// as such in DESIGN.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "symbolic/blocks.h"
+#include "taskgraph/build.h"
+
+namespace plu::taskgraph {
+
+enum class Task2DKind { kFactorDiag, kFactorL, kComputeU, kUpdateBlock };
+
+struct Task2D {
+  Task2DKind kind = Task2DKind::kFactorDiag;
+  int i = 0;  // row block (== k for FactorDiag / ComputeU)
+  int k = 0;  // pivot block (the panel stage)
+  int j = 0;  // column block (== k for FactorDiag / FactorL)
+};
+
+std::string to_string(const Task2D& t);
+
+/// 2-D task graph over a block structure, with costs, in one container
+/// (tasks are heterogeneous enough that reusing TaskList would obscure it).
+struct TaskGraph2D {
+  std::vector<Task2D> tasks;
+  std::vector<std::vector<int>> succ;
+  std::vector<int> indegree;
+  std::vector<double> flops;
+  std::vector<double> output_bytes;
+  double total_flops = 0.0;
+
+  int size() const { return static_cast<int>(tasks.size()); }
+  long num_edges() const;
+};
+
+TaskGraph2D build_task_graph_2d(const symbolic::BlockStructure& bs);
+
+/// Topological order; empty if cyclic (it never is, by construction).
+std::vector<int> topological_order(const TaskGraph2D& g);
+
+/// Weighted critical path length (flops).
+double critical_path_2d(const TaskGraph2D& g);
+
+/// Bottom levels for list scheduling.
+std::vector<double> bottom_levels_2d(const TaskGraph2D& g);
+
+/// 2-D block-cyclic owner map for a pr x pc process grid: a task with
+/// target block (i, j) runs on (i mod pr) * pc + (j mod pc).  FactorDiag,
+/// FactorL and ComputeU own their output block; UpdateBlock owns (i, j).
+std::vector<int> owners_2d(const TaskGraph2D& g, int pr, int pc);
+
+}  // namespace plu::taskgraph

@@ -1,0 +1,50 @@
+#include "taskgraph/tasks.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace plu::taskgraph {
+
+std::string to_string(const Task& t) {
+  std::ostringstream os;
+  if (t.kind == TaskKind::kFactor) {
+    os << "F(" << t.k << ")";
+  } else {
+    os << "U(" << t.k << "," << t.j << ")";
+  }
+  return os.str();
+}
+
+TaskList::TaskList(const std::vector<std::vector<int>>& u_targets) {
+  num_cols_ = static_cast<int>(u_targets.size());
+  tasks_.reserve(num_cols_);
+  for (int k = 0; k < num_cols_; ++k) {
+    tasks_.push_back({TaskKind::kFactor, k, k});
+  }
+  update_ptr_.assign(num_cols_ + 1, num_cols_);
+  for (int k = 0; k < num_cols_; ++k) {
+    update_ptr_[k] = static_cast<int>(tasks_.size());
+    for (int j : u_targets[k]) {
+      tasks_.push_back({TaskKind::kUpdate, k, j});
+    }
+  }
+  update_ptr_[num_cols_] = static_cast<int>(tasks_.size());
+}
+
+int TaskList::update_id(int k, int j) const {
+  int lo = update_ptr_[k];
+  int hi = update_ptr_[k + 1];
+  // Targets are ascending within the segment.
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    if (tasks_[mid].j < j) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < update_ptr_[k + 1] && tasks_[lo].j == j) return lo;
+  return -1;
+}
+
+}  // namespace plu::taskgraph

@@ -1,0 +1,58 @@
+// Task vocabulary of the 1-D block-column sparse LU (Section 4):
+//   Factor(k)   - factor block column k (find its pivot sequence);
+//   Update(k,j) - update block column j with the factored panel k
+//                 (exists for k < j with block B_kj structurally nonzero).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace plu::taskgraph {
+
+enum class TaskKind { kFactor, kUpdate };
+
+struct Task {
+  TaskKind kind = TaskKind::kFactor;
+  int k = 0;  // source block column (the panel)
+  int j = 0;  // target block column (== k for Factor)
+
+  friend bool operator==(const Task& a, const Task& b) {
+    return a.kind == b.kind && a.k == b.k && a.j == b.j;
+  }
+};
+
+std::string to_string(const Task& t);
+
+/// Indexed task list: tasks are laid out Factor(0..N-1) first, then all
+/// Update tasks grouped by source panel k with ascending target j, which
+/// makes (k, j) -> id lookup a binary search.
+class TaskList {
+ public:
+  TaskList() = default;
+
+  /// Builds from the U-block lists: u_targets[k] = ascending j > k with
+  /// B_kj nonzero.
+  explicit TaskList(const std::vector<std::vector<int>>& u_targets);
+
+  int size() const { return static_cast<int>(tasks_.size()); }
+  int num_columns() const { return num_cols_; }
+  const Task& task(int id) const { return tasks_[id]; }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  int factor_id(int k) const { return k; }
+
+  /// Id of Update(k, j); -1 when absent.
+  int update_id(int k, int j) const;
+
+  /// All Update(k, *) ids, ascending j.
+  std::pair<int, int> update_range(int k) const {
+    return {update_ptr_[k], update_ptr_[k + 1]};
+  }
+
+ private:
+  int num_cols_ = 0;
+  std::vector<Task> tasks_;
+  std::vector<int> update_ptr_;  // per-panel offsets into the update segment
+};
+
+}  // namespace plu::taskgraph

@@ -1,0 +1,129 @@
+// BLAS level-1 kernels: values, strides, edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "blas/level1.h"
+#include "test_helpers.h"
+
+namespace plu::blas {
+namespace {
+
+TEST(Axpy, ContiguousAddsScaledVector) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {10, 20, 30};
+  axpy(3, 2.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{12, 24, 36}));
+}
+
+TEST(Axpy, ZeroAlphaIsNoop) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  axpy(3, 0.0, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{4, 5, 6}));
+}
+
+TEST(Axpy, StridedAccess) {
+  std::vector<double> x = {1, -1, 2, -1, 3, -1};  // stride 2: 1, 2, 3
+  std::vector<double> y = {0, 0, 0, 0, 0, 0};     // stride 2
+  axpy(3, 1.0, x.data(), 2, y.data(), 2);
+  EXPECT_EQ(y, (std::vector<double>{1, 0, 2, 0, 3, 0}));
+}
+
+TEST(Scal, ScalesContiguousAndStrided) {
+  std::vector<double> x = {1, 2, 3, 4};
+  scal(4, 3.0, x.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{3, 6, 9, 12}));
+  scal(2, 0.5, x.data(), 2);  // elements 0 and 2
+  EXPECT_EQ(x, (std::vector<double>{1.5, 6, 4.5, 12}));
+}
+
+TEST(Dot, MatchesManualSum) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(dot(3, x.data(), 1, y.data(), 1), 4 - 10 + 18);
+}
+
+TEST(Dot, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(dot(0, nullptr, 1, nullptr, 1), 0.0);
+}
+
+TEST(Nrm2, MatchesSqrtOfSquares) {
+  std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(nrm2(2, x.data(), 1), 5.0);
+}
+
+TEST(Nrm2, AvoidsOverflowForHugeValues) {
+  std::vector<double> x = {1e300, 1e300};
+  double n = nrm2(2, x.data(), 1);
+  EXPECT_TRUE(std::isfinite(n));
+  EXPECT_NEAR(n / 1e300, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Nrm2, HandlesZerosAndDenormals) {
+  std::vector<double> x = {0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(nrm2(3, x.data(), 1), 0.0);
+  std::vector<double> tiny = {1e-320, 1e-320};
+  EXPECT_GT(nrm2(2, tiny.data(), 1), 0.0);
+}
+
+TEST(Asum, SumsAbsoluteValues) {
+  std::vector<double> x = {1, -2, 3, -4};
+  EXPECT_DOUBLE_EQ(asum(4, x.data(), 1), 10.0);
+}
+
+TEST(Iamax, FindsFirstMaxAbs) {
+  std::vector<double> x = {1, -7, 7, 2};
+  EXPECT_EQ(iamax(4, x.data(), 1), 1);  // first of the ties
+  EXPECT_EQ(iamax(0, x.data(), 1), -1);
+}
+
+TEST(Iamax, Strided) {
+  std::vector<double> x = {1, 100, 2, -3, 9, 100};
+  // stride 2 sees {1, 2, 9}
+  EXPECT_EQ(iamax(3, x.data(), 2), 2);
+}
+
+TEST(Swap, ExchangesContent) {
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {4, 5, 6};
+  swap(3, x.data(), 1, y.data(), 1);
+  EXPECT_EQ(x, (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(y, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(Copy, StridedToContiguous) {
+  std::vector<double> x = {1, 0, 2, 0, 3, 0};
+  std::vector<double> y(3, -1);
+  copy(3, x.data(), 2, y.data(), 1);
+  EXPECT_EQ(y, (std::vector<double>{1, 2, 3}));
+}
+
+/// Property sweep: axpy/dot/nrm2 against naive loops on random data.
+class Level1Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(Level1Property, AgainstNaiveReference) {
+  const int n = GetParam();
+  std::vector<double> x = test::random_vector(n, 100 + n);
+  std::vector<double> y = test::random_vector(n, 200 + n);
+  std::vector<double> y2 = y;
+  axpy(n, 1.7, x.data(), 1, y.data(), 1);
+  double expect_dot = 0.0, expect_asum = 0.0, expect_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    y2[i] += 1.7 * x[i];
+    expect_dot += x[i] * y2[i];
+    expect_asum += std::abs(x[i]);
+    expect_sq += x[i] * x[i];
+  }
+  for (int i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(y[i], y2[i]);
+  EXPECT_NEAR(dot(n, x.data(), 1, y.data(), 1), expect_dot, 1e-12 * (1 + std::abs(expect_dot)));
+  EXPECT_NEAR(asum(n, x.data(), 1), expect_asum, 1e-12 * (1 + expect_asum));
+  EXPECT_NEAR(nrm2(n, x.data(), 1), std::sqrt(expect_sq), 1e-12 * (1 + std::sqrt(expect_sq)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Level1Property,
+                         ::testing::Values(1, 2, 3, 7, 16, 33, 100, 257));
+
+}  // namespace
+}  // namespace plu::blas

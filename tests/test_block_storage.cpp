@@ -1,0 +1,138 @@
+// Dense-block storage: allocation, scatter/gather, views, row swaps.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/block_storage.h"
+#include "test_helpers.h"
+
+namespace plu {
+namespace {
+
+struct Fixture {
+  Analysis an;
+  CscMatrix permuted;
+  explicit Fixture(const CscMatrix& a) : an(analyze(a)), permuted(an.permute_input(a)) {}
+};
+
+TEST(BlockMatrix, LoadThenToDenseRoundTrips) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Fixture f(a);
+    BlockMatrix bm(f.an.blocks);
+    bm.load(f.permuted);
+    blas::DenseMatrix d = bm.to_dense();
+    for (int j = 0; j < a.cols(); ++j) {
+      for (int i = 0; i < a.rows(); ++i) {
+        EXPECT_DOUBLE_EQ(d(i, j), f.permuted.at(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(BlockMatrix, ColumnHeightsAndOffsetsConsistent) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  const auto& part = f.an.blocks.part;
+  for (int j = 0; j < bm.num_block_columns(); ++j) {
+    int h = 0;
+    for (int i : bm.column_blocks(j)) {
+      EXPECT_EQ(bm.block_offset(i, j), h);
+      h += part.width(i);
+    }
+    EXPECT_EQ(bm.column_height(j), h);
+    EXPECT_EQ(bm.panel_height(j),
+              part.width(j) + h - bm.block_offset(j, j) - part.width(j));
+  }
+}
+
+TEST(BlockMatrix, PanelIsContiguousTail) {
+  CscMatrix a = test::small_matrices()[1];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  bm.load(f.permuted);
+  const auto& part = f.an.blocks.part;
+  for (int k = 0; k < bm.num_block_columns(); ++k) {
+    blas::MatrixView p = bm.panel(k);
+    EXPECT_EQ(p.cols, part.width(k));
+    EXPECT_EQ(p.rows, bm.panel_height(k));
+    // Top-left of the panel is the diagonal block.
+    blas::MatrixView diag = bm.block(k, k);
+    EXPECT_EQ(diag.data, p.data);
+  }
+}
+
+TEST(BlockMatrix, BlockViewMatchesLoadedValues) {
+  CscMatrix a = test::small_matrices()[2];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  bm.load(f.permuted);
+  const auto& part = f.an.blocks.part;
+  for (int j = 0; j < bm.num_block_columns(); ++j) {
+    for (int i : bm.column_blocks(j)) {
+      blas::ConstMatrixView b = std::as_const(bm).block(i, j);
+      for (int c = 0; c < b.cols; ++c) {
+        for (int r = 0; r < b.rows; ++r) {
+          EXPECT_DOUBLE_EQ(b(r, c),
+                           f.permuted.at(part.first(i) + r, part.first(j) + c));
+        }
+      }
+    }
+  }
+}
+
+TEST(BlockMatrix, SwapRowsTouchesOnlyThatColumn) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  bm.load(f.permuted);
+  if (bm.column_height(0) < 2) GTEST_SKIP();
+  blas::DenseMatrix before = bm.to_dense();
+  bm.swap_rows(0, 0, 1);
+  bm.swap_rows(0, 0, 1);  // involution
+  blas::DenseMatrix after = bm.to_dense();
+  EXPECT_LT(blas::max_abs_diff(before.view(), after.view()), 1e-300);
+}
+
+TEST(BlockMatrix, PanelRowsInColumnCoverPanel) {
+  CscMatrix a = test::small_matrices()[3];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  for (int k = 0; k < bm.num_block_columns(); ++k) {
+    for (int j : f.an.blocks.u_blocks(k)) {
+      std::vector<int> rows = bm.panel_rows_in_column(k, j);
+      EXPECT_EQ(static_cast<int>(rows.size()), bm.panel_height(k));
+      // All within the column buffer and strictly increasing within blocks.
+      for (int r : rows) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, bm.column_height(j));
+      }
+    }
+  }
+}
+
+TEST(BlockMatrix, LoadRejectsEntryOutsidePattern) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  // Dense matrix of the same size has entries everywhere; most fall outside
+  // the block pattern of a sparse analysis.
+  CooMatrix dense_coo(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) dense_coo.add(i, j, 1.0);
+  }
+  EXPECT_THROW(bm.load(dense_coo.to_csc()), std::invalid_argument);
+}
+
+TEST(BlockMatrix, SetZeroClearsEverything) {
+  CscMatrix a = test::small_matrices()[4];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks);
+  bm.load(f.permuted);
+  EXPECT_GT(blas::max_abs(bm.to_dense().view()), 0.0);
+  bm.set_zero();
+  EXPECT_DOUBLE_EQ(blas::max_abs(bm.to_dense().view()), 0.0);
+  EXPECT_GT(bm.stored_doubles(), static_cast<std::size_t>(a.nnz()));
+}
+
+}  // namespace
+}  // namespace plu

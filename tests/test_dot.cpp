@@ -1,0 +1,85 @@
+// DOT exports (forests and task graphs) and dense-matrix utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "blas/dense.h"
+#include "core/analysis.h"
+#include "graph/dot_export.h"
+#include "taskgraph/analysis.h"
+#include "test_helpers.h"
+
+namespace plu {
+namespace {
+
+TEST(DotExport, ForestContainsAllNodesAndEdges) {
+  graph::Forest f(std::vector<int>{2, 2, graph::kNone, graph::kNone});
+  std::string dot = graph::forest_to_dot(f, "g");
+  EXPECT_NE(dot.find("digraph g"), std::string::npos);
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_NE(dot.find("n" + std::to_string(v) + " [label="), std::string::npos);
+  }
+  EXPECT_NE(dot.find("n0 -> n2"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n2"), std::string::npos);
+  // Roots have no outgoing edge.
+  EXPECT_EQ(dot.find("n2 -> "), std::string::npos);
+  EXPECT_EQ(dot.find("n3 -> "), std::string::npos);
+}
+
+TEST(DotExport, TaskGraphEdgesRendered) {
+  CscMatrix a = test::small_matrices()[0];
+  Analysis an = analyze(a);
+  std::ostringstream os;
+  taskgraph::write_task_graph_dot(os, an.graph, "tg");
+  std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph tg"), std::string::npos);
+  long arrow_count = 0;
+  for (std::size_t p = dot.find("->"); p != std::string::npos;
+       p = dot.find("->", p + 2)) {
+    ++arrow_count;
+  }
+  EXPECT_EQ(arrow_count, an.graph.num_edges());
+}
+
+TEST(DenseUtils, IdentityAndCopy) {
+  blas::DenseMatrix i3 = blas::DenseMatrix::identity(3);
+  EXPECT_DOUBLE_EQ(i3(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i3(0, 1), 0.0);
+  blas::DenseMatrix dst(3, 3);
+  blas::copy(i3.view(), dst.view());
+  EXPECT_LT(blas::max_abs_diff(i3.view(), dst.view()), 1e-300);
+}
+
+TEST(DenseUtils, NormsAndDiff) {
+  blas::DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = -4.0;
+  EXPECT_DOUBLE_EQ(blas::frobenius_norm(a.view()), 5.0);
+  EXPECT_DOUBLE_EQ(blas::max_abs(a.view()), 4.0);
+  blas::DenseMatrix b = a;
+  b(1, 0) = 0.5;
+  EXPECT_DOUBLE_EQ(blas::max_abs_diff(a.view(), b.view()), 0.5);
+}
+
+TEST(DenseUtils, SubviewSharesStorage) {
+  blas::DenseMatrix a(4, 4);
+  blas::MatrixView sub = a.view().block(1, 2, 2, 2);
+  sub(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(a(1, 2), 7.0);
+  EXPECT_EQ(sub.ld, 4);
+  blas::ConstMatrixView csub = std::as_const(a).view().block(1, 2, 2, 2);
+  EXPECT_DOUBLE_EQ(csub(0, 0), 7.0);
+}
+
+TEST(DenseUtils, StreamOutput) {
+  blas::DenseMatrix a(2, 2);
+  a(0, 1) = 2.5;
+  std::ostringstream os;
+  blas::ConstMatrixView view = a.view();
+  os << view;
+  std::string s = os.str();
+  EXPECT_EQ(s, "0 2.5\n0 0\n");
+}
+
+}  // namespace
+}  // namespace plu

@@ -1,0 +1,129 @@
+// LU elimination forest: Definition 1 against brute force, and the Section 2
+// structure theorems verified on real filled patterns.
+#include <gtest/gtest.h>
+
+#include "graph/eforest.h"
+#include "graph/transversal.h"
+#include "symbolic/static_symbolic.h"
+#include "test_helpers.h"
+
+namespace plu::graph {
+namespace {
+
+/// Filled pattern of a matrix after transversal + static symbolic.
+Pattern make_abar(const CscMatrix& a) {
+  Pattern p = a.pattern();
+  auto rp = zero_free_diagonal_permutation(p);
+  Pattern fixed = p.permuted(*rp, Permutation(p.cols));
+  return symbolic::static_symbolic_factorization(fixed).abar;
+}
+
+/// Brute-force Definition 1.
+Forest brute_eforest(const Pattern& abar) {
+  const int n = abar.cols;
+  std::vector<int> parent(n, kNone);
+  for (int j = 0; j < n; ++j) {
+    int l_count = 0;
+    for (int i = 0; i < n; ++i) {
+      if (i >= j && abar.contains(i, j)) ++l_count;
+    }
+    if (l_count <= 1) continue;  // |Lbar_{*j}| > 1 required
+    for (int r = j + 1; r < n; ++r) {
+      if (abar.contains(j, r)) {
+        parent[j] = r;
+        break;
+      }
+    }
+  }
+  return Forest(std::move(parent));
+}
+
+TEST(Eforest, MatchesBruteForceDefinition) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = make_abar(a);
+    EXPECT_EQ(lu_eforest(abar).parents(), brute_eforest(abar).parents())
+        << describe(a);
+  }
+}
+
+TEST(Eforest, IsTopologicalForest) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Forest f = lu_eforest(make_abar(a));
+    EXPECT_TRUE(f.valid());
+    EXPECT_TRUE(f.is_topological());
+  }
+}
+
+TEST(Eforest, RootWithoutLPartEvenIfURowNonzero) {
+  // Column 0: only the diagonal in L, but U row 0 has entries -> still root.
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(0, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(2, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  Pattern abar = symbolic::static_symbolic_factorization(coo.to_csc().pattern()).abar;
+  Forest f = lu_eforest(abar);
+  EXPECT_EQ(f.parent(0), kNone);  // no off-diagonal L in column 0
+  EXPECT_EQ(f.parent(1), 2);      // lbar_21 != 0 and ubar_12 filled
+}
+
+TEST(Eforest, StructureQueries) {
+  CscMatrix a = test::small_matrices()[0];
+  Pattern abar = make_abar(a);
+  Pattern rows = abar.transpose();
+  for (int j = 0; j < abar.cols; ++j) {
+    std::vector<int> lc = lbar_col_structure(abar, j);
+    ASSERT_FALSE(lc.empty());
+    EXPECT_EQ(lc.front(), j);  // diagonal always present and first
+    std::vector<int> uc = ubar_col_structure(abar, j);
+    EXPECT_EQ(uc.back(), j);
+    std::vector<int> lr = lbar_row_structure(rows, j);
+    EXPECT_EQ(lr.back(), j);
+  }
+}
+
+TEST(Eforest, TheoremsHoldAcrossMatrixClasses) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = make_abar(a);
+    Forest f = lu_eforest(abar);
+    EXPECT_TRUE(verify_theorem1(abar, f)) << describe(a);
+    EXPECT_TRUE(verify_theorem2(abar, f)) << describe(a);
+    EXPECT_TRUE(verify_row_branch(abar, f)) << describe(a);
+    EXPECT_TRUE(verify_candidate_disjointness(abar, f)) << describe(a);
+  }
+}
+
+TEST(Eforest, TheoremsHoldOnRandomSweep) {
+  for (int trial = 0; trial < 25; ++trial) {
+    CscMatrix a = gen::random_sparse(40 + trial, 2.0 + 0.05 * trial, 0.3, 0.7,
+                                     5000 + trial);
+    Pattern abar = make_abar(a);
+    Forest f = lu_eforest(abar);
+    EXPECT_TRUE(verify_theorem1(abar, f)) << trial;
+    EXPECT_TRUE(verify_theorem2(abar, f)) << trial;
+    EXPECT_TRUE(verify_row_branch(abar, f)) << trial;
+    EXPECT_TRUE(verify_candidate_disjointness(abar, f)) << trial;
+  }
+}
+
+TEST(Eforest, VerifiersDetectViolations) {
+  // A hand-made pattern violating Theorem 1: u_{0,3} present, parent(0)=1
+  // (via l_{1,0}), but u_{1,3} missing.  Use an unfilled pattern so the
+  // verifier must flag it.
+  CooMatrix coo(4, 4);
+  for (int i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  coo.add(1, 0, 1.0);  // gives column 0 an L entry, parent(0) = min ubar row 0
+  coo.add(0, 1, 1.0);  // parent(0) = 1
+  coo.add(0, 3, 1.0);  // u_{0,3} with no u_{1,3}
+  coo.add(2, 1, 1.0);  // make column 1 have L so node 1 is not a root
+  coo.add(1, 2, 1.0);
+  Pattern p = coo.to_csc().pattern();
+  Forest f = lu_eforest(p);
+  ASSERT_EQ(f.parent(0), 1);
+  EXPECT_FALSE(verify_theorem1(p, f));
+}
+
+}  // namespace
+}  // namespace plu::graph

@@ -1,0 +1,98 @@
+// Elimination trees: Liu's algorithm against a brute-force reference
+// (etree of the filled Cholesky pattern).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/etree.h"
+#include "test_helpers.h"
+
+namespace plu::graph {
+namespace {
+
+/// Brute-force etree: symbolic Cholesky fill on a dense boolean copy, then
+/// parent(j) = min{ i > j : filled(i, j) }.
+Forest brute_etree(const Pattern& sym) {
+  const int n = sym.cols;
+  std::vector<std::vector<char>> m(n, std::vector<char>(n, 0));
+  Pattern s = Pattern::symmetrized(sym);
+  for (int j = 0; j < n; ++j) {
+    for (const int* it = s.col_begin(j); it != s.col_end(j); ++it) m[*it][j] = 1;
+  }
+  for (int k = 0; k < n; ++k) {
+    std::vector<int> below;
+    for (int i = k + 1; i < n; ++i) {
+      if (m[i][k]) below.push_back(i);
+    }
+    for (int a : below) {
+      for (int b : below) {
+        m[a][b] = m[b][a] = 1;
+      }
+    }
+  }
+  std::vector<int> parent(n, kNone);
+  for (int j = 0; j < n; ++j) {
+    for (int i = j + 1; i < n; ++i) {
+      if (m[i][j]) {
+        parent[j] = i;
+        break;
+      }
+    }
+  }
+  return Forest(std::move(parent));
+}
+
+TEST(Etree, MatchesBruteForceOnSmallMatrices) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    if (a.rows() > 70) continue;  // brute force is O(n^3)
+    Pattern s = Pattern::symmetrized(a.pattern());
+    Forest fast = elimination_tree(s);
+    Forest slow = brute_etree(s);
+    EXPECT_EQ(fast.parents(), slow.parents()) << describe(a);
+  }
+}
+
+TEST(Etree, ChainForTridiagonal) {
+  CscMatrix a = gen::banded(10, {-1, 1}, 1.0, 0.7, 1);
+  Forest t = elimination_tree(a.pattern());
+  for (int v = 0; v + 1 < 10; ++v) EXPECT_EQ(t.parent(v), v + 1);
+  EXPECT_EQ(t.parent(9), kNone);
+}
+
+TEST(Etree, ForestForBlockDiagonal) {
+  // Two disconnected tridiagonal blocks -> two trees.
+  CooMatrix coo(6, 6);
+  for (int i = 0; i < 6; ++i) coo.add(i, i, 1.0);
+  for (int i : {0, 1}) {
+    coo.add(i, i + 1, 1.0);
+    coo.add(i + 1, i, 1.0);
+  }
+  for (int i : {3, 4}) {
+    coo.add(i, i + 1, 1.0);
+    coo.add(i + 1, i, 1.0);
+  }
+  Forest t = elimination_tree(coo.to_csc().pattern());
+  EXPECT_EQ(t.num_trees(), 2);
+  EXPECT_EQ(t.parent(2), kNone);
+  EXPECT_EQ(t.parent(5), kNone);
+}
+
+TEST(ColumnEtree, EqualsEtreeOfAta) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    if (a.rows() > 70) continue;
+    Forest direct = column_elimination_tree(a.pattern());
+    Forest via_ata = elimination_tree(Pattern::ata(a.pattern()));
+    EXPECT_EQ(direct.parents(), via_ata.parents()) << describe(a);
+  }
+}
+
+TEST(ColumnEtree, IsTopological) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Forest t = column_elimination_tree(a.pattern());
+    EXPECT_TRUE(t.is_topological());
+    EXPECT_TRUE(t.valid());
+  }
+}
+
+}  // namespace
+}  // namespace plu::graph

@@ -1,0 +1,139 @@
+// Forest utilities: construction, traversals, postorder invariants, label
+// surgery.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "graph/forest.h"
+
+namespace plu::graph {
+namespace {
+
+// A fixed forest with two trees: node 9 roots {1,2,3,4,5,6,7,8} (children
+// 5 and 8; 5 has children 1 and 4; 4 has children 2 and 3; 8 -> 7 -> 6)
+// and node 0 is a singleton tree.
+// parent array (kNone for roots):
+Forest fixture() {
+  //        0   1  2  3  4  5  6  7  8  9
+  return Forest(std::vector<int>{kNone, 5, 4, 4, 5, 9, 7, 8, 9, kNone});
+}
+
+TEST(Forest, RootsAndChildren) {
+  Forest f = fixture();
+  EXPECT_EQ(f.roots(), (std::vector<int>{0, 9}));
+  EXPECT_EQ(f.num_trees(), 2);
+  EXPECT_EQ(f.children(4), (std::vector<int>{2, 3}));
+  EXPECT_EQ(f.children(9), (std::vector<int>{5, 8}));
+  EXPECT_TRUE(f.children(0).empty());
+}
+
+TEST(Forest, ValidityRejectsCyclesAndBadIndices) {
+  EXPECT_THROW(Forest(std::vector<int>{1, 0}), std::invalid_argument);   // 2-cycle
+  EXPECT_THROW(Forest(std::vector<int>{0}), std::invalid_argument);      // self
+  EXPECT_THROW(Forest(std::vector<int>{5, kNone}), std::invalid_argument);
+  EXPECT_NO_THROW(Forest(std::vector<int>{1, kNone}));
+}
+
+TEST(Forest, AncestorQueries) {
+  Forest f = fixture();
+  EXPECT_TRUE(f.is_ancestor(9, 2));
+  EXPECT_TRUE(f.is_ancestor(4, 2));
+  EXPECT_FALSE(f.is_ancestor(2, 4));
+  EXPECT_FALSE(f.is_ancestor(2, 2));  // strict
+  EXPECT_FALSE(f.is_ancestor(8, 1));
+}
+
+TEST(Forest, SubtreeAndSizes) {
+  Forest f = fixture();
+  EXPECT_EQ(f.subtree(4), (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(f.subtree(9), (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9}));
+  std::vector<int> sz = f.subtree_sizes();
+  EXPECT_EQ(sz[4], 3);
+  EXPECT_EQ(sz[9], 9);
+  EXPECT_EQ(sz[0], 1);
+}
+
+TEST(Forest, Depths) {
+  Forest f = fixture();
+  std::vector<int> d = f.depths();
+  EXPECT_EQ(d[9], 0);
+  EXPECT_EQ(d[5], 1);
+  EXPECT_EQ(d[2], 3);
+  EXPECT_EQ(d[0], 0);
+}
+
+TEST(Forest, PostorderVisitsChildrenFirst) {
+  Forest f = fixture();
+  std::vector<int> post = f.postorder();
+  ASSERT_EQ(post.size(), 10u);
+  std::vector<int> rank(10);
+  for (int i = 0; i < 10; ++i) rank[post[i]] = i;
+  for (int v = 0; v < 10; ++v) {
+    if (f.parent(v) != kNone) {
+      EXPECT_LT(rank[v], rank[f.parent(v)]);
+    }
+  }
+  // Roots ascending: tree of 0 fully before tree of 9.
+  EXPECT_EQ(post.front(), 0);
+  EXPECT_EQ(post.back(), 9);
+}
+
+TEST(Forest, RelabelByPostorderYieldsPostorderedForest) {
+  // Start from a NON-postordered forest: subtree of 3 = {0, 2, 3} is not a
+  // contiguous label range.
+  Forest f(std::vector<int>{3, kNone, 3, kNone, 1});
+  EXPECT_FALSE(f.is_postordered());
+  Forest g = f.relabeled(f.postorder_permutation());
+  EXPECT_TRUE(g.is_postordered());
+  EXPECT_TRUE(g.is_topological());
+  EXPECT_EQ(g.num_trees(), f.num_trees());
+  // Subtree sizes are preserved as a multiset.
+  std::vector<int> sa = f.subtree_sizes(), sb = g.subtree_sizes();
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(Forest, IsPostorderedDetectsViolations) {
+  // 0 <- 1 <- 2 chain is postordered; 0 <- 2, 1 root is not contiguous.
+  EXPECT_TRUE(Forest(std::vector<int>{1, 2, kNone}).is_postordered());
+  EXPECT_FALSE(Forest(std::vector<int>{2, kNone, kNone}).is_postordered());
+}
+
+TEST(Forest, SwapAdjacentLabelsIsConsistentWithRelabeled) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random topological forest on 12 nodes.
+    const int n = 12;
+    std::vector<int> parent(n, kNone);
+    for (int v = 0; v < n - 1; ++v) {
+      std::uniform_int_distribution<int> d(v + 1, n);
+      int p = d(rng);
+      parent[v] = (p == n) ? kNone : p;
+    }
+    Forest f(parent);
+    std::uniform_int_distribution<int> pos(0, n - 2);
+    int x = pos(rng);
+    Forest via_swap = f;
+    via_swap.swap_adjacent_labels(x);
+    // Reference: relabel with the transposition permutation.
+    std::vector<int> t(n);
+    std::iota(t.begin(), t.end(), 0);
+    std::swap(t[x], t[x + 1]);
+    Forest via_relabel = f.relabeled(Permutation::from_old_positions(t));
+    EXPECT_EQ(via_swap.parents(), via_relabel.parents()) << "swap at " << x;
+  }
+}
+
+TEST(Forest, EmptyAndSingleton) {
+  Forest e(0);
+  EXPECT_TRUE(e.postorder().empty());
+  EXPECT_TRUE(e.is_postordered());
+  Forest s(1);
+  EXPECT_EQ(s.postorder(), std::vector<int>{0});
+  EXPECT_TRUE(s.is_postordered());
+}
+
+}  // namespace
+}  // namespace plu::graph

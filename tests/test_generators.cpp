@@ -1,0 +1,165 @@
+// Workload generators: dimensions, density, determinism, structural class
+// properties, and the named benchmark suite.
+#include <gtest/gtest.h>
+
+#include "core/sparse_lu.h"
+#include "matrix/named_matrices.h"
+#include "test_helpers.h"
+
+namespace plu {
+namespace {
+
+TEST(Grid2d, DimensionsAndStencilStructure) {
+  CscMatrix a = gen::grid2d(5, 4, {});
+  EXPECT_EQ(a.rows(), 20);
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+  // Interior node has 4 neighbors + diagonal.
+  int interior = 1 * 5 + 2;  // (x=2, y=1)
+  EXPECT_EQ(a.pattern().transpose().col_size(interior), 5);
+  // Structure symmetric when nothing is dropped.
+  EXPECT_DOUBLE_EQ(gen::structural_symmetry(a), 1.0);
+}
+
+TEST(Grid3d, SevenPointDensity) {
+  CscMatrix a = gen::grid3d(5, 5, 5, {});
+  EXPECT_EQ(a.rows(), 125);
+  // 7-point stencil: nnz = n + 2 * (#edges) = 125 + 2 * 300.
+  EXPECT_EQ(a.nnz(), 125 + 2 * (4 * 25 * 3));
+}
+
+TEST(Grid3d, DropThinsSymmetrically) {
+  gen::StencilOptions o;
+  o.drop_probability = 0.5;
+  o.seed = 3;
+  CscMatrix a = gen::grid3d(6, 5, 4, o);
+  CscMatrix full = gen::grid3d(6, 5, 4, {});
+  EXPECT_LT(a.nnz(), full.nnz());
+  EXPECT_DOUBLE_EQ(gen::structural_symmetry(a), 1.0);  // pairs dropped together
+}
+
+TEST(Generators, Deterministic) {
+  gen::StencilOptions o;
+  o.seed = 77;
+  CscMatrix a = gen::grid2d(6, 6, o);
+  CscMatrix b = gen::grid2d(6, 6, o);
+  EXPECT_EQ(a.values(), b.values());
+  o.seed = 78;
+  CscMatrix c = gen::grid2d(6, 6, o);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(Banded, OffsetsRespected) {
+  CscMatrix a = gen::banded(50, {-5, -1, 1, 5}, 1.0, 0.7, 9);
+  Pattern p = a.pattern();
+  for (int j = 0; j < 50; ++j) {
+    for (const int* it = p.col_begin(j); it != p.col_end(j); ++it) {
+      int off = *it - j;
+      EXPECT_TRUE(off == 0 || off == -5 || off == -1 || off == 1 || off == 5);
+    }
+  }
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+}
+
+TEST(Banded, KeepProbabilityControlsDensity) {
+  CscMatrix dense_band = gen::banded(400, {-2, -1, 1, 2}, 1.0, 0.7, 10);
+  CscMatrix thin_band = gen::banded(400, {-2, -1, 1, 2}, 0.3, 0.7, 10);
+  EXPECT_GT(dense_band.nnz(), thin_band.nnz());
+  // Expected off-diagonals ~ 0.3 * full.
+  double full_off = dense_band.nnz() - 400;
+  double thin_off = thin_band.nnz() - 400;
+  EXPECT_NEAR(thin_off / full_off, 0.3, 0.08);
+}
+
+TEST(FemP2, OrderFormulaMatches) {
+  CscMatrix a = gen::fem_p2(3, 4, 2, 11);
+  EXPECT_EQ(a.rows(), gen::fem_p2_order(3, 4, 2));
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+  // FEM assembly couples each dof to itself.
+  EXPECT_GT(a.nnz(), a.rows() * 10);  // much denser rows than stencils
+}
+
+TEST(RandomSparse, SymmetryKnob) {
+  CscMatrix sym = gen::random_sparse(200, 4.0, 1.0, 0.7, 12);
+  CscMatrix unsym = gen::random_sparse(200, 4.0, 0.0, 0.7, 12);
+  EXPECT_GT(gen::structural_symmetry(sym), 0.95);
+  EXPECT_LT(gen::structural_symmetry(unsym), 0.2);
+}
+
+TEST(RandomSymmetricPermutation, PreservesEntryMultiset) {
+  CscMatrix a = gen::random_sparse(40, 3.0, 0.5, 0.7, 13);
+  CscMatrix b = gen::random_symmetric_permutation(a, 14);
+  EXPECT_EQ(b.nnz(), a.nnz());
+  std::vector<double> va = a.values(), vb = b.values();
+  std::sort(va.begin(), va.end());
+  std::sort(vb.begin(), vb.end());
+  EXPECT_EQ(va, vb);
+  EXPECT_TRUE(b.has_zero_free_diagonal());
+}
+
+TEST(NamedSuite, MatchesPaperOrders) {
+  auto suite = make_benchmark_suite();
+  ASSERT_EQ(suite.size(), 7u);
+  for (const auto& nm : suite) {
+    if (nm.name == "goodwin") {
+      // Deliberately scaled down (DESIGN.md section 3).
+      EXPECT_LT(nm.a.rows(), nm.paper_order);
+      EXPECT_GT(nm.a.rows(), 1000);
+    } else {
+      EXPECT_EQ(nm.a.rows(), nm.paper_order) << nm.name;
+      // nnz within 35% of the paper's |A|.
+      EXPECT_NEAR(static_cast<double>(nm.a.nnz()), nm.paper_nnz, 0.35 * nm.paper_nnz)
+          << nm.name;
+    }
+    EXPECT_TRUE(nm.a.has_zero_free_diagonal()) << nm.name;
+  }
+}
+
+TEST(NamedSuite, LnspIsPermutationOfLns) {
+  NamedMatrix lns = make_named_matrix("lns3937");
+  NamedMatrix lnsp = make_named_matrix("lnsp3937");
+  EXPECT_EQ(lns.a.nnz(), lnsp.a.nnz());
+  std::vector<double> v1 = lns.a.values(), v2 = lnsp.a.values();
+  std::sort(v1.begin(), v1.end());
+  std::sort(v2.begin(), v2.end());
+  EXPECT_EQ(v1, v2);
+}
+
+TEST(NamedSuite, UnknownNameThrows) {
+  EXPECT_THROW(make_named_matrix("bcsstk14"), std::invalid_argument);
+}
+
+TEST(SmallSuite, AllStructurallyNonsingular) {
+  for (const auto& nm : make_small_suite()) {
+    EXPECT_EQ(nm.a.rows(), nm.a.cols()) << nm.name;
+    EXPECT_TRUE(nm.a.has_zero_free_diagonal()) << nm.name;
+  }
+}
+
+
+TEST(Circuit, HasRailsAndIsSolvable) {
+  CscMatrix a = gen::circuit(300, 4, 2.0, 17);
+  EXPECT_EQ(a.rows(), 300);
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+  // The rails are near-dense rows: far denser than the devices.
+  Pattern rows = a.pattern().transpose();
+  double rail_avg = 0, device_avg = 0;
+  for (int r = 0; r < 4; ++r) rail_avg += rows.col_size(r);
+  for (int r = 4; r < 300; ++r) device_avg += rows.col_size(r);
+  rail_avg /= 4;
+  device_avg /= 296;
+  EXPECT_GT(rail_avg, 10 * device_avg);
+  std::vector<double> b(300, 1.0);
+  std::vector<double> x = SparseLU::solve_system(a, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+TEST(Circuit, DeterministicAndSeedSensitive) {
+  CscMatrix a = gen::circuit(120, 3, 2.0, 9);
+  CscMatrix b = gen::circuit(120, 3, 2.0, 9);
+  CscMatrix c = gen::circuit(120, 3, 2.0, 10);
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_NE(a.nnz() == c.nnz() && a.values() == c.values(), true);
+}
+
+}  // namespace
+}  // namespace plu

@@ -1,0 +1,58 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <random>
+#include <vector>
+
+#include "matrix/coo.h"
+#include "matrix/csc.h"
+#include "matrix/generators.h"
+
+namespace plu::test {
+
+/// Deterministic random vector in [-1, 1].
+inline std::vector<double> random_vector(int n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+/// Small deterministic test matrices covering the structural classes.
+inline std::vector<CscMatrix> small_matrices() {
+  std::vector<CscMatrix> out;
+  gen::StencilOptions g;
+  g.seed = 42;
+  g.convection = 0.5;
+  out.push_back(gen::grid2d(7, 6, g));
+  g.seed = 43;
+  out.push_back(gen::grid3d(4, 3, 3, g));
+  out.push_back(gen::banded(60, {-8, -7, -1, 1, 7, 8}, 0.7, 0.6, 44));
+  out.push_back(gen::fem_p2(3, 2, 1, 45));
+  out.push_back(gen::random_sparse(50, 3.0, 0.4, 0.7, 46));
+  out.push_back(gen::random_sparse(35, 2.0, 0.0, 0.8, 47));  // fully unsymmetric
+  return out;
+}
+
+/// The paper's 7x7 example matrix of Figure 1(a) is not fully recoverable
+/// from the scanned text; this is a small unsymmetric matrix with a
+/// nontrivial eforest (multiple trees after symbolic factorization) used
+/// wherever the paper's worked example is exercised.
+inline CscMatrix example_matrix() {
+  CooMatrix coo(7, 7);
+  const double d = 4.0;
+  for (int i = 0; i < 7; ++i) coo.add(i, i, d + i);
+  coo.add(0, 2, 1.0);
+  coo.add(1, 0, -2.0);
+  coo.add(1, 4, 1.5);
+  coo.add(3, 1, 0.5);
+  coo.add(3, 4, -1.0);
+  coo.add(5, 2, 2.0);
+  coo.add(5, 6, -0.5);
+  coo.add(6, 5, 1.0);
+  coo.add(2, 6, 0.25);
+  return coo.to_csc();
+}
+
+}  // namespace plu::test

@@ -1,0 +1,87 @@
+// Permutation: construction, inversion, composition, gather/scatter.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "matrix/permutation.h"
+#include "test_helpers.h"
+
+namespace plu {
+namespace {
+
+TEST(Permutation, IdentityByDefaultConstructorSize) {
+  Permutation p(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(p.old_of(i), i);
+    EXPECT_EQ(p.new_of(i), i);
+  }
+  EXPECT_TRUE(p.is_identity());
+}
+
+TEST(Permutation, FromOldPositionsRoundTrips) {
+  Permutation p = Permutation::from_old_positions({2, 0, 1});
+  EXPECT_EQ(p.old_of(0), 2);
+  EXPECT_EQ(p.new_of(2), 0);
+  EXPECT_EQ(p.new_of(0), 1);
+  EXPECT_FALSE(p.is_identity());
+}
+
+TEST(Permutation, FromNewPositionsIsInverseConvention) {
+  Permutation a = Permutation::from_old_positions({2, 0, 1});
+  Permutation b = Permutation::from_new_positions({2, 0, 1});
+  EXPECT_TRUE(a.inverse().old_positions() == b.old_positions());
+}
+
+TEST(Permutation, InvalidInputsThrow) {
+  EXPECT_THROW(Permutation::from_old_positions({0, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_old_positions({0, 3, 1}), std::invalid_argument);
+  EXPECT_THROW(Permutation::from_old_positions({-1, 0, 1}), std::invalid_argument);
+}
+
+TEST(Permutation, GatherScatterAreInverse) {
+  Permutation p = Permutation::from_old_positions({3, 1, 0, 2});
+  std::vector<int> x = {10, 11, 12, 13};
+  std::vector<int> g = p.gather(x);
+  EXPECT_EQ(g, (std::vector<int>{13, 11, 10, 12}));
+  EXPECT_EQ(p.scatter(g), x);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Permutation p = Permutation::from_old_positions({4, 2, 0, 1, 3});
+  Permutation id = Permutation::compose(p, p.inverse());
+  EXPECT_TRUE(id.is_identity());
+  Permutation id2 = Permutation::compose(p.inverse(), p);
+  EXPECT_TRUE(id2.is_identity());
+}
+
+TEST(Permutation, ComposeAppliesInOrder) {
+  // first: rotate left, second: swap 0 and 1.
+  Permutation first = Permutation::from_old_positions({1, 2, 0});
+  Permutation second = Permutation::from_old_positions({1, 0, 2});
+  Permutation both = Permutation::compose(first, second);
+  std::vector<int> x = {7, 8, 9};
+  EXPECT_EQ(both.gather(x), second.gather(first.gather(x)));
+}
+
+TEST(Permutation, RandomComposeAssociativity) {
+  auto rand_perm = [](int n, unsigned seed) {
+    std::vector<int> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    std::mt19937_64 rng(seed);
+    std::shuffle(v.begin(), v.end(), rng);
+    return Permutation::from_old_positions(v);
+  };
+  Permutation a = rand_perm(20, 1), b = rand_perm(20, 2), c = rand_perm(20, 3);
+  Permutation left = Permutation::compose(Permutation::compose(a, b), c);
+  Permutation right = Permutation::compose(a, Permutation::compose(b, c));
+  EXPECT_EQ(left.old_positions(), right.old_positions());
+}
+
+TEST(Permutation, IsValidRejectsBadArrays) {
+  EXPECT_TRUE(Permutation::is_valid({1, 0, 2}));
+  EXPECT_FALSE(Permutation::is_valid({1, 1, 2}));
+  EXPECT_FALSE(Permutation::is_valid({3, 0, 1}));
+}
+
+}  // namespace
+}  // namespace plu

@@ -1,0 +1,107 @@
+// Postordering (Section 3): DFS and interchange variants, Theorem 3
+// commutation, block-upper-triangular decomposition.
+#include <gtest/gtest.h>
+
+#include "graph/eforest.h"
+#include "graph/postorder.h"
+#include "graph/transversal.h"
+#include "symbolic/static_symbolic.h"
+#include "test_helpers.h"
+
+namespace plu::graph {
+namespace {
+
+Pattern make_abar(const CscMatrix& a) {
+  Pattern p = a.pattern();
+  auto rp = zero_free_diagonal_permutation(p);
+  Pattern fixed = p.permuted(*rp, Permutation(p.cols));
+  return symbolic::static_symbolic_factorization(fixed).abar;
+}
+
+TEST(Postorder, DfsProducesValidPostorder) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = make_abar(a);
+    Forest f = lu_eforest(abar);
+    Permutation p = postorder_permutation(f);
+    Forest g = f.relabeled(p);
+    EXPECT_TRUE(g.is_postordered());
+    EXPECT_TRUE(g.is_topological());
+  }
+}
+
+TEST(Postorder, InterchangeVariantAlsoPostorders) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    if (a.rows() > 60) continue;  // the interchange variant is O(n^3)
+    Pattern abar = make_abar(a);
+    Forest f = lu_eforest(abar);
+    InterchangePostorder ip = interchange_postorder(f);
+    Forest g = f.relabeled(ip.perm);
+    EXPECT_TRUE(g.is_postordered()) << describe(a);
+    // Replaying the recorded swaps on the forest reaches the same labels.
+    Forest replay = f;
+    for (int x : ip.interchanges) replay.swap_adjacent_labels(x);
+    EXPECT_EQ(replay.parents(), g.parents());
+  }
+}
+
+TEST(Postorder, Theorem3CommutationAcrossClasses) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern p = a.pattern();
+    auto rp = zero_free_diagonal_permutation(p);
+    Pattern fixed = p.permuted(*rp, Permutation(p.cols));
+    Pattern abar = symbolic::static_symbolic_factorization(fixed).abar;
+    Forest f = lu_eforest(abar);
+    Permutation post = postorder_permutation(f);
+    EXPECT_TRUE(symbolic::postorder_commutes_with_symbolic(fixed, abar, post))
+        << describe(a);
+  }
+}
+
+TEST(Postorder, Theorem3CommutationForInterchangeVariant) {
+  CscMatrix a = test::small_matrices()[4];
+  Pattern p = a.pattern();
+  auto rp = zero_free_diagonal_permutation(p);
+  Pattern fixed = p.permuted(*rp, Permutation(p.cols));
+  Pattern abar = symbolic::static_symbolic_factorization(fixed).abar;
+  Forest f = lu_eforest(abar);
+  InterchangePostorder ip = interchange_postorder(f);
+  EXPECT_TRUE(symbolic::postorder_commutes_with_symbolic(fixed, abar, ip.perm));
+}
+
+TEST(Postorder, PermutedAbarIsBlockUpperTriangular) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = make_abar(a);
+    Forest f = lu_eforest(abar);
+    Permutation post = postorder_permutation(f);
+    Pattern permuted = apply_symmetric_permutation(abar, post);
+    Forest g = f.relabeled(post);
+    std::vector<int> blocks = diagonal_block_sizes(g);
+    EXPECT_TRUE(is_block_upper_triangular(permuted, blocks)) << describe(a);
+    // Sanity of the decomposition itself.
+    long total = 0;
+    for (int b : blocks) total += b;
+    EXPECT_EQ(total, abar.cols);
+  }
+}
+
+TEST(Postorder, BlockUpperTriangularDetectorRejects) {
+  CooMatrix coo(4, 4);
+  for (int i = 0; i < 4; ++i) coo.add(i, i, 1.0);
+  coo.add(3, 0, 1.0);  // below the block diagonal for blocks {2, 2}
+  Pattern p = coo.to_csc().pattern();
+  EXPECT_FALSE(is_block_upper_triangular(p, {2, 2}));
+  EXPECT_TRUE(is_block_upper_triangular(p, {4}));
+}
+
+TEST(Postorder, IdentityWhenAlreadyPostordered) {
+  // Chain forest 0 <- 1 <- ... is already postordered; DFS keeps labels.
+  Forest chain(std::vector<int>{1, 2, 3, kNone});
+  Permutation p = postorder_permutation(chain);
+  EXPECT_TRUE(p.is_identity());
+  InterchangePostorder ip = interchange_postorder(chain);
+  EXPECT_TRUE(ip.perm.is_identity());
+  EXPECT_TRUE(ip.interchanges.empty());
+}
+
+}  // namespace
+}  // namespace plu::graph

@@ -1,0 +1,125 @@
+// Static-schedule planning and replay (the RAPID inspector/executor model)
+// plus the cost perturbation helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.h"
+#include "runtime/simulator.h"
+#include "test_helpers.h"
+
+namespace plu::rt {
+namespace {
+
+struct Fixture {
+  taskgraph::TaskGraph graph;
+  taskgraph::TaskCosts costs;
+};
+
+Fixture make(const CscMatrix& a) {
+  Analysis an = analyze(a);
+  return {an.graph, an.costs};
+}
+
+TEST(PlanSchedule, CoversEveryTaskExactlyOnce) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f = make(a);
+  for (int p : {1, 3, 8}) {
+    MachineModel m = MachineModel::origin2000(p);
+    StaticSchedule s = plan_schedule(f.graph, f.costs, m);
+    EXPECT_EQ(static_cast<int>(s.proc_lists.size()), p);
+    std::vector<int> seen(f.graph.size(), 0);
+    for (const auto& list : s.proc_lists) {
+      for (int id : list) ++seen[id];
+    }
+    for (int id = 0; id < f.graph.size(); ++id) EXPECT_EQ(seen[id], 1);
+  }
+}
+
+TEST(Replay, ExactCostsReproducePlannedMakespan) {
+  CscMatrix a = test::small_matrices()[1];
+  Fixture f = make(a);
+  MachineModel m = MachineModel::origin2000(4);
+  double planned = simulate(f.graph, f.costs, m).makespan;
+  StaticSchedule s = plan_schedule(f.graph, f.costs, m);
+  SimulationResult r = replay_schedule(f.graph, f.costs, f.costs.flops, m, s);
+  EXPECT_NEAR(r.makespan, planned, 1e-9 * planned);
+}
+
+TEST(Replay, TraceValidAndPerturbedCostsOnlySlowDownOnAverage) {
+  CscMatrix a = test::small_matrices()[2];
+  Fixture f = make(a);
+  MachineModel m = MachineModel::origin2000(4);
+  StaticSchedule s = plan_schedule(f.graph, f.costs, m);
+  double planned = simulate(f.graph, f.costs, m).makespan;
+  double mean = 0.0;
+  const int seeds = 6;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    std::vector<double> actual = perturb_costs(f.costs.flops, 0.3, seed);
+    SimulationResult r =
+        replay_schedule(f.graph, f.costs, actual, m, s, /*keep_trace=*/true);
+    EXPECT_TRUE(validate_trace(f.graph, r, m)) << "seed " << seed;
+    mean += r.makespan;
+  }
+  mean /= seeds;
+  // Fixed schedules lose slack under noise: on average no faster than ~the
+  // plan (tiny wins are possible when shortened tasks dominate).
+  EXPECT_GT(mean, planned * 0.9);
+}
+
+TEST(Replay, RespectsPerProcessorOrderEvenWhenSuboptimal) {
+  // Hand-build a 2-task independent graph and force a bad order on one
+  // processor: the replay must execute it as given.
+  taskgraph::TaskGraph g;
+  g.tasks = taskgraph::TaskList({{}, {}});  // F(0), F(1), independent
+  g.succ.assign(2, {});
+  g.indegree.assign(2, 0);
+  taskgraph::TaskCosts costs;
+  costs.flops = {100.0, 1e6};
+  costs.output_bytes = {8.0, 8.0};
+  costs.panel_bytes = {8.0, 8.0};
+  costs.total_flops = 100.0 + 1e6;
+  MachineModel m = MachineModel::origin2000(2);
+  StaticSchedule s;
+  s.proc_lists = {{1, 0}, {}};  // everything on proc 0, big task first
+  SimulationResult r = replay_schedule(g, costs, costs.flops, m, s, true);
+  ASSERT_EQ(r.trace.size(), 2u);
+  EXPECT_EQ(r.trace[0].task, 1);  // big first, as scheduled
+  EXPECT_EQ(r.trace[1].task, 0);
+  EXPECT_DOUBLE_EQ(r.busy_seconds[1], 0.0);
+}
+
+TEST(PerturbCosts, DeterministicBoundedAndSeedSensitive) {
+  std::vector<double> flops = {1.0, 10.0, 100.0, 0.0};
+  std::vector<double> p1 = perturb_costs(flops, 0.3, 7);
+  std::vector<double> p2 = perturb_costs(flops, 0.3, 7);
+  EXPECT_EQ(p1, p2);
+  std::vector<double> p3 = perturb_costs(flops, 0.3, 8);
+  EXPECT_NE(p1, p3);
+  for (std::size_t i = 0; i < flops.size(); ++i) {
+    EXPECT_GE(p1[i], flops[i] * std::exp(-0.3) - 1e-12);
+    EXPECT_LE(p1[i], flops[i] * std::exp(0.3) + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(p1[3], 0.0);
+  // Zero spread is the identity.
+  std::vector<double> p0 = perturb_costs(flops, 0.0, 3);
+  for (std::size_t i = 0; i < flops.size(); ++i) EXPECT_DOUBLE_EQ(p0[i], flops[i]);
+}
+
+TEST(Replay, OwnerComputesScheduleAlsoReplays) {
+  CscMatrix a = test::small_matrices()[3];
+  Fixture f = make(a);
+  MachineModel m = MachineModel::origin2000(3);
+  StaticSchedule s = plan_schedule(f.graph, f.costs, m,
+                                   SchedulePolicy::kCriticalPath,
+                                   MappingPolicy::kOwnerComputes);
+  SimulationResult r = replay_schedule(f.graph, f.costs, f.costs.flops, m, s, true);
+  EXPECT_TRUE(validate_trace(f.graph, r, m));
+  double planned = simulate(f.graph, f.costs, m, SchedulePolicy::kCriticalPath,
+                            false, MappingPolicy::kOwnerComputes)
+                       .makespan;
+  EXPECT_NEAR(r.makespan, planned, 1e-9 * planned);
+}
+
+}  // namespace
+}  // namespace plu::rt

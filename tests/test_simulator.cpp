@@ -1,0 +1,176 @@
+// Discrete-event simulator: trace validity, serial consistency, bounds,
+// scaling behavior, communication accounting.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "runtime/simulator.h"
+#include "test_helpers.h"
+
+namespace plu::rt {
+namespace {
+
+struct SimSetup {
+  taskgraph::TaskGraph graph;
+  taskgraph::TaskCosts costs;
+};
+
+SimSetup make_setup(const CscMatrix& a, taskgraph::GraphKind kind) {
+  Options opt;
+  opt.task_graph = kind;
+  Analysis an = analyze(a, opt);
+  return {an.graph, an.costs};
+}
+
+TEST(Simulator, SingleProcessorEqualsSerialSum) {
+  CscMatrix a = test::small_matrices()[0];
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  MachineModel m = MachineModel::origin2000(1);
+  SimulationResult r = simulate(s.graph, s.costs, m);
+  EXPECT_NEAR(r.makespan, simulated_serial_seconds(s.costs, m), 1e-9);
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_DOUBLE_EQ(r.message_bytes, 0.0);
+}
+
+TEST(Simulator, TraceIsValidSchedule) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    for (int p : {2, 4, 8}) {
+      SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+      MachineModel m = MachineModel::origin2000(p);
+      SimulationResult r = simulate(s.graph, s.costs, m,
+                                    SchedulePolicy::kCriticalPath, true);
+      EXPECT_TRUE(validate_trace(s.graph, r, m)) << describe(a) << " P=" << p;
+    }
+  }
+}
+
+TEST(Simulator, MakespanRespectsLowerBounds) {
+  CscMatrix a = test::small_matrices()[1];
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  for (int p : {1, 2, 4, 8}) {
+    MachineModel m = MachineModel::origin2000(p);
+    SimulationResult r = simulate(s.graph, s.costs, m);
+    // Compute-only lower bounds (overheads and messages only add).
+    double total_compute = 0;
+    for (double f : s.costs.flops) total_compute += f / m.flops_per_second;
+    EXPECT_GE(r.makespan, total_compute / p - 1e-12);
+    taskgraph::CriticalPath cp = taskgraph::critical_path(s.graph, s.costs.flops);
+    EXPECT_GE(r.makespan, cp.length / m.flops_per_second - 1e-12);
+  }
+}
+
+TEST(Simulator, BusyTimeConservation) {
+  CscMatrix a = test::small_matrices()[2];
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  MachineModel m = MachineModel::origin2000(4);
+  SimulationResult r = simulate(s.graph, s.costs, m);
+  double busy = 0;
+  for (double b : r.busy_seconds) {
+    busy += b;
+    EXPECT_LE(b, r.makespan + 1e-12);
+  }
+  EXPECT_NEAR(busy, simulated_serial_seconds(s.costs, m), 1e-9);
+}
+
+TEST(Simulator, ParallelismHelpsOnRealGraphs) {
+  // On the medium grid, 4 processors must beat 1 by a real margin.
+  CscMatrix a = gen::grid2d(16, 16, {});
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  double t1 = simulate(s.graph, s.costs, MachineModel::origin2000(1)).makespan;
+  double t4 = simulate(s.graph, s.costs, MachineModel::origin2000(4)).makespan;
+  EXPECT_LT(t4, t1);
+  EXPECT_GT(t1 / t4, 1.3);
+}
+
+TEST(Simulator, MessagesCountedOncePerPanelDestination) {
+  CscMatrix a = test::small_matrices()[0];
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  MachineModel m = MachineModel::origin2000(4);
+  SimulationResult r = simulate(s.graph, s.costs, m);
+  EXPECT_GT(r.messages, 0);
+  // Upper bound: one message per (producer task, destination processor).
+  EXPECT_LE(r.messages, static_cast<long>(s.graph.size()) * (m.processors - 1));
+  EXPECT_GT(r.message_bytes, 0.0);
+  // Owner-computes mode messages only panels: tighter bound.
+  SimulationResult ro = simulate(s.graph, s.costs, m,
+                                 SchedulePolicy::kCriticalPath, false,
+                                 MappingPolicy::kOwnerComputes);
+  long nb = static_cast<long>(s.costs.panel_bytes.size());
+  EXPECT_LE(ro.messages, nb * (m.processors - 1));
+}
+
+TEST(Simulator, EforestGraphNoSlowerThanSStarOnAverage) {
+  // The headline claim, in simulation: fewer constraints => makespan <=.
+  // Greedy list scheduling is not monotone under constraint removal (the
+  // Graham anomaly), so individual tiny cases may invert; assert a loose
+  // per-case bound and a tight bound on the geometric-mean ratio.
+  double log_ratio_sum = 0.0;
+  int count = 0;
+  for (const CscMatrix& a : test::small_matrices()) {
+    SimSetup oldg = make_setup(a, taskgraph::GraphKind::kSStar);
+    SimSetup newg = make_setup(a, taskgraph::GraphKind::kEforest);
+    for (int p : {2, 4, 8}) {
+      double told =
+          simulate(oldg.graph, oldg.costs, MachineModel::origin2000(p)).makespan;
+      double tnew =
+          simulate(newg.graph, newg.costs, MachineModel::origin2000(p)).makespan;
+      EXPECT_LT(tnew, told * 1.20) << describe(a) << " P=" << p;
+      log_ratio_sum += std::log(tnew / told);
+      ++count;
+    }
+  }
+  EXPECT_LT(std::exp(log_ratio_sum / count), 1.01);
+}
+
+TEST(Simulator, EforestBeatsProgramOrderBaseline) {
+  // Against the program-order S* reading, the relaxation is substantial on
+  // medium problems (the Figures 5-6 regime).
+  CscMatrix a = gen::grid2d(16, 16, {});
+  SimSetup oldg = make_setup(a, taskgraph::GraphKind::kSStarProgramOrder);
+  SimSetup newg = make_setup(a, taskgraph::GraphKind::kEforest);
+  double told =
+      simulate(oldg.graph, oldg.costs, MachineModel::origin2000(8)).makespan;
+  double tnew =
+      simulate(newg.graph, newg.costs, MachineModel::origin2000(8)).makespan;
+  EXPECT_LT(tnew, told * 1.01);
+}
+
+TEST(Simulator, FifoPolicyRunsAndIsNoBetterOnAverage) {
+  CscMatrix a = gen::grid2d(12, 12, {});
+  SimSetup s = make_setup(a, taskgraph::GraphKind::kEforest);
+  MachineModel m = MachineModel::origin2000(4);
+  double cp = simulate(s.graph, s.costs, m, SchedulePolicy::kCriticalPath).makespan;
+  double fifo = simulate(s.graph, s.costs, m, SchedulePolicy::kFifo).makespan;
+  EXPECT_GT(fifo, 0.0);
+  EXPECT_GT(cp, 0.0);
+  // Critical-path priorities should not lose badly to FIFO.
+  EXPECT_LT(cp, fifo * 1.25);
+}
+
+TEST(Simulator, EmptyGraph) {
+  taskgraph::TaskGraph g;
+  g.tasks = taskgraph::TaskList(std::vector<std::vector<int>>{});
+  taskgraph::TaskCosts c;
+  SimulationResult r = simulate(g, c, MachineModel::origin2000(2));
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(MachineModel, TimingFormulas) {
+  MachineModel m;
+  m.flops_per_second = 1e8;
+  m.latency_seconds = 1e-5;
+  m.bandwidth_bytes_per_second = 1e8;
+  m.task_overhead_seconds = 1e-6;
+  EXPECT_NEAR(m.compute_seconds(1e8), 1.0 + 1e-6, 1e-12);
+  EXPECT_NEAR(m.message_seconds(1e8), 1.0 + 1e-5, 1e-12);
+  EXPECT_FALSE(describe(m).empty());
+}
+
+TEST(OwnerMap, BlockCyclic) {
+  OwnerMap map{3};
+  EXPECT_EQ(map.owner(0), 0);
+  EXPECT_EQ(map.owner(4), 1);
+  EXPECT_EQ(map.owner(5), 2);
+}
+
+}  // namespace
+}  // namespace plu::rt

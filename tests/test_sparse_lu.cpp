@@ -1,0 +1,118 @@
+// Public facade: lifecycle, option plumbing, analysis reuse, error states.
+#include <gtest/gtest.h>
+
+#include "core/sparse_lu.h"
+#include "test_helpers.h"
+
+namespace plu {
+namespace {
+
+TEST(SparseLU, LifecycleErrors) {
+  SparseLU lu;
+  EXPECT_FALSE(lu.analyzed());
+  EXPECT_FALSE(lu.factorized());
+  EXPECT_THROW(lu.analysis(), std::logic_error);
+  EXPECT_THROW(lu.factorization(), std::logic_error);
+  EXPECT_THROW(lu.solve({1.0}), std::logic_error);
+  EXPECT_THROW(lu.solve_refined({1.0}), std::logic_error);
+}
+
+TEST(SparseLU, AnalyzeThenFactorizeThenSolve) {
+  CscMatrix a = test::small_matrices()[0];
+  SparseLU lu;
+  lu.analyze(a);
+  EXPECT_TRUE(lu.analyzed());
+  EXPECT_FALSE(lu.factorized());
+  lu.factorize(a);
+  EXPECT_TRUE(lu.factorized());
+  std::vector<double> b = test::random_vector(a.rows(), 51);
+  std::vector<double> x = lu.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+TEST(SparseLU, FactorizeWithoutAnalyzeAutoruns) {
+  CscMatrix a = test::small_matrices()[1];
+  SparseLU lu;
+  lu.factorize(a);
+  EXPECT_TRUE(lu.analyzed());
+  EXPECT_TRUE(lu.factorized());
+}
+
+TEST(SparseLU, AnalysisReusedForSamePatternValues) {
+  CscMatrix a = gen::grid2d(9, 9, {});
+  SparseLU lu;
+  lu.factorize(a);
+  const Analysis* first = &lu.analysis();
+  CscMatrix a2 = a;
+  for (double& v : a2.values()) v *= 1.5;
+  lu.factorize(a2);  // same dimensions: analysis kept
+  EXPECT_EQ(&lu.analysis(), first);
+  std::vector<double> b = test::random_vector(a.rows(), 52);
+  EXPECT_LT(relative_residual(a2, lu.solve(b), b), 1e-10);
+}
+
+TEST(SparseLU, OptionsReachAnalysis) {
+  CscMatrix a = test::small_matrices()[2];
+  Options opt;
+  opt.postorder = false;
+  opt.task_graph = taskgraph::GraphKind::kSStar;
+  opt.ordering = ordering::Method::kNatural;
+  SparseLU lu(opt);
+  lu.analyze(a);
+  EXPECT_EQ(lu.analysis().options.task_graph, taskgraph::GraphKind::kSStar);
+  EXPECT_EQ(lu.analysis().graph.kind, taskgraph::GraphKind::kSStar);
+  EXPECT_FALSE(lu.analysis().options.postorder);
+}
+
+TEST(SparseLU, SolveRefinedUsesStoredMatrix) {
+  CscMatrix a = test::small_matrices()[4];
+  SparseLU lu;
+  lu.factorize(a);
+  std::vector<double> b = test::random_vector(a.rows(), 53);
+  RefineResult r = lu.solve_refined(b);
+  EXPECT_LT(r.residual_history.back(), 1e-12);
+}
+
+TEST(SparseLU, SolveSystemOneShot) {
+  CscMatrix a = test::small_matrices()[5];
+  std::vector<double> b = test::random_vector(a.rows(), 54);
+  std::vector<double> x = SparseLU::solve_system(a, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+TEST(SparseLU, RejectsNonSquare) {
+  CooMatrix coo(2, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(0, 2, 1.0);
+  SparseLU lu;
+  EXPECT_THROW(lu.analyze(coo.to_csc()), std::invalid_argument);
+}
+
+TEST(SparseLU, RejectsStructurallySingular) {
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 0, 1.0);  // rows 0,1 live only in column 0
+  coo.add(2, 1, 1.0);
+  coo.add(2, 2, 1.0);
+  SparseLU lu;
+  EXPECT_THROW(lu.analyze(coo.to_csc()), std::invalid_argument);
+}
+
+TEST(SparseLU, AnalysisStatsExposed) {
+  CscMatrix a = test::small_matrices()[0];
+  SparseLU lu;
+  lu.analyze(a);
+  const Analysis& an = lu.analysis();
+  EXPECT_EQ(an.n, a.rows());
+  EXPECT_EQ(an.nnz_input, a.nnz());
+  EXPECT_GT(an.fill_ratio(), 1.0);
+  EXPECT_GT(an.blocks.num_blocks(), 0);
+  EXPECT_FALSE(an.diag_block_sizes.empty());
+  long total = 0;
+  for (int s : an.diag_block_sizes) total += s;
+  EXPECT_EQ(total, an.n);
+}
+
+}  // namespace
+}  // namespace plu

@@ -1,0 +1,224 @@
+// Static symbolic factorization: the George-Ng covering property under
+// random pivoting, engine cross-validation, and input checking.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "graph/transversal.h"
+#include "symbolic/static_symbolic.h"
+#include "test_helpers.h"
+
+namespace plu::symbolic {
+namespace {
+
+Pattern zero_free(const CscMatrix& a) {
+  Pattern p = a.pattern();
+  auto rp = graph::zero_free_diagonal_permutation(p);
+  return p.permuted(*rp, Permutation(p.cols));
+}
+
+/// Structural Gaussian elimination with a caller-chosen pivot rule.  At step
+/// k the pivot is chosen among rows r >= k with a (current) entry in column
+/// k; the swap exchanges rows only in columns >= k (the George-Ng setting:
+/// earlier columns are already finalized).  Returns the final filled
+/// structure in physical positions.
+std::vector<std::vector<char>> structural_lu(const Pattern& a, std::mt19937_64& rng) {
+  const int n = a.cols;
+  std::vector<std::vector<char>> m(n, std::vector<char>(n, 0));
+  for (int j = 0; j < n; ++j) {
+    for (const int* it = a.col_begin(j); it != a.col_end(j); ++it) m[*it][j] = 1;
+  }
+  for (int k = 0; k < n; ++k) {
+    std::vector<int> cand;
+    for (int r = k; r < n; ++r) {
+      if (m[r][k]) cand.push_back(r);
+    }
+    EXPECT_FALSE(cand.empty());
+    if (cand.empty()) continue;
+    int pick = cand[std::uniform_int_distribution<std::size_t>(0, cand.size() - 1)(rng)];
+    if (pick != k) {
+      for (int j = k; j < n; ++j) std::swap(m[k][j], m[pick][j]);
+    }
+    // Fill: row r (r > k, candidate) gains the pivot row's entries.
+    for (int r = k + 1; r < n; ++r) {
+      if (!m[r][k]) continue;
+      for (int j = k + 1; j < n; ++j) {
+        if (m[k][j]) m[r][j] = 1;
+      }
+    }
+  }
+  return m;
+}
+
+TEST(StaticSymbolic, EnginesAgree) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern p = zero_free(a);
+    SymbolicResult bitset = static_symbolic_factorization(p, Engine::kBitset);
+    SymbolicResult rowmerge = static_symbolic_factorization(p, Engine::kRowMerge);
+    EXPECT_TRUE(bitset.abar == rowmerge.abar) << describe(a);
+    EXPECT_EQ(bitset.nnz_lbar, rowmerge.nnz_lbar);
+    EXPECT_EQ(bitset.nnz_ubar, rowmerge.nnz_ubar);
+  }
+}
+
+TEST(StaticSymbolic, EnginesAgreeOnMediumMatrix) {
+  CscMatrix a = gen::grid3d(8, 7, 5, {});
+  Pattern p = zero_free(a);
+  EXPECT_TRUE(static_symbolic_factorization(p, Engine::kBitset).abar ==
+              static_symbolic_factorization(p, Engine::kRowMerge).abar);
+}
+
+TEST(StaticSymbolic, ContainsOriginalPattern) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern p = zero_free(a);
+    SymbolicResult r = static_symbolic_factorization(p);
+    EXPECT_TRUE(p.subset_of(r.abar));
+    EXPECT_TRUE(graph::has_structural_diagonal(r.abar));
+    EXPECT_EQ(r.nnz_lbar + r.nnz_ubar - p.cols, r.abar.nnz());
+  }
+}
+
+TEST(StaticSymbolic, CoversFillForRandomPivotSequences) {
+  // The defining property: whatever pivots partial pivoting chooses, the
+  // resulting physical fill stays inside Abar.
+  std::mt19937_64 rng(321);
+  for (const CscMatrix& a : test::small_matrices()) {
+    if (a.rows() > 70) continue;
+    Pattern p = zero_free(a);
+    Pattern abar = static_symbolic_factorization(p).abar;
+    for (int trial = 0; trial < 6; ++trial) {
+      auto filled = structural_lu(p, rng);
+      for (int j = 0; j < p.cols; ++j) {
+        for (int i = 0; i < p.rows; ++i) {
+          if (filled[i][j]) {
+            ASSERT_TRUE(abar.contains(i, j))
+                << describe(a) << " trial " << trial << " at (" << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(StaticSymbolic, DiagonalInputUnchanged) {
+  // No candidate competition anywhere: Abar == A.
+  Pattern p = CscMatrix::identity(6).pattern();
+  Pattern abar = static_symbolic_factorization(p).abar;
+  EXPECT_TRUE(abar == p);
+}
+
+TEST(StaticSymbolic, LowerTriangularGainsUCoverageForSwaps) {
+  // Even a lower-triangular matrix gains U entries: a candidate row that
+  // could be swapped up deposits its columns in the pivot row's positions.
+  CooMatrix coo(3, 3);
+  for (int i = 0; i < 3; ++i) coo.add(i, i, 1.0);
+  coo.add(2, 0, 1.0);
+  Pattern abar = static_symbolic_factorization(coo.to_csc().pattern()).abar;
+  // R_0 = {0, 2}; the union gives row 0 the entry in column 2.
+  EXPECT_TRUE(abar.contains(0, 2));
+}
+
+/// Dense reference implementation of the George-Ng step, straight from the
+/// specification: R_k = rows >= k with entry in column k; all of them get
+/// the union of their tails.
+Pattern brute_george_ng(const Pattern& a) {
+  const int n = a.cols;
+  std::vector<std::vector<char>> m(n, std::vector<char>(n, 0));
+  for (int j = 0; j < n; ++j) {
+    for (const int* it = a.col_begin(j); it != a.col_end(j); ++it) m[*it][j] = 1;
+  }
+  for (int k = 0; k < n; ++k) {
+    std::vector<char> u(n, 0);
+    std::vector<int> cand;
+    for (int r = k; r < n; ++r) {
+      if (m[r][k]) {
+        cand.push_back(r);
+        for (int j = k; j < n; ++j) u[j] = u[j] | m[r][j];
+      }
+    }
+    for (int r : cand) {
+      for (int j = k; j < n; ++j) m[r][j] = u[j];
+    }
+  }
+  CooMatrix coo(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      if (m[i][j]) coo.add(i, j, 1.0);
+    }
+  }
+  return coo.to_csc().pattern();
+}
+
+TEST(StaticSymbolic, EnginesMatchBruteForceReference) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    if (a.rows() > 70) continue;
+    Pattern p = zero_free(a);
+    Pattern reference = brute_george_ng(p);
+    EXPECT_TRUE(static_symbolic_factorization(p, Engine::kBitset).abar == reference)
+        << describe(a);
+    EXPECT_TRUE(static_symbolic_factorization(p, Engine::kRowMerge).abar == reference)
+        << describe(a);
+  }
+}
+
+TEST(StaticSymbolic, KnownTinyExample) {
+  // A = [x x .]     candidates of col 0: rows 0,1 -> row 1 gains (1,1)? it
+  //     [x . x]     has it? no: gains col 1 entry from row 0 union.
+  //     [. x x]
+  CooMatrix coo(3, 3);
+  coo.add(0, 0, 1);
+  coo.add(0, 1, 1);
+  coo.add(1, 0, 1);
+  coo.add(1, 2, 1);
+  coo.add(2, 1, 1);
+  coo.add(2, 2, 1);
+  Pattern p = coo.to_csc().pattern();
+  // No structural diagonal at (1,1)/(2,2)? (1,1) missing: transversal first.
+  auto rp = graph::zero_free_diagonal_permutation(p);
+  ASSERT_TRUE(rp.has_value());
+  Pattern fixed = p.permuted(*rp, Permutation(3));
+  Pattern abar = static_symbolic_factorization(fixed).abar;
+  // Step 0 union makes rows of R_0 share {0,1,2}: full first two rows.
+  EXPECT_TRUE(fixed.subset_of(abar));
+  EXPECT_TRUE(graph::has_structural_diagonal(abar));
+}
+
+TEST(StaticSymbolic, RejectsBadInput) {
+  CooMatrix rect(2, 3);
+  rect.add(0, 0, 1.0);
+  rect.add(1, 1, 1.0);
+  rect.add(0, 2, 1.0);
+  EXPECT_THROW(static_symbolic_factorization(rect.to_csc().pattern()),
+               std::invalid_argument);
+  CooMatrix nodiag(2, 2);
+  nodiag.add(0, 1, 1.0);
+  nodiag.add(1, 0, 1.0);
+  EXPECT_THROW(static_symbolic_factorization(nodiag.to_csc().pattern()),
+               std::invalid_argument);
+}
+
+TEST(StaticSymbolic, RerunOnlyGrows) {
+  // The scheme is not idempotent (see header), but a re-run can only add.
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = static_symbolic_factorization(zero_free(a)).abar;
+    Pattern again = static_symbolic_factorization(abar).abar;
+    EXPECT_TRUE(abar.subset_of(again)) << describe(a);
+  }
+}
+
+TEST(StaticSymbolic, FillRatioMatchesCounts) {
+  CscMatrix a = gen::grid2d(10, 10, {});
+  Pattern p = zero_free(a);
+  SymbolicResult r = static_symbolic_factorization(p);
+  EXPECT_NEAR(r.fill_ratio(a.nnz()),
+              static_cast<double>(r.abar.nnz()) / a.nnz(), 1e-12);
+  EXPECT_GT(r.fill_ratio(a.nnz()), 1.0);
+}
+
+TEST(StaticSymbolic, EngineNames) {
+  EXPECT_EQ(to_string(Engine::kBitset), "bitset");
+  EXPECT_EQ(to_string(Engine::kRowMerge), "rowmerge");
+}
+
+}  // namespace
+}  // namespace plu::symbolic

@@ -1,0 +1,267 @@
+// Task dependence graphs (Section 4): enumeration, the two edge rules,
+// acyclicity, the least-dependence property, costs and analysis helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.h"
+#include "taskgraph/analysis.h"
+#include "test_helpers.h"
+
+namespace plu::taskgraph {
+namespace {
+
+symbolic::BlockStructure make_blocks(const CscMatrix& a) {
+  Options opt;
+  return analyze(a, opt).blocks;
+}
+
+TEST(TaskList, EnumerationAndLookup) {
+  std::vector<std::vector<int>> u = {{1, 2}, {2}, {}};
+  TaskList tl(u);
+  EXPECT_EQ(tl.size(), 3 + 3);
+  EXPECT_EQ(tl.factor_id(2), 2);
+  EXPECT_EQ(tl.task(tl.factor_id(1)).kind, TaskKind::kFactor);
+  int u02 = tl.update_id(0, 2);
+  ASSERT_NE(u02, -1);
+  EXPECT_EQ(tl.task(u02).k, 0);
+  EXPECT_EQ(tl.task(u02).j, 2);
+  EXPECT_EQ(tl.update_id(2, 0), -1);
+  EXPECT_EQ(tl.update_id(1, 1), -1);
+  EXPECT_EQ(to_string(tl.task(0)), "F(0)");
+  EXPECT_EQ(to_string(tl.task(u02)), "U(0,2)");
+}
+
+TEST(TaskGraph, TaskSetsIdenticalForBothKinds) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph g1 = build_task_graph(bs, GraphKind::kSStar);
+    TaskGraph g2 = build_task_graph(bs, GraphKind::kEforest);
+    EXPECT_EQ(g1.tasks.tasks().size(), g2.tasks.tasks().size());
+    for (int i = 0; i < g1.size(); ++i) {
+      EXPECT_TRUE(g1.tasks.task(i) == g2.tasks.task(i));
+    }
+  }
+}
+
+TEST(TaskGraph, UpdateTasksMatchUBlocks) {
+  CscMatrix a = test::small_matrices()[1];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph g = build_task_graph(bs, GraphKind::kEforest);
+  long expected_updates = 0;
+  for (int k = 0; k < bs.num_blocks(); ++k) {
+    expected_updates += static_cast<long>(bs.u_blocks(k).size());
+  }
+  EXPECT_EQ(g.size(), bs.num_blocks() + expected_updates);
+}
+
+TEST(TaskGraph, BothKindsAcyclic) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    EXPECT_TRUE(is_acyclic(build_task_graph(bs, GraphKind::kSStar)));
+    EXPECT_TRUE(is_acyclic(build_task_graph(bs, GraphKind::kEforest)));
+  }
+}
+
+TEST(TaskGraph, SStarChainsAllUpdatesPerTarget) {
+  CscMatrix a = test::small_matrices()[0];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph g = build_task_graph(bs, GraphKind::kSStar);
+  // For every target j, updates from ascending sources form a path and the
+  // last one feeds F(j).
+  for (int j = 0; j < bs.num_blocks(); ++j) {
+    std::vector<int> sources;
+    for (int id = 0; id < g.size(); ++id) {
+      const Task& t = g.tasks.task(id);
+      if (t.kind == TaskKind::kUpdate && t.j == j) sources.push_back(id);
+    }
+    for (std::size_t s = 0; s + 1 < sources.size(); ++s) {
+      const auto& succ = g.succ[sources[s]];
+      EXPECT_TRUE(std::find(succ.begin(), succ.end(), sources[s + 1]) != succ.end());
+    }
+    if (!sources.empty()) {
+      const auto& succ = g.succ[sources.back()];
+      EXPECT_TRUE(std::find(succ.begin(), succ.end(), g.tasks.factor_id(j)) !=
+                  succ.end());
+    }
+  }
+}
+
+TEST(TaskGraph, EforestEdgesFollowRules) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph g = build_task_graph(bs, GraphKind::kEforest);
+    const graph::Forest& t = bs.beforest;
+    for (int id = 0; id < g.size(); ++id) {
+      const Task& from = g.tasks.task(id);
+      for (int sid : g.succ[id]) {
+        const Task& to = g.tasks.task(sid);
+        if (from.kind == TaskKind::kFactor) {
+          // Rule 3: F(i) -> U(i, *) only.
+          EXPECT_EQ(to.kind, TaskKind::kUpdate);
+          EXPECT_EQ(to.k, from.k);
+        } else if (to.kind == TaskKind::kUpdate) {
+          // Rule 4: U(i,k) -> U(parent(i),k).
+          EXPECT_EQ(to.j, from.j);
+          EXPECT_EQ(to.k, t.parent(from.k));
+        } else {
+          // Rule 5: U(i,k) -> F(k) iff k = parent(i).
+          EXPECT_EQ(to.k, from.j);
+          EXPECT_EQ(t.parent(from.k), from.j);
+        }
+      }
+    }
+  }
+}
+
+TEST(TaskGraph, ProgramOrderBaselineAddsFanoutChains) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph minimal = build_task_graph(bs, GraphKind::kSStar);
+    TaskGraph program = build_task_graph(bs, GraphKind::kSStarProgramOrder);
+    EXPECT_TRUE(is_acyclic(program));
+    EXPECT_GE(program.num_edges(), minimal.num_edges());
+    // Every minimal edge is a program-order edge too.
+    EXPECT_TRUE(edges_subset_of_closure(minimal, program));
+    // The fan-out chain exists: consecutive updates of each panel.
+    for (int k = 0; k < bs.num_blocks(); ++k) {
+      auto [b, e] = program.tasks.update_range(k);
+      for (int id = b; id + 1 < e; ++id) {
+        const auto& succ = program.succ[id];
+        EXPECT_TRUE(std::find(succ.begin(), succ.end(), id + 1) != succ.end());
+      }
+    }
+    // The eforest graph is a relaxation of this baseline as well.
+    TaskGraph ef = build_task_graph(bs, GraphKind::kEforest);
+    EXPECT_TRUE(edges_subset_of_closure(ef, program));
+    // Longer chains can only lengthen the weighted critical path.
+    TaskCosts costs = compute_task_costs(bs, ef.tasks);
+    EXPECT_GE(critical_path(program, costs.flops).length,
+              critical_path(minimal, costs.flops).length - 1e-9);
+  }
+}
+
+TEST(TaskGraph, GraphKindNames) {
+  EXPECT_EQ(to_string(GraphKind::kSStar), "sstar");
+  EXPECT_EQ(to_string(GraphKind::kSStarProgramOrder), "sstar-program-order");
+  EXPECT_EQ(to_string(GraphKind::kEforest), "eforest");
+}
+
+TEST(TaskGraph, EforestNeverHasMoreEdges) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph sstar = build_task_graph(bs, GraphKind::kSStar);
+    TaskGraph ef = build_task_graph(bs, GraphKind::kEforest);
+    EXPECT_LE(ef.num_edges(), sstar.num_edges()) << describe(a);
+    EXPECT_TRUE(edges_subset_of_closure(ef, sstar)) << describe(a);
+  }
+}
+
+TEST(TaskGraph, CriticalPathAndBottomLevels) {
+  CscMatrix a = test::small_matrices()[0];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph g = build_task_graph(bs, GraphKind::kEforest);
+  TaskCosts costs = compute_task_costs(bs, g.tasks);
+  CriticalPath cp = critical_path(g, costs.flops);
+  EXPECT_GT(cp.length, 0.0);
+  EXPECT_FALSE(cp.path.empty());
+  // Path is a real chain in the graph.
+  for (std::size_t i = 0; i + 1 < cp.path.size(); ++i) {
+    const auto& succ = g.succ[cp.path[i]];
+    EXPECT_TRUE(std::find(succ.begin(), succ.end(), cp.path[i + 1]) != succ.end());
+  }
+  // Bottom level of a source >= its own weight; of any node >= weight.
+  std::vector<double> bl = bottom_levels(g, costs.flops);
+  double max_bl = 0;
+  for (int v = 0; v < g.size(); ++v) {
+    EXPECT_GE(bl[v], costs.flops[v]);
+    max_bl = std::max(max_bl, bl[v]);
+  }
+  EXPECT_NEAR(max_bl, cp.length, 1e-9 * cp.length);
+  // Lower bound sanity.
+  EXPECT_GE(cp.makespan_lower_bound(costs.total_flops, 4),
+            costs.total_flops / 4.0 - 1e-9);
+}
+
+TEST(TaskCosts, MatchFormulasOnSmallCase) {
+  CscMatrix a = test::small_matrices()[2];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph g = build_task_graph(bs, GraphKind::kEforest);
+  TaskCosts costs = compute_task_costs(bs, g.tasks);
+  double sum = 0;
+  for (int id = 0; id < g.size(); ++id) {
+    EXPECT_GE(costs.flops[id], 0.0);
+    sum += costs.flops[id];
+  }
+  EXPECT_NEAR(sum, costs.total_flops, 1e-9 * sum);
+  for (int k = 0; k < bs.num_blocks(); ++k) {
+    EXPECT_DOUBLE_EQ(costs.panel_bytes[k],
+                     8.0 * panel_rows(bs, k) * bs.part.width(k));
+  }
+}
+
+TEST(TaskGraph, GraphStatsAndDot) {
+  CscMatrix a = test::small_matrices()[5];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph g = build_task_graph(bs, GraphKind::kEforest);
+  TaskCosts costs = compute_task_costs(bs, g.tasks);
+  GraphStats st = graph_stats(g, costs);
+  EXPECT_EQ(st.tasks, g.size());
+  EXPECT_EQ(st.edges, g.num_edges());
+  EXPECT_GE(st.max_parallelism(), 1.0);
+  std::ostringstream os;
+  write_task_graph_dot(os, g);
+  EXPECT_NE(os.str().find("digraph"), std::string::npos);
+  EXPECT_NE(os.str().find("F(0)"), std::string::npos);
+}
+
+TEST(TaskGraph, ReachesIsTransitive) {
+  std::vector<std::vector<int>> u = {{1}, {2}, {}};
+  TaskList tl(u);
+  TaskGraph g;
+  g.tasks = tl;
+  g.succ.assign(g.size(), {});
+  g.indegree.assign(g.size(), 0);
+  g.succ[0] = {3};
+  g.succ[3] = {4};
+  g.indegree[3] = 1;
+  g.indegree[4] = 1;
+  EXPECT_TRUE(reaches(g, 0, 4));
+  EXPECT_FALSE(reaches(g, 4, 0));
+  EXPECT_TRUE(reaches(g, 2, 2));
+}
+
+
+TEST(TaskGraphFromCompact, EqualsPatternBasedConstruction) {
+  // The paper's third future-work item: the extended eforest's annotations
+  // carry the full dependence information.  Demonstrated on the trivial
+  // (scalar-column) partition, where the block pattern is the entry-level
+  // Abar -- a genuine George-Ng structure, for which the compact storage is
+  // an exact round trip.
+  for (const CscMatrix& a : test::small_matrices()) {
+    Options opt;
+    Analysis an = analyze(a, opt);
+    symbolic::SupernodePartition trivial =
+        symbolic::SupernodePartition::trivial(an.n);
+    symbolic::BlockStructure bs =
+        symbolic::build_block_structure(an.symbolic.abar, trivial);
+    symbolic::CompactStorage cs = symbolic::CompactStorage::build(bs.bpattern);
+    ASSERT_TRUE(cs.reconstruct() == bs.bpattern) << describe(a);
+    TaskGraph from_pattern = build_task_graph(bs, GraphKind::kEforest);
+    TaskGraph from_compact =
+        build_task_graph_from_compact(cs, bs.num_blocks());
+    ASSERT_EQ(from_pattern.size(), from_compact.size()) << describe(a);
+    for (int id = 0; id < from_pattern.size(); ++id) {
+      EXPECT_TRUE(from_pattern.tasks.task(id) == from_compact.tasks.task(id));
+      std::vector<int> s1 = from_pattern.succ[id];
+      std::vector<int> s2 = from_compact.succ[id];
+      std::sort(s1.begin(), s1.end());
+      std::sort(s2.begin(), s2.end());
+      EXPECT_EQ(s1, s2) << describe(a) << " task " << id;
+    }
+    EXPECT_EQ(from_pattern.indegree, from_compact.indegree);
+  }
+}
+
+}  // namespace
+}  // namespace plu::taskgraph

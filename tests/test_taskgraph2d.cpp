@@ -1,0 +1,172 @@
+// 2-D task decomposition: enumeration, dependence rules, flop conservation,
+// and scalability relative to the 1-D graph.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "runtime/simulator.h"
+#include "taskgraph/analysis.h"
+#include "taskgraph/build2d.h"
+#include "test_helpers.h"
+
+namespace plu::taskgraph {
+namespace {
+
+symbolic::BlockStructure make_blocks(const CscMatrix& a) {
+  return analyze(a).blocks;
+}
+
+TEST(TaskGraph2D, EnumerationCounts) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph2D g = build_task_graph_2d(bs);
+    long expected = bs.num_blocks();  // FD per block column
+    for (int k = 0; k < bs.num_blocks(); ++k) {
+      long l = static_cast<long>(bs.l_blocks(k).size());
+      long u = static_cast<long>(bs.u_blocks(k).size());
+      expected += l + u + l * u;
+    }
+    EXPECT_EQ(g.size(), expected) << describe(a);
+  }
+}
+
+TEST(TaskGraph2D, AcyclicAndComplete) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    symbolic::BlockStructure bs = make_blocks(a);
+    TaskGraph2D g = build_task_graph_2d(bs);
+    std::vector<int> order = topological_order(g);
+    EXPECT_EQ(static_cast<int>(order.size()), g.size()) << describe(a);
+  }
+}
+
+TEST(TaskGraph2D, EdgeRules) {
+  CscMatrix a = test::small_matrices()[0];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph2D g = build_task_graph_2d(bs);
+  for (int id = 0; id < g.size(); ++id) {
+    const Task2D& from = g.tasks[id];
+    for (int sid : g.succ[id]) {
+      const Task2D& to = g.tasks[sid];
+      switch (from.kind) {
+        case Task2DKind::kFactorDiag:
+          // FD(k) feeds only its own stage's FL/CU.
+          EXPECT_TRUE(to.kind == Task2DKind::kFactorL ||
+                      to.kind == Task2DKind::kComputeU);
+          EXPECT_EQ(to.k, from.k);
+          break;
+        case Task2DKind::kFactorL:
+        case Task2DKind::kComputeU:
+          // Feeds updates of the same stage only.
+          EXPECT_EQ(to.kind, Task2DKind::kUpdateBlock);
+          EXPECT_EQ(to.k, from.k);
+          break;
+        case Task2DKind::kUpdateBlock:
+          // Feeds the consumer of block (i, j) at a later stage.
+          EXPECT_GT(to.k, from.k);
+          if (from.i == from.j) {
+            EXPECT_EQ(to.kind, Task2DKind::kFactorDiag);
+            EXPECT_EQ(to.k, from.i);
+          } else if (from.i > from.j) {
+            EXPECT_EQ(to.kind, Task2DKind::kFactorL);
+            EXPECT_EQ(to.i, from.i);
+            EXPECT_EQ(to.k, from.j);
+          } else {
+            EXPECT_EQ(to.kind, Task2DKind::kComputeU);
+            EXPECT_EQ(to.i, from.i);
+            EXPECT_EQ(to.j, from.j);
+          }
+          break;
+      }
+    }
+  }
+}
+
+TEST(TaskGraph2D, FlopsMatch1DTotal) {
+  // The 2-D split re-partitions the same arithmetic: totals must agree.
+  for (const CscMatrix& a : test::small_matrices()) {
+    Analysis an = analyze(a);
+    TaskGraph2D g2 = build_task_graph_2d(an.blocks);
+    EXPECT_NEAR(g2.total_flops, an.costs.total_flops,
+                1e-9 * an.costs.total_flops)
+        << describe(a);
+  }
+}
+
+TEST(TaskGraph2D, CriticalPathNeverLonger) {
+  // Splitting tasks can only shorten (or keep) the weighted critical path.
+  for (const CscMatrix& a : test::small_matrices()) {
+    Analysis an = analyze(a);
+    TaskGraph2D g2 = build_task_graph_2d(an.blocks);
+    double cp1 = critical_path(an.graph, an.costs.flops).length;
+    double cp2 = critical_path_2d(g2);
+    EXPECT_LE(cp2, cp1 + 1e-9) << describe(a);
+  }
+}
+
+TEST(TaskGraph2D, SimulatesAndScalesAtLeastAsWell) {
+  CscMatrix a = gen::grid2d(14, 14, {});
+  Analysis an = analyze(a);
+  TaskGraph2D g2 = build_task_graph_2d(an.blocks);
+  std::vector<double> bl = bottom_levels_2d(g2);
+  rt::MachineModel m1 = rt::MachineModel::origin2000(1);
+  rt::MachineModel m8 = rt::MachineModel::origin2000(8);
+  double s1d = rt::simulate(an.graph, an.costs, m1).makespan /
+               rt::simulate(an.graph, an.costs, m8).makespan;
+  double t1 = rt::simulate_dag(g2.succ, g2.indegree, g2.flops, g2.output_bytes,
+                               m1, bl)
+                  .makespan;
+  double t8 = rt::simulate_dag(g2.succ, g2.indegree, g2.flops, g2.output_bytes,
+                               m8, bl)
+                  .makespan;
+  EXPECT_GT(t1 / t8, s1d * 0.9);  // 2-D at least in the same league at P=8
+  EXPECT_GT(t1 / t8, 2.0);
+}
+
+TEST(TaskGraph2D, OwnersRespectProcessGrid) {
+  CscMatrix a = test::small_matrices()[0];
+  symbolic::BlockStructure bs = make_blocks(a);
+  TaskGraph2D g = build_task_graph_2d(bs);
+  const int pr = 2, pc = 3;
+  std::vector<int> owners = owners_2d(g, pr, pc);
+  ASSERT_EQ(static_cast<int>(owners.size()), g.size());
+  for (int id = 0; id < g.size(); ++id) {
+    EXPECT_GE(owners[id], 0);
+    EXPECT_LT(owners[id], pr * pc);
+    const Task2D& t = g.tasks[id];
+    if (t.kind == Task2DKind::kUpdateBlock) {
+      EXPECT_EQ(owners[id], (t.i % pr) * pc + (t.j % pc));
+    }
+  }
+}
+
+TEST(TaskGraph2D, PinnedSimulationConservesWorkAndRespectsBounds) {
+  CscMatrix a = gen::grid2d(12, 12, {});
+  Analysis an = analyze(a);
+  TaskGraph2D g = build_task_graph_2d(an.blocks);
+  rt::MachineModel m = rt::MachineModel::origin2000(4);
+  std::vector<int> owners = owners_2d(g, 2, 2);
+  rt::SimulationResult r = rt::simulate_dag_pinned(g.succ, g.indegree, g.flops,
+                                                   g.output_bytes, m, owners);
+  double busy = 0.0;
+  for (double b : r.busy_seconds) busy += b;
+  double serial = 0.0;
+  for (double f : g.flops) serial += m.compute_seconds(f);
+  EXPECT_NEAR(busy, serial, 1e-9 * serial);
+  EXPECT_GE(r.makespan, critical_path_2d(g) / m.flops_per_second - 1e-12);
+  EXPECT_GT(r.messages, 0);
+  // Free scheduling can only do as well or better than the fixed grid under
+  // this machine model (same costs, more choices), modulo list anomalies.
+  double free_t = rt::simulate_dag(g.succ, g.indegree, g.flops, g.output_bytes,
+                                   m, bottom_levels_2d(g))
+                      .makespan;
+  EXPECT_LT(free_t, r.makespan * 1.10);
+}
+
+TEST(TaskGraph2D, Names) {
+  EXPECT_EQ(to_string(Task2D{Task2DKind::kFactorDiag, 3, 3, 3}), "FD(3)");
+  EXPECT_EQ(to_string(Task2D{Task2DKind::kFactorL, 5, 3, 3}), "FL(5,3)");
+  EXPECT_EQ(to_string(Task2D{Task2DKind::kComputeU, 3, 3, 7}), "CU(3,7)");
+  EXPECT_EQ(to_string(Task2D{Task2DKind::kUpdateBlock, 5, 3, 7}), "UB(5,3,7)");
+}
+
+}  // namespace
+}  // namespace plu::taskgraph

@@ -1,0 +1,65 @@
+// Schedule trace rendering: Gantt/CSV outputs and the utilization summary.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/analysis.h"
+#include "runtime/trace.h"
+#include "test_helpers.h"
+
+namespace plu::rt {
+namespace {
+
+SimulationResult traced_run(const CscMatrix& a, int p) {
+  Analysis an = analyze(a);
+  MachineModel m = MachineModel::origin2000(p);
+  return simulate(an.graph, an.costs, m, SchedulePolicy::kCriticalPath, true);
+}
+
+TEST(Trace, GanttHasOneRowPerProcessor) {
+  CscMatrix a = test::small_matrices()[0];
+  SimulationResult r = traced_run(a, 3);
+  std::ostringstream os;
+  write_ascii_gantt(os, r);
+  std::string out = os.str();
+  EXPECT_NE(out.find("P0 |"), std::string::npos);
+  EXPECT_NE(out.find("P1 |"), std::string::npos);
+  EXPECT_NE(out.find("P2 |"), std::string::npos);
+  EXPECT_EQ(out.find("P3 |"), std::string::npos);
+  // Some non-idle glyph must appear.
+  EXPECT_NE(out.find_first_not_of("P0123456789 |.\n", 0), std::string::npos);
+}
+
+TEST(Trace, EmptyTraceHandled) {
+  SimulationResult r;
+  r.busy_seconds.assign(2, 0.0);
+  std::ostringstream os;
+  write_ascii_gantt(os, r);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(Trace, CsvRowsMatchTraceWithLabels) {
+  CscMatrix a = test::small_matrices()[1];
+  Analysis an = analyze(a);
+  MachineModel m = MachineModel::origin2000(2);
+  SimulationResult r =
+      simulate(an.graph, an.costs, m, SchedulePolicy::kCriticalPath, true);
+  std::ostringstream os;
+  write_trace_csv(os, r, &an.graph.tasks);
+  std::string out = os.str();
+  // Header + one line per task.
+  long lines = std::count(out.begin(), out.end(), '\n');
+  EXPECT_EQ(lines, static_cast<long>(r.trace.size()) + 1);
+  EXPECT_NE(out.find("F(0)"), std::string::npos);
+}
+
+TEST(Trace, UtilizationSummary) {
+  CscMatrix a = test::small_matrices()[2];
+  SimulationResult r = traced_run(a, 4);
+  std::string s = utilization_summary(r);
+  EXPECT_NE(s.find("P0="), std::string::npos);
+  EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace plu::rt
