@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_solve.dir/bench_ablation_solve.cpp.o"
+  "CMakeFiles/bench_ablation_solve.dir/bench_ablation_solve.cpp.o.d"
+  "bench_ablation_solve"
+  "bench_ablation_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_taskgraph.dir/bench_fig5_taskgraph.cpp.o"
+  "CMakeFiles/bench_fig5_taskgraph.dir/bench_fig5_taskgraph.cpp.o.d"
+  "bench_fig5_taskgraph"
+  "bench_fig5_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

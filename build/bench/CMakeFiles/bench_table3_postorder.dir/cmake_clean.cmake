@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_postorder.dir/bench_table3_postorder.cpp.o"
+  "CMakeFiles/bench_table3_postorder.dir/bench_table3_postorder.cpp.o.d"
+  "bench_table3_postorder"
+  "bench_table3_postorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_postorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

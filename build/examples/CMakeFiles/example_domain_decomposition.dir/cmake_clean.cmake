@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_domain_decomposition.dir/domain_decomposition.cpp.o"
+  "CMakeFiles/example_domain_decomposition.dir/domain_decomposition.cpp.o.d"
+  "example_domain_decomposition"
+  "example_domain_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_domain_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

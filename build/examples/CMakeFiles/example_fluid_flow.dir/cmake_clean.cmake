@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fluid_flow.dir/fluid_flow.cpp.o"
+  "CMakeFiles/example_fluid_flow.dir/fluid_flow.cpp.o.d"
+  "example_fluid_flow"
+  "example_fluid_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fluid_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

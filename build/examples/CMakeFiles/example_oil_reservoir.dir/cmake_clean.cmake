@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_oil_reservoir.dir/oil_reservoir.cpp.o"
+  "CMakeFiles/example_oil_reservoir.dir/oil_reservoir.cpp.o.d"
+  "example_oil_reservoir"
+  "example_oil_reservoir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_oil_reservoir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

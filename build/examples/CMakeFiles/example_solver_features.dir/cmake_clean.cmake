@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_features.dir/solver_features.cpp.o"
+  "CMakeFiles/example_solver_features.dir/solver_features.cpp.o.d"
+  "example_solver_features"
+  "example_solver_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

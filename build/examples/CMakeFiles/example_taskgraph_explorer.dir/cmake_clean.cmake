@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_taskgraph_explorer.dir/taskgraph_explorer.cpp.o"
+  "CMakeFiles/example_taskgraph_explorer.dir/taskgraph_explorer.cpp.o.d"
+  "example_taskgraph_explorer"
+  "example_taskgraph_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_taskgraph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

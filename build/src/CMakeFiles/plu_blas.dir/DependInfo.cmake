@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/dense.cpp" "src/CMakeFiles/plu_blas.dir/blas/dense.cpp.o" "gcc" "src/CMakeFiles/plu_blas.dir/blas/dense.cpp.o.d"
+  "/root/repo/src/blas/factor.cpp" "src/CMakeFiles/plu_blas.dir/blas/factor.cpp.o" "gcc" "src/CMakeFiles/plu_blas.dir/blas/factor.cpp.o.d"
+  "/root/repo/src/blas/level1.cpp" "src/CMakeFiles/plu_blas.dir/blas/level1.cpp.o" "gcc" "src/CMakeFiles/plu_blas.dir/blas/level1.cpp.o.d"
+  "/root/repo/src/blas/level2.cpp" "src/CMakeFiles/plu_blas.dir/blas/level2.cpp.o" "gcc" "src/CMakeFiles/plu_blas.dir/blas/level2.cpp.o.d"
+  "/root/repo/src/blas/level3.cpp" "src/CMakeFiles/plu_blas.dir/blas/level3.cpp.o" "gcc" "src/CMakeFiles/plu_blas.dir/blas/level3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_blas.dir/blas/dense.cpp.o"
+  "CMakeFiles/plu_blas.dir/blas/dense.cpp.o.d"
+  "CMakeFiles/plu_blas.dir/blas/factor.cpp.o"
+  "CMakeFiles/plu_blas.dir/blas/factor.cpp.o.d"
+  "CMakeFiles/plu_blas.dir/blas/level1.cpp.o"
+  "CMakeFiles/plu_blas.dir/blas/level1.cpp.o.d"
+  "CMakeFiles/plu_blas.dir/blas/level2.cpp.o"
+  "CMakeFiles/plu_blas.dir/blas/level2.cpp.o.d"
+  "CMakeFiles/plu_blas.dir/blas/level3.cpp.o"
+  "CMakeFiles/plu_blas.dir/blas/level3.cpp.o.d"
+  "libplu_blas.a"
+  "libplu_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cpp" "src/CMakeFiles/plu_core.dir/core/analysis.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/analysis.cpp.o.d"
+  "/root/repo/src/core/block_storage.cpp" "src/CMakeFiles/plu_core.dir/core/block_storage.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/block_storage.cpp.o.d"
+  "/root/repo/src/core/numeric.cpp" "src/CMakeFiles/plu_core.dir/core/numeric.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/numeric.cpp.o.d"
+  "/root/repo/src/core/numeric2d.cpp" "src/CMakeFiles/plu_core.dir/core/numeric2d.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/numeric2d.cpp.o.d"
+  "/root/repo/src/core/parallel_solve.cpp" "src/CMakeFiles/plu_core.dir/core/parallel_solve.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/parallel_solve.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/plu_core.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/plu_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/solve.cpp" "src/CMakeFiles/plu_core.dir/core/solve.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/solve.cpp.o.d"
+  "/root/repo/src/core/sparse_lu.cpp" "src/CMakeFiles/plu_core.dir/core/sparse_lu.cpp.o" "gcc" "src/CMakeFiles/plu_core.dir/core/sparse_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

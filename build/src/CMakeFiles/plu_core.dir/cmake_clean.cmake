@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_core.dir/core/analysis.cpp.o"
+  "CMakeFiles/plu_core.dir/core/analysis.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/block_storage.cpp.o"
+  "CMakeFiles/plu_core.dir/core/block_storage.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/numeric.cpp.o"
+  "CMakeFiles/plu_core.dir/core/numeric.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/numeric2d.cpp.o"
+  "CMakeFiles/plu_core.dir/core/numeric2d.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/parallel_solve.cpp.o"
+  "CMakeFiles/plu_core.dir/core/parallel_solve.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/refine.cpp.o"
+  "CMakeFiles/plu_core.dir/core/refine.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/report.cpp.o"
+  "CMakeFiles/plu_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/solve.cpp.o"
+  "CMakeFiles/plu_core.dir/core/solve.cpp.o.d"
+  "CMakeFiles/plu_core.dir/core/sparse_lu.cpp.o"
+  "CMakeFiles/plu_core.dir/core/sparse_lu.cpp.o.d"
+  "libplu_core.a"
+  "libplu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

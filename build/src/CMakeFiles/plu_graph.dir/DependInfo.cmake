@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dot_export.cpp" "src/CMakeFiles/plu_graph.dir/graph/dot_export.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/dot_export.cpp.o.d"
+  "/root/repo/src/graph/eforest.cpp" "src/CMakeFiles/plu_graph.dir/graph/eforest.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/eforest.cpp.o.d"
+  "/root/repo/src/graph/etree.cpp" "src/CMakeFiles/plu_graph.dir/graph/etree.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/etree.cpp.o.d"
+  "/root/repo/src/graph/forest.cpp" "src/CMakeFiles/plu_graph.dir/graph/forest.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/forest.cpp.o.d"
+  "/root/repo/src/graph/postorder.cpp" "src/CMakeFiles/plu_graph.dir/graph/postorder.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/postorder.cpp.o.d"
+  "/root/repo/src/graph/transversal.cpp" "src/CMakeFiles/plu_graph.dir/graph/transversal.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/transversal.cpp.o.d"
+  "/root/repo/src/graph/weighted_matching.cpp" "src/CMakeFiles/plu_graph.dir/graph/weighted_matching.cpp.o" "gcc" "src/CMakeFiles/plu_graph.dir/graph/weighted_matching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

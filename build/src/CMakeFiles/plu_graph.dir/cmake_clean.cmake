@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_graph.dir/graph/dot_export.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/dot_export.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/eforest.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/eforest.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/etree.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/etree.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/forest.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/forest.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/postorder.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/postorder.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/transversal.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/transversal.cpp.o.d"
+  "CMakeFiles/plu_graph.dir/graph/weighted_matching.cpp.o"
+  "CMakeFiles/plu_graph.dir/graph/weighted_matching.cpp.o.d"
+  "libplu_graph.a"
+  "libplu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matrix/coo.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/coo.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/coo.cpp.o.d"
+  "/root/repo/src/matrix/csc.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/csc.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/csc.cpp.o.d"
+  "/root/repo/src/matrix/csr.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/csr.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/csr.cpp.o.d"
+  "/root/repo/src/matrix/equilibrate.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/equilibrate.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/equilibrate.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/generators.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/generators.cpp.o.d"
+  "/root/repo/src/matrix/hb_io.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/hb_io.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/hb_io.cpp.o.d"
+  "/root/repo/src/matrix/io.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/io.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/io.cpp.o.d"
+  "/root/repo/src/matrix/named_matrices.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/named_matrices.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/named_matrices.cpp.o.d"
+  "/root/repo/src/matrix/permutation.cpp" "src/CMakeFiles/plu_matrix.dir/matrix/permutation.cpp.o" "gcc" "src/CMakeFiles/plu_matrix.dir/matrix/permutation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_matrix.dir/matrix/coo.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/coo.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/csc.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/csc.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/csr.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/csr.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/equilibrate.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/equilibrate.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/generators.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/generators.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/hb_io.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/hb_io.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/io.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/io.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/named_matrices.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/named_matrices.cpp.o.d"
+  "CMakeFiles/plu_matrix.dir/matrix/permutation.cpp.o"
+  "CMakeFiles/plu_matrix.dir/matrix/permutation.cpp.o.d"
+  "libplu_matrix.a"
+  "libplu_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

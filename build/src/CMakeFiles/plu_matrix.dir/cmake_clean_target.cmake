@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplu_matrix.a"
+)

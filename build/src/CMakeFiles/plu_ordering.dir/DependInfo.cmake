@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/minimum_degree.cpp" "src/CMakeFiles/plu_ordering.dir/ordering/minimum_degree.cpp.o" "gcc" "src/CMakeFiles/plu_ordering.dir/ordering/minimum_degree.cpp.o.d"
+  "/root/repo/src/ordering/nested_dissection.cpp" "src/CMakeFiles/plu_ordering.dir/ordering/nested_dissection.cpp.o" "gcc" "src/CMakeFiles/plu_ordering.dir/ordering/nested_dissection.cpp.o.d"
+  "/root/repo/src/ordering/ordering.cpp" "src/CMakeFiles/plu_ordering.dir/ordering/ordering.cpp.o" "gcc" "src/CMakeFiles/plu_ordering.dir/ordering/ordering.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/CMakeFiles/plu_ordering.dir/ordering/rcm.cpp.o" "gcc" "src/CMakeFiles/plu_ordering.dir/ordering/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

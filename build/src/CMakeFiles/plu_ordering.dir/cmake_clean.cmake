@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_ordering.dir/ordering/minimum_degree.cpp.o"
+  "CMakeFiles/plu_ordering.dir/ordering/minimum_degree.cpp.o.d"
+  "CMakeFiles/plu_ordering.dir/ordering/nested_dissection.cpp.o"
+  "CMakeFiles/plu_ordering.dir/ordering/nested_dissection.cpp.o.d"
+  "CMakeFiles/plu_ordering.dir/ordering/ordering.cpp.o"
+  "CMakeFiles/plu_ordering.dir/ordering/ordering.cpp.o.d"
+  "CMakeFiles/plu_ordering.dir/ordering/rcm.cpp.o"
+  "CMakeFiles/plu_ordering.dir/ordering/rcm.cpp.o.d"
+  "libplu_ordering.a"
+  "libplu_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

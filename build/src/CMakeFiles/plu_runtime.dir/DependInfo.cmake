@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/dag_executor.cpp" "src/CMakeFiles/plu_runtime.dir/runtime/dag_executor.cpp.o" "gcc" "src/CMakeFiles/plu_runtime.dir/runtime/dag_executor.cpp.o.d"
+  "/root/repo/src/runtime/machine_model.cpp" "src/CMakeFiles/plu_runtime.dir/runtime/machine_model.cpp.o" "gcc" "src/CMakeFiles/plu_runtime.dir/runtime/machine_model.cpp.o.d"
+  "/root/repo/src/runtime/simulator.cpp" "src/CMakeFiles/plu_runtime.dir/runtime/simulator.cpp.o" "gcc" "src/CMakeFiles/plu_runtime.dir/runtime/simulator.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/plu_runtime.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/plu_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/plu_runtime.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/plu_runtime.dir/runtime/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_runtime.dir/runtime/dag_executor.cpp.o"
+  "CMakeFiles/plu_runtime.dir/runtime/dag_executor.cpp.o.d"
+  "CMakeFiles/plu_runtime.dir/runtime/machine_model.cpp.o"
+  "CMakeFiles/plu_runtime.dir/runtime/machine_model.cpp.o.d"
+  "CMakeFiles/plu_runtime.dir/runtime/simulator.cpp.o"
+  "CMakeFiles/plu_runtime.dir/runtime/simulator.cpp.o.d"
+  "CMakeFiles/plu_runtime.dir/runtime/thread_pool.cpp.o"
+  "CMakeFiles/plu_runtime.dir/runtime/thread_pool.cpp.o.d"
+  "CMakeFiles/plu_runtime.dir/runtime/trace.cpp.o"
+  "CMakeFiles/plu_runtime.dir/runtime/trace.cpp.o.d"
+  "libplu_runtime.a"
+  "libplu_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

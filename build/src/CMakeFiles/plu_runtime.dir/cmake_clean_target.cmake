@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libplu_runtime.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/blocks.cpp" "src/CMakeFiles/plu_symbolic.dir/symbolic/blocks.cpp.o" "gcc" "src/CMakeFiles/plu_symbolic.dir/symbolic/blocks.cpp.o.d"
+  "/root/repo/src/symbolic/compact_storage.cpp" "src/CMakeFiles/plu_symbolic.dir/symbolic/compact_storage.cpp.o" "gcc" "src/CMakeFiles/plu_symbolic.dir/symbolic/compact_storage.cpp.o.d"
+  "/root/repo/src/symbolic/static_symbolic.cpp" "src/CMakeFiles/plu_symbolic.dir/symbolic/static_symbolic.cpp.o" "gcc" "src/CMakeFiles/plu_symbolic.dir/symbolic/static_symbolic.cpp.o.d"
+  "/root/repo/src/symbolic/supernodes.cpp" "src/CMakeFiles/plu_symbolic.dir/symbolic/supernodes.cpp.o" "gcc" "src/CMakeFiles/plu_symbolic.dir/symbolic/supernodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

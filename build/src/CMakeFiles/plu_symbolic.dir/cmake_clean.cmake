@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_symbolic.dir/symbolic/blocks.cpp.o"
+  "CMakeFiles/plu_symbolic.dir/symbolic/blocks.cpp.o.d"
+  "CMakeFiles/plu_symbolic.dir/symbolic/compact_storage.cpp.o"
+  "CMakeFiles/plu_symbolic.dir/symbolic/compact_storage.cpp.o.d"
+  "CMakeFiles/plu_symbolic.dir/symbolic/static_symbolic.cpp.o"
+  "CMakeFiles/plu_symbolic.dir/symbolic/static_symbolic.cpp.o.d"
+  "CMakeFiles/plu_symbolic.dir/symbolic/supernodes.cpp.o"
+  "CMakeFiles/plu_symbolic.dir/symbolic/supernodes.cpp.o.d"
+  "libplu_symbolic.a"
+  "libplu_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

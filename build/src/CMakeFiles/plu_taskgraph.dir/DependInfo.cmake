@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskgraph/analysis.cpp" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/analysis.cpp.o" "gcc" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/analysis.cpp.o.d"
+  "/root/repo/src/taskgraph/build.cpp" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/build.cpp.o" "gcc" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/build.cpp.o.d"
+  "/root/repo/src/taskgraph/build2d.cpp" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/build2d.cpp.o" "gcc" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/build2d.cpp.o.d"
+  "/root/repo/src/taskgraph/costs.cpp" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/costs.cpp.o" "gcc" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/costs.cpp.o.d"
+  "/root/repo/src/taskgraph/tasks.cpp" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/tasks.cpp.o" "gcc" "src/CMakeFiles/plu_taskgraph.dir/taskgraph/tasks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/analysis.cpp.o"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/analysis.cpp.o.d"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/build.cpp.o"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/build.cpp.o.d"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/build2d.cpp.o"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/build2d.cpp.o.d"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/costs.cpp.o"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/costs.cpp.o.d"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/tasks.cpp.o"
+  "CMakeFiles/plu_taskgraph.dir/taskgraph/tasks.cpp.o.d"
+  "libplu_taskgraph.a"
+  "libplu_taskgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_taskgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas_level3.dir/test_blas_level3.cpp.o"
+  "CMakeFiles/test_blas_level3.dir/test_blas_level3.cpp.o.d"
+  "test_blas_level3"
+  "test_blas_level3.pdb"
+  "test_blas_level3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas_level3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

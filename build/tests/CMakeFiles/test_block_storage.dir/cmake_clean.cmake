@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_storage.dir/test_block_storage.cpp.o"
+  "CMakeFiles/test_block_storage.dir/test_block_storage.cpp.o.d"
+  "test_block_storage"
+  "test_block_storage.pdb"
+  "test_block_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact_storage.dir/test_compact_storage.cpp.o"
+  "CMakeFiles/test_compact_storage.dir/test_compact_storage.cpp.o.d"
+  "test_compact_storage"
+  "test_compact_storage.pdb"
+  "test_compact_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coo_csc.dir/test_coo_csc.cpp.o"
+  "CMakeFiles/test_coo_csc.dir/test_coo_csc.cpp.o.d"
+  "test_coo_csc"
+  "test_coo_csc.pdb"
+  "test_coo_csc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coo_csc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eforest.dir/test_eforest.cpp.o"
+  "CMakeFiles/test_eforest.dir/test_eforest.cpp.o.d"
+  "test_eforest"
+  "test_eforest.pdb"
+  "test_eforest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eforest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etree.dir/test_etree.cpp.o"
+  "CMakeFiles/test_etree.dir/test_etree.cpp.o.d"
+  "test_etree"
+  "test_etree.pdb"
+  "test_etree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hb_io.dir/test_hb_io.cpp.o"
+  "CMakeFiles/test_hb_io.dir/test_hb_io.cpp.o.d"
+  "test_hb_io"
+  "test_hb_io.pdb"
+  "test_hb_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hb_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

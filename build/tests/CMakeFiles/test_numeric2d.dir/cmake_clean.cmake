@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric2d.dir/test_numeric2d.cpp.o"
+  "CMakeFiles/test_numeric2d.dir/test_numeric2d.cpp.o.d"
+  "test_numeric2d"
+  "test_numeric2d.pdb"
+  "test_numeric2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postorder.dir/test_postorder.cpp.o"
+  "CMakeFiles/test_postorder.dir/test_postorder.cpp.o.d"
+  "test_postorder"
+  "test_postorder.pdb"
+  "test_postorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sparse_lu.cpp" "tests/CMakeFiles/test_sparse_lu.dir/test_sparse_lu.cpp.o" "gcc" "tests/CMakeFiles/test_sparse_lu.dir/test_sparse_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/plu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_taskgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_ordering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_matrix.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/plu_blas.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

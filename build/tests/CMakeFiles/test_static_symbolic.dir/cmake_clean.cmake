@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_symbolic.dir/test_static_symbolic.cpp.o"
+  "CMakeFiles/test_static_symbolic.dir/test_static_symbolic.cpp.o.d"
+  "test_static_symbolic"
+  "test_static_symbolic.pdb"
+  "test_static_symbolic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

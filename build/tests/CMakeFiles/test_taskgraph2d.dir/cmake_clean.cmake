@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskgraph2d.dir/test_taskgraph2d.cpp.o"
+  "CMakeFiles/test_taskgraph2d.dir/test_taskgraph2d.cpp.o.d"
+  "test_taskgraph2d"
+  "test_taskgraph2d.pdb"
+  "test_taskgraph2d[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskgraph2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

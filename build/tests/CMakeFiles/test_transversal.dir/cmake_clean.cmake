@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transversal.dir/test_transversal.cpp.o"
+  "CMakeFiles/test_transversal.dir/test_transversal.cpp.o.d"
+  "test_transversal"
+  "test_transversal.pdb"
+  "test_transversal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plu_solve.dir/plu_solve.cpp.o"
+  "CMakeFiles/plu_solve.dir/plu_solve.cpp.o.d"
+  "plu_solve"
+  "plu_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plu_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
