@@ -21,9 +21,10 @@ namespace {
 class Driver {
  public:
   Driver(const Analysis& an, BlockMatrix& bm, std::vector<std::vector<int>>& ipiv,
-         const NumericOptions& opt)
+         const NumericOptions& opt, rt::RaceChecker* rc)
       : an_(an), bm_(bm), ipiv_(ipiv), lazy_(opt.lazy_updates),
-        threshold_(opt.pivot_threshold), zero_pivots_(0), lazy_skipped_(0) {
+        threshold_(opt.pivot_threshold), rc_(rc), zero_pivots_(0),
+        lazy_skipped_(0) {
     // Lock-free execution is only honored when the analysis proved the
     // unordered updates' block footprints disjoint (symbolic/blocks.h).
     if (opt.use_column_locks || !an.blocks.lockfree_safe) {
@@ -41,6 +42,14 @@ class Driver {
   }
 
   void factor(int k) {
+    if (rc_) {
+      // Footprint (Theorem 4 bookkeeping): Factor(k) rewrites the packed
+      // panel of block column k -- the diagonal block and every L row
+      // block -- and touches nothing else.
+      const int id = an_.graph.tasks.factor_id(k);
+      record_write(id, k, k);
+      for (int t : an_.blocks.l_blocks(k)) record_write(id, t, k);
+    }
     std::unique_lock<std::mutex> lock = maybe_lock(k);
     blas::MatrixView p = bm_.panel(k);
     int info = (threshold_ < 1.0)
@@ -50,6 +59,21 @@ class Driver {
   }
 
   void update(int k, int j) {
+    if (rc_) {
+      // Update(k, j) reads panel k (L blocks + ipiv via the diagonal
+      // block) and writes the panel-k row blocks of block column j: the
+      // pivot replay swaps rows inside blocks (k, j) and (t, j), the trsm
+      // rewrites (k, j), the gemms rewrite each (t, j).  These are exactly
+      // the pivot-candidate row blocks Theorem 4 proves disjoint across
+      // independent subtrees.
+      const int id = an_.graph.tasks.update_id(k, j);
+      record_read(id, k, k);
+      record_write(id, k, j);
+      for (int t : an_.blocks.l_blocks(k)) {
+        record_read(id, t, k);
+        record_write(id, t, j);
+      }
+    }
     std::unique_lock<std::mutex> lock = maybe_lock(j);
     const std::vector<int>& piv = ipiv_[k];
     // (a) deferred pivoting: panel-k row swaps replayed on block column j.
@@ -95,11 +119,30 @@ class Driver {
     return std::unique_lock<std::mutex>((*locks_)[column]);
   }
 
+  /// Block (i, j) as a checker resource id.
+  long resource(int i, int j) const {
+    return static_cast<long>(i) * an_.blocks.num_blocks() + j;
+  }
+
+  void record_read(int id, int i, int j) { rc_->read(id, resource(i, j)); }
+
+  /// The kernels write block (i, j) while holding column j's mutex when
+  /// locks are on; tell the checker which lock so same-column serialized
+  /// (entry-disjoint, commuting) writes are not misreported.
+  void record_write(int id, int i, int j) {
+    if (locks_) {
+      rc_->locked_write(id, resource(i, j), j);
+    } else {
+      rc_->write(id, resource(i, j));
+    }
+  }
+
   const Analysis& an_;
   BlockMatrix& bm_;
   std::vector<std::vector<int>>& ipiv_;
   const bool lazy_;
   const double threshold_;
+  rt::RaceChecker* rc_;
   std::unique_ptr<std::vector<std::mutex>> locks_;
   std::atomic<int> zero_pivots_;
   std::atomic<long> lazy_skipped_;
@@ -116,7 +159,19 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   blocks_.load(analysis.permute_input(a));
   ipiv_.assign(analysis.blocks.num_blocks(), {});
 
-  Driver driver(analysis, blocks_, ipiv_, opt);
+  std::unique_ptr<rt::RaceChecker> checker;
+  if (opt.check_races) {
+    checker = std::make_unique<rt::RaceChecker>(analysis.graph.size());
+  }
+  Driver driver(analysis, blocks_, ipiv_, opt, checker.get());
+  // Cross-checks the recorded footprints against the dependence graph once
+  // the tasks have run (all exits of the constructor below).
+  auto finish_race_check = [&] {
+    if (checker) {
+      races_ = checker->check(analysis.graph);
+      race_checked_ = true;
+    }
+  };
   const int nb_total = analysis.blocks.num_blocks();
   factored_blocks_ =
       (opt.stop_after_block >= 0 && opt.stop_after_block < nb_total)
@@ -133,6 +188,7 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
     }
     zero_pivots_ = driver.zero_pivots();
     lazy_skipped_ = driver.lazy_skipped();
+    finish_race_check();
     return;
   }
   switch (opt.mode) {
@@ -157,8 +213,17 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
       break;
     }
     case ExecutionMode::kThreaded: {
-      rt::ExecutionReport rep = rt::execute_task_graph(
-          analysis.graph, opt.threads, [&](int id) { driver.run_task(id); });
+      rt::ExecutionReport rep;
+      if (opt.fuzz_schedule) {
+        rt::FuzzOptions fuzz;
+        fuzz.seed = opt.fuzz_seed;
+        fuzz.max_delay_us = opt.fuzz_max_delay_us;
+        rep = rt::execute_task_graph_fuzzed(analysis.graph, opt.threads, fuzz,
+                                            [&](int id) { driver.run_task(id); });
+      } else {
+        rep = rt::execute_task_graph(analysis.graph, opt.threads,
+                                     [&](int id) { driver.run_task(id); });
+      }
       if (!rep.completed) {
         throw std::logic_error("Factorization: threaded execution incomplete");
       }
@@ -167,6 +232,7 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   }
   zero_pivots_ = driver.zero_pivots();
   lazy_skipped_ = driver.lazy_skipped();
+  finish_race_check();
 }
 
 blas::DenseMatrix Factorization::schur_complement() const {

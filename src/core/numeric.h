@@ -18,10 +18,12 @@
 // gemm targets never overlap.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/analysis.h"
 #include "core/block_storage.h"
+#include "runtime/race_checker.h"
 
 namespace plu {
 
@@ -56,6 +58,20 @@ struct NumericOptions {
   /// Factorization::schur_complement() to extract it.  A partial
   /// factorization cannot solve().  Runs sequentially.
   int stop_after_block = -1;
+  /// Record per-task block read/write footprints while the tasks run and
+  /// cross-check every unordered task pair against the transitive
+  /// dependence relation afterwards (rt::RaceChecker -- the dynamic
+  /// verification of Theorem 4).  Results in Factorization::races().
+  /// Works in every execution mode; kThreaded exercises real interleavings.
+  bool check_races = false;
+  /// Run kThreaded execution on the schedule-fuzzing executor
+  /// (rt::execute_task_graph_fuzzed): randomized ready-task selection plus
+  /// injected delays, so repeated runs with different seeds explore many
+  /// legal interleavings instead of the one the mutex produces.
+  bool fuzz_schedule = false;
+  std::uint64_t fuzz_seed = 1;
+  /// Maximum injected pre-task delay (microseconds) when fuzzing.
+  int fuzz_max_delay_us = 50;
 };
 
 class Factorization {
@@ -76,6 +92,12 @@ class Factorization {
   /// Updates elided by LazyS+ zero-block detection (0 unless
   /// NumericOptions::lazy_updates was set).
   long lazy_skipped_updates() const { return lazy_skipped_; }
+
+  /// Footprint races found by the checker (always empty unless
+  /// NumericOptions::check_races was set; empty then too when the task
+  /// graph correctly orders every conflicting pair -- the Theorem 4 claim).
+  const std::vector<rt::FootprintRace>& races() const { return races_; }
+  bool race_checked() const { return race_checked_; }
 
   /// Row interchanges actually performed across all panels (ipiv entries
   /// that moved a row).  MC64 preprocessing plus threshold pivoting drives
@@ -115,6 +137,8 @@ class Factorization {
   int zero_pivots_ = 0;
   long lazy_skipped_ = 0;
   int factored_blocks_ = 0;
+  std::vector<rt::FootprintRace> races_;
+  bool race_checked_ = false;
 };
 
 /// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).

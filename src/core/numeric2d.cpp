@@ -40,8 +40,39 @@ Factorization2D::Factorization2D(const Analysis& analysis, const CscMatrix& a,
   // writes must not interleave).
   std::vector<std::mutex> column_locks(nb);
 
+  std::unique_ptr<rt::RaceChecker> checker;
+  if (opt.check_races) {
+    checker = std::make_unique<rt::RaceChecker>(graph_.size());
+  }
+  auto resource = [nb](int i, int j) { return static_cast<long>(i) * nb + j; };
+  // Per-kind block footprints: FactorDiag writes (k,k); ComputeU reads
+  // (k,k), writes (k,j); FactorL reads (k,k), writes (i,k); UpdateBlock
+  // reads its L and U operands and accumulates into (i,j) under column j's
+  // mutex (additive gemms commute, hence a locked write).
+  auto record = [&](const taskgraph::Task2D& t, int id) {
+    switch (t.kind) {
+      case taskgraph::Task2DKind::kFactorDiag:
+        checker->write(id, resource(t.k, t.k));
+        break;
+      case taskgraph::Task2DKind::kComputeU:
+        checker->read(id, resource(t.k, t.k));
+        checker->write(id, resource(t.k, t.j));
+        break;
+      case taskgraph::Task2DKind::kFactorL:
+        checker->read(id, resource(t.k, t.k));
+        checker->write(id, resource(t.i, t.k));
+        break;
+      case taskgraph::Task2DKind::kUpdateBlock:
+        checker->read(id, resource(t.i, t.k));
+        checker->read(id, resource(t.k, t.j));
+        checker->locked_write(id, resource(t.i, t.j), t.j);
+        break;
+    }
+  };
+
   auto run_task = [&](int id) {
     const taskgraph::Task2D& t = graph_.tasks[id];
+    if (checker) record(t, id);
     switch (t.kind) {
       case taskgraph::Task2DKind::kFactorDiag: {
         blas::MatrixView d = blocks_.block(t.k, t.k);
@@ -100,6 +131,7 @@ Factorization2D::Factorization2D(const Analysis& analysis, const CscMatrix& a,
   zero_pivots_ = zero_pivots.load();
   min_pivot_ratio_ =
       std::isfinite(min_pivot) ? min_pivot / matrix_scale : 0.0;
+  if (checker) races_ = checker->check(graph_.succ);
 }
 
 std::vector<double> Factorization2D::solve(const std::vector<double>& b) const {

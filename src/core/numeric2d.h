@@ -24,6 +24,7 @@
 
 #include "core/analysis.h"
 #include "core/block_storage.h"
+#include "runtime/race_checker.h"
 #include "taskgraph/build2d.h"
 
 namespace plu {
@@ -31,6 +32,11 @@ namespace plu {
 struct Numeric2DOptions {
   /// 1 = sequential topological execution; > 1 = DAG executor threads.
   int threads = 1;
+  /// Record per-task block footprints and cross-check unordered task pairs
+  /// against the 2-D dependence graph (rt::RaceChecker); results in
+  /// Factorization2D::races().  Lock-serialized additive UpdateBlock gemms
+  /// into one block are recorded as commuting locked writes.
+  bool check_races = false;
 };
 
 class Factorization2D {
@@ -48,6 +54,9 @@ class Factorization2D {
   /// stability indicator (restricted pivoting can drive it tiny).
   double min_pivot_ratio() const { return min_pivot_ratio_; }
 
+  /// Footprint races (empty unless Numeric2DOptions::check_races).
+  const std::vector<rt::FootprintRace>& races() const { return races_; }
+
   /// Solves A x = b (original ordering).
   std::vector<double> solve(const std::vector<double>& b) const;
 
@@ -58,6 +67,7 @@ class Factorization2D {
   std::vector<std::vector<int>> diag_ipiv_;  // local pivots per block
   int zero_pivots_ = 0;
   double min_pivot_ratio_ = 0.0;
+  std::vector<rt::FootprintRace> races_;
 };
 
 }  // namespace plu

@@ -1,7 +1,13 @@
 #include "runtime/dag_executor.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
 
 #include "runtime/thread_pool.h"
 #include "taskgraph/analysis.h"
@@ -42,6 +48,87 @@ ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
   rep.tasks_run = done.load();
   rep.completed = rep.tasks_run == n;
   return rep;
+}
+
+ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
+                                   const std::vector<int>& indegree,
+                                   int num_threads, const FuzzOptions& fuzz,
+                                   const std::function<void(int)>& run) {
+  ExecutionReport rep;
+  const int n = static_cast<int>(succ.size());
+  if (n == 0) {
+    rep.completed = true;
+    return rep;
+  }
+  num_threads = std::max(1, num_threads);
+
+  // One shared ready list under a mutex: workers pop a random element (so
+  // the schedule is not the FIFO order the queue would impose) and sleep a
+  // random delay before running, widening the window in which unordered
+  // tasks actually overlap.  Termination: all tasks done, or the ready list
+  // drained with nothing in flight (cyclic remainder).
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> indeg = indegree;
+  std::vector<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  long done = 0;
+  int active = 0;
+  bool stop = ready.empty();  // all-cyclic graph: nothing ever runs
+
+  auto worker = [&](int tid) {
+    std::mt19937_64 rng(fuzz.seed * 0x9E3779B97F4A7C15ull +
+                        static_cast<std::uint64_t>(tid + 1) * 0x100000001B3ull);
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv.wait(lock, [&] { return stop || !ready.empty(); });
+      if (ready.empty()) {
+        if (stop) return;
+        continue;
+      }
+      const std::size_t pick = rng() % ready.size();
+      std::swap(ready[pick], ready.back());
+      const int id = ready.back();
+      ready.pop_back();
+      ++active;
+      lock.unlock();
+      if (fuzz.max_delay_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            rng() % static_cast<std::uint64_t>(fuzz.max_delay_us + 1)));
+      }
+      run(id);
+      lock.lock();
+      ++done;
+      --active;
+      for (int s : succ[id]) {
+        if (--indeg[s] == 0) ready.push_back(s);
+      }
+      if (done == n || (ready.empty() && active == 0)) {
+        stop = true;
+        cv.notify_all();
+      } else if (!ready.empty()) {
+        cv.notify_all();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& th : threads) th.join();
+  rep.tasks_run = done;
+  rep.completed = done == n;
+  return rep;
+}
+
+ExecutionReport execute_task_graph_fuzzed(const taskgraph::TaskGraph& g,
+                                          int num_threads,
+                                          const FuzzOptions& fuzz,
+                                          const std::function<void(int)>& run) {
+  if (g.size() != 0 && !taskgraph::is_acyclic(g)) return {};
+  return execute_dag_fuzzed(g.succ, g.indegree, num_threads, fuzz, run);
 }
 
 ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_threads,

@@ -8,6 +8,7 @@
 // chooses to take.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "taskgraph/build.h"
@@ -17,6 +18,19 @@ namespace plu::rt {
 struct ExecutionReport {
   long tasks_run = 0;
   bool completed = false;  // false if the graph was cyclic / run threw
+};
+
+/// Schedule perturbation for the fuzzed executors: instead of the FIFO pop
+/// order the mutex happens to produce, workers pop a seed-determined RANDOM
+/// ready task and may sleep a random delay before running it, so repeated
+/// runs explore many legal interleavings of the unordered tasks (the ones
+/// Theorem 4 leaves unordered).  Used by the concurrency-correctness tier
+/// (tests/test_race_harness.cpp, ctest -L sanitize).
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  /// Maximum injected pre-task delay in microseconds (uniform in
+  /// [0, max_delay_us]; 0 disables delays and only shuffles pop order).
+  int max_delay_us = 50;
 };
 
 /// Executes the graph on `num_threads` threads, invoking run(task_id) for
@@ -29,6 +43,20 @@ ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_thread
 ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
                             const std::vector<int>& indegree, int num_threads,
                             const std::function<void(int)>& run);
+
+/// Like execute_task_graph, but with the fuzzed ready-queue discipline of
+/// `fuzz`.  Same completion semantics; different (still legal) interleaving
+/// per seed.
+ExecutionReport execute_task_graph_fuzzed(const taskgraph::TaskGraph& g,
+                                          int num_threads, const FuzzOptions& fuzz,
+                                          const std::function<void(int)>& run);
+
+/// Fuzzed variant of execute_dag.  A cyclic graph runs the acyclic prefix
+/// and reports completed == false (no task runs twice).
+ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
+                                   const std::vector<int>& indegree,
+                                   int num_threads, const FuzzOptions& fuzz,
+                                   const std::function<void(int)>& run);
 
 /// Sequential reference execution in a given topological order (or the
 /// default one when `order` is empty).

@@ -1,0 +1,116 @@
+#include "runtime/race_checker.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "taskgraph/analysis.h"
+
+namespace plu::rt {
+
+namespace {
+
+const char* kind_name(AccessKind k) {
+  switch (k) {
+    case AccessKind::kRead: return "read";
+    case AccessKind::kWrite: return "write";
+    case AccessKind::kLockedWrite: return "locked-write";
+  }
+  return "?";
+}
+
+/// Read/read never conflicts; locked writes under one lock are serialized
+/// and commutative by contract; everything else does conflict.
+bool conflicts(AccessKind ka, int la, AccessKind kb, int lb) {
+  if (ka == AccessKind::kRead && kb == AccessKind::kRead) return false;
+  if (ka == AccessKind::kLockedWrite && kb == AccessKind::kLockedWrite &&
+      la == lb) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string to_string(const FootprintRace& r) {
+  return "tasks " + std::to_string(r.task_a) + " (" + kind_name(r.kind_a) +
+         ") and " + std::to_string(r.task_b) + " (" + kind_name(r.kind_b) +
+         ") unordered on resource " + std::to_string(r.resource);
+}
+
+void RaceChecker::reset(int num_tasks) {
+  acc_.assign(static_cast<std::size_t>(std::max(0, num_tasks)), {});
+}
+
+void RaceChecker::read(int task, long resource) {
+  acc_[task].push_back({resource, -1, AccessKind::kRead});
+}
+
+void RaceChecker::write(int task, long resource) {
+  acc_[task].push_back({resource, -1, AccessKind::kWrite});
+}
+
+void RaceChecker::locked_write(int task, long resource, int lock_id) {
+  acc_[task].push_back({resource, lock_id, AccessKind::kLockedWrite});
+}
+
+std::vector<FootprintRace> RaceChecker::check(
+    const std::vector<std::vector<int>>& succ, std::size_t max_races) const {
+  if (succ.size() != acc_.size()) {
+    throw std::invalid_argument("RaceChecker::check: graph/task-count mismatch");
+  }
+  std::vector<FootprintRace> races;
+  if (acc_.empty()) return races;
+
+  taskgraph::Reachability reach(succ);
+
+  // Accessor lists per resource.  Within one task, keep only the strongest
+  // access per resource (write > locked write > read) so repeated records
+  // do not inflate the pairwise scan.
+  struct Accessor {
+    int task;
+    int lock;
+    AccessKind kind;
+  };
+  auto rank = [](AccessKind k) {
+    return k == AccessKind::kWrite ? 2 : (k == AccessKind::kLockedWrite ? 1 : 0);
+  };
+  std::unordered_map<long, std::vector<Accessor>> by_resource;
+  for (int t = 0; t < num_tasks(); ++t) {
+    std::unordered_map<long, Access> strongest;
+    for (const Access& a : acc_[t]) {
+      auto [it, inserted] = strongest.emplace(a.resource, a);
+      if (!inserted && rank(a.kind) > rank(it->second.kind)) it->second = a;
+    }
+    for (const auto& [res, a] : strongest) {
+      by_resource[res].push_back({t, a.lock, a.kind});
+    }
+  }
+
+  std::set<std::pair<int, int>> reported;
+  for (const auto& [res, accs] : by_resource) {
+    if (accs.size() < 2) continue;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      for (std::size_t j = i + 1; j < accs.size(); ++j) {
+        const Accessor& a = accs[i];
+        const Accessor& b = accs[j];
+        if (!conflicts(a.kind, a.lock, b.kind, b.lock)) continue;
+        if (reach.ordered(a.task, b.task)) continue;
+        auto key = std::minmax(a.task, b.task);
+        if (!reported.insert({key.first, key.second}).second) continue;
+        races.push_back({a.task, b.task, res, a.kind, b.kind});
+        if (races.size() >= max_races) return races;
+      }
+    }
+  }
+  return races;
+}
+
+std::vector<FootprintRace> RaceChecker::check(const taskgraph::TaskGraph& g,
+                                              std::size_t max_races) const {
+  return check(g.succ, max_races);
+}
+
+}  // namespace plu::rt

@@ -1,0 +1,85 @@
+// Footprint-based dynamic race detection for the task-graph runtime — the
+// runtime cross-check of Theorem 4.
+//
+// The paper's lock-free claim is structural: updates whose sources lie in
+// independent eforest subtrees are left unordered by the dependence graph
+// because their pivot-candidate row blocks are disjoint (Theorem 4,
+// verify_candidate_disjointness, BlockStructure::lockfree_safe).  The
+// checker validates that claim dynamically: while the factorization runs,
+// each task records the block resources it reads and writes; afterwards
+// check() flags every pair of tasks that is UNORDERED in the transitive
+// dependence relation of the graph yet has conflicting footprints
+// (write/write, or read/write across tasks).  A correct graph over a
+// lock-free-safe structure yields zero races under every legal
+// interleaving; removing a single rule-4 edge makes the checker fire.
+//
+// Recording is wait-free with respect to other tasks: each task id is
+// recorded only by the one thread running it, into its own slot, so the
+// checker adds no synchronization that could mask executor bugs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taskgraph/build.h"
+
+namespace plu::rt {
+
+enum class AccessKind { kRead, kWrite, kLockedWrite };
+
+/// One conflicting, unordered task pair, with the first resource (dense
+/// block, encoded row_block * num_blocks + col_block by the numeric layer)
+/// it conflicts on.
+struct FootprintRace {
+  int task_a = 0;
+  int task_b = 0;
+  long resource = 0;
+  AccessKind kind_a = AccessKind::kWrite;
+  AccessKind kind_b = AccessKind::kWrite;
+};
+
+std::string to_string(const FootprintRace& r);
+
+class RaceChecker {
+ public:
+  RaceChecker() = default;
+  explicit RaceChecker(int num_tasks) { reset(num_tasks); }
+
+  void reset(int num_tasks);
+  int num_tasks() const { return static_cast<int>(acc_.size()); }
+
+  /// Task `task` read `resource`.  Safe to call from the thread running the
+  /// task while other tasks record concurrently.
+  void read(int task, long resource);
+
+  /// Task `task` wrote `resource` with no synchronization beyond the graph.
+  void write(int task, long resource);
+
+  /// Task `task` wrote `resource` while holding the mutex `lock_id`.  Two
+  /// locked writes under the SAME lock are mutually excluded and assumed
+  /// commutative (the numeric layer only locks additive / entry-disjoint
+  /// updates), so they never race with each other; they still conflict
+  /// with reads and with writes under other (or no) locks.
+  void locked_write(int task, long resource, int lock_id);
+
+  /// All conflicting task pairs left unordered by the transitive dependence
+  /// relation of `succ` (one race per pair, first conflicting resource),
+  /// capped at `max_races`.  `succ` must be acyclic and have one entry per
+  /// task.
+  std::vector<FootprintRace> check(const std::vector<std::vector<int>>& succ,
+                                   std::size_t max_races = 100) const;
+  std::vector<FootprintRace> check(const taskgraph::TaskGraph& g,
+                                   std::size_t max_races = 100) const;
+
+ private:
+  struct Access {
+    long resource = 0;
+    int lock = -1;
+    AccessKind kind = AccessKind::kRead;
+  };
+
+  std::vector<std::vector<Access>> acc_;  // per-task footprint
+};
+
+}  // namespace plu::rt

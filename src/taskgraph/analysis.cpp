@@ -4,6 +4,7 @@
 #include <cassert>
 #include <deque>
 #include <ostream>
+#include <stdexcept>
 
 namespace plu::taskgraph {
 
@@ -92,6 +93,42 @@ bool reaches(const TaskGraph& g, int u, int v) {
     }
   }
   return false;
+}
+
+Reachability::Reachability(const std::vector<std::vector<int>>& succ)
+    : n_(static_cast<int>(succ.size())), words_((n_ + 63) / 64) {
+  std::vector<int> indeg(n_, 0);
+  for (int u = 0; u < n_; ++u) {
+    for (int s : succ[u]) ++indeg[s];
+  }
+  std::vector<int> order;
+  order.reserve(n_);
+  std::deque<int> ready;
+  for (int v = 0; v < n_; ++v) {
+    if (indeg[v] == 0) ready.push_back(v);
+  }
+  while (!ready.empty()) {
+    int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (int s : succ[v]) {
+      if (--indeg[s] == 0) ready.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != n_) {
+    throw std::invalid_argument("Reachability: graph is cyclic");
+  }
+  bits_.assign(static_cast<std::size_t>(n_) * words_, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    std::uint64_t* row = bits_.data() + static_cast<std::size_t>(u) * words_;
+    row[u >> 6] |= std::uint64_t{1} << (u & 63);
+    for (int s : succ[u]) {
+      const std::uint64_t* srow =
+          bits_.data() + static_cast<std::size_t>(s) * words_;
+      for (int w = 0; w < words_; ++w) row[w] |= srow[w];
+    }
+  }
 }
 
 bool edges_subset_of_closure(const TaskGraph& sub, const TaskGraph& super) {

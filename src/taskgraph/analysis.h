@@ -2,6 +2,7 @@
 // comparison between the S* and eforest graphs, DOT export.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -38,6 +39,37 @@ bool edges_subset_of_closure(const TaskGraph& sub, const TaskGraph& super);
 
 /// True if u -> v is implied by g (directed path).  BFS; test helper.
 bool reaches(const TaskGraph& g, int u, int v);
+
+/// Precomputed transitive reachability of a DAG: one descendant bitset per
+/// node, built in reverse topological order.  O(V*E/64) construction,
+/// O(1) queries -- the all-pairs "are these tasks ordered?" primitive the
+/// runtime race checker needs (rt::RaceChecker asks it for every pair of
+/// tasks with conflicting footprints).
+class Reachability {
+ public:
+  Reachability() = default;
+  /// Builds from successor lists.  Throws std::invalid_argument when the
+  /// graph has a cycle (reachability of a cyclic "dependence" graph is not
+  /// an ordering, and the executors refuse such graphs anyway).
+  explicit Reachability(const std::vector<std::vector<int>>& succ);
+  explicit Reachability(const TaskGraph& g) : Reachability(g.succ) {}
+
+  int size() const { return n_; }
+
+  /// True if there is a directed path u -> v (u == v counts).
+  bool reaches(int u, int v) const {
+    return (bits_[static_cast<std::size_t>(u) * words_ + (v >> 6)] >>
+            (v & 63)) & 1u;
+  }
+
+  /// True when the transitive dependence relation orders u and v either way.
+  bool ordered(int u, int v) const { return reaches(u, v) || reaches(v, u); }
+
+ private:
+  int n_ = 0;
+  int words_ = 0;
+  std::vector<std::uint64_t> bits_;  // row u = descendants of u, incl. u
+};
 
 /// Graph statistics for reports.
 struct GraphStats {

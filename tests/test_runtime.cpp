@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <functional>
 #include <mutex>
+#include <vector>
 
 #include "core/analysis.h"
 #include "runtime/dag_executor.h"
@@ -51,6 +54,30 @@ TEST(ThreadPool, AtLeastOneThread) {
   EXPECT_TRUE(ran);
 }
 
+TEST(ThreadPool, WaitIdleCorrectUnderTransitiveSubmitStress) {
+  // wait_idle must cover jobs submitted BY jobs: each root fans out a
+  // 3-level tree of children, repeatedly.  A wait_idle that only counted
+  // directly submitted jobs would return early and miss increments.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    std::atomic<long> count{0};
+    // spawn(depth) runs one unit of work and submits 3 children per level.
+    std::function<void(int)> spawn = [&](int depth) {
+      count.fetch_add(1, std::memory_order_relaxed);
+      if (depth == 0) return;
+      for (int c = 0; c < 3; ++c) {
+        pool.submit([&spawn, depth] { spawn(depth - 1); });
+      }
+    };
+    for (int r = 0; r < 4; ++r) {
+      pool.submit([&spawn] { spawn(3); });
+    }
+    pool.wait_idle();
+    // 4 roots x (1 + 3 + 9 + 27) nodes.
+    EXPECT_EQ(count.load(), 4 * 40) << "round " << round;
+  }
+}
+
 taskgraph::TaskGraph small_graph(const CscMatrix& a,
                                  taskgraph::GraphKind kind) {
   Options opt;
@@ -90,6 +117,23 @@ TEST(DagExecutor, RespectsDependenceOrder) {
   }
 }
 
+TEST(DagExecutor, CyclicGraphRunsAcyclicPrefixOnceAndReportsIncomplete) {
+  // 0 -> 1, 1 -> 2, 2 -> 1: task 0 is runnable, the 1-2 cycle is not.
+  // execute_dag (no up-front acyclicity check) must run the acyclic prefix
+  // exactly once, never run a cyclic task, and report completed == false.
+  std::vector<std::vector<int>> succ = {{1}, {2}, {1}};
+  std::vector<int> indegree = {0, 2, 1};
+  std::vector<std::atomic<int>> runs(3);
+  for (auto& r : runs) r.store(0);
+  ExecutionReport rep =
+      execute_dag(succ, indegree, 4, [&](int id) { runs[id].fetch_add(1); });
+  EXPECT_FALSE(rep.completed);
+  EXPECT_EQ(rep.tasks_run, 1);
+  EXPECT_EQ(runs[0].load(), 1);
+  EXPECT_EQ(runs[1].load(), 0);
+  EXPECT_EQ(runs[2].load(), 0);
+}
+
 TEST(DagExecutor, DetectsCycle) {
   taskgraph::TaskGraph g;
   g.tasks = taskgraph::TaskList({{1}, {}});
@@ -101,6 +145,95 @@ TEST(DagExecutor, DetectsCycle) {
   g.indegree[1] = 1;
   ExecutionReport rep = execute_task_graph(g, 2, [](int) {});
   EXPECT_FALSE(rep.completed);
+}
+
+TEST(FuzzedExecutor, RunsEveryTaskOnceAcrossSeeds) {
+  CscMatrix a = test::small_matrices()[0];
+  taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FuzzOptions fuzz;
+    fuzz.seed = seed;
+    fuzz.max_delay_us = 5;
+    std::vector<std::atomic<int>> runs(g.size());
+    for (auto& r : runs) r.store(0);
+    ExecutionReport rep = execute_task_graph_fuzzed(
+        g, 4, fuzz, [&](int id) { runs[id].fetch_add(1); });
+    ASSERT_TRUE(rep.completed) << "seed " << seed;
+    EXPECT_EQ(rep.tasks_run, g.size());
+    for (int id = 0; id < g.size(); ++id) {
+      EXPECT_EQ(runs[id].load(), 1) << "seed " << seed << " task " << id;
+    }
+  }
+}
+
+TEST(FuzzedExecutor, RespectsDependenceOrder) {
+  CscMatrix a = test::small_matrices()[1];
+  taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
+  for (std::uint64_t seed : {3ull, 17ull}) {
+    FuzzOptions fuzz;
+    fuzz.seed = seed;
+    std::atomic<long> clock{0};
+    std::vector<long> start(g.size()), finish(g.size());
+    ExecutionReport rep = execute_task_graph_fuzzed(g, 8, fuzz, [&](int id) {
+      start[id] = clock.fetch_add(1);
+      finish[id] = clock.fetch_add(1);
+    });
+    ASSERT_TRUE(rep.completed);
+    for (int u = 0; u < g.size(); ++u) {
+      for (int v : g.succ[u]) {
+        EXPECT_LT(finish[u], start[v]) << "seed " << seed << " edge " << u
+                                       << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(FuzzedExecutor, DistinctSeedsProduceDistinctInterleavings) {
+  // Not a hard guarantee per pair of seeds, but across a graph with real
+  // parallelism and several seeds at least two completion orders must
+  // differ -- otherwise the fuzzer isn't perturbing anything.
+  CscMatrix a = test::small_matrices()[0];
+  taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
+  std::vector<std::vector<int>> orders;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    FuzzOptions fuzz;
+    fuzz.seed = seed;
+    fuzz.max_delay_us = 0;  // pop-order shuffling only
+    std::vector<int> order;
+    std::mutex mu;
+    ExecutionReport rep = execute_task_graph_fuzzed(g, 2, fuzz, [&](int id) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(id);
+    });
+    ASSERT_TRUE(rep.completed);
+    orders.push_back(std::move(order));
+  }
+  bool any_differ = false;
+  for (std::size_t i = 1; i < orders.size(); ++i) {
+    if (orders[i] != orders[0]) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(FuzzedExecutor, DetectsCycleAndRunsNoTaskTwice) {
+  std::vector<std::vector<int>> succ = {{1}, {2}, {1}};
+  std::vector<int> indegree = {0, 2, 1};
+  FuzzOptions fuzz;
+  fuzz.seed = 11;
+  std::vector<std::atomic<int>> runs(3);
+  for (auto& r : runs) r.store(0);
+  ExecutionReport rep = execute_dag_fuzzed(succ, indegree, 4, fuzz,
+                                           [&](int id) { runs[id].fetch_add(1); });
+  EXPECT_FALSE(rep.completed);
+  EXPECT_EQ(rep.tasks_run, 1);
+  for (int id = 0; id < 3; ++id) EXPECT_LE(runs[id].load(), 1);
+}
+
+TEST(FuzzedExecutor, EmptyGraphCompletes) {
+  FuzzOptions fuzz;
+  ExecutionReport rep = execute_dag_fuzzed({}, {}, 4, fuzz, [](int) {});
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.tasks_run, 0);
 }
 
 TEST(ExecuteSequential, UsesTopologicalOrder) {
