@@ -8,8 +8,8 @@
 
 #include <chrono>
 
-#include "core/numeric2d.h"
-#include "taskgraph/build2d.h"
+#include "taskgraph/analysis.h"
+#include "taskgraph/build.h"
 
 namespace plu::bench {
 namespace {
@@ -19,9 +19,10 @@ void print_table() {
   for (const char* name : {"orsreg1", "goodwin", "lns3937"}) {
     NamedMatrix nm = make_named_matrix(name);
     Analysis an = analyze(nm.a);
-    taskgraph::TaskGraph2D g2 = taskgraph::build_task_graph_2d(an.blocks);
+    taskgraph::TaskGraph g2 = taskgraph::build_task_graph(
+        an.blocks, taskgraph::GraphKind::kEforest, taskgraph::Granularity::kBlock);
     double cp1 = taskgraph::critical_path(an.graph, an.costs.flops).length;
-    double cp2 = taskgraph::critical_path_2d(g2);
+    double cp2 = taskgraph::critical_path(g2, g2.flops).length;
     std::printf("\n%s: 1-D %d tasks (maxpar %.1f) | 2-D %d tasks (maxpar %.1f)\n",
                 name, an.graph.size(), an.costs.total_flops / cp1, g2.size(),
                 g2.total_flops / cp2);
@@ -29,7 +30,7 @@ void print_table() {
     for (int p : {1, 2, 4, 8, 16}) std::printf(" %8d", p);
     std::printf("\n  %-6s", "1-D");
     double base1 = 0.0, base2 = 0.0;
-    std::vector<double> bl2 = taskgraph::bottom_levels_2d(g2);
+    std::vector<double> bl2 = taskgraph::bottom_levels(g2, g2.flops);
     for (int p : {1, 2, 4, 8, 16}) {
       rt::MachineModel m = rt::MachineModel::origin2000(p);
       double t = rt::simulate(an.graph, an.costs, m).makespan;
@@ -55,7 +56,7 @@ void print_table() {
     for (Grid gr : {Grid{1, 1, 1}, Grid{2, 1, 2}, Grid{4, 2, 2}, Grid{8, 2, 4},
                     Grid{16, 4, 4}}) {
       rt::MachineModel m = rt::MachineModel::origin2000(gr.p);
-      std::vector<int> owners = taskgraph::owners_2d(g2, gr.pr, gr.pc);
+      std::vector<int> owners = taskgraph::block_cyclic_owners(g2, gr.pr, gr.pc);
       double t = rt::simulate_dag_pinned(g2.succ, g2.indegree, g2.flops,
                                          g2.output_bytes, m, owners, bl2)
                      .makespan;
@@ -80,16 +81,19 @@ void print_table() {
   for (const char* name : {"orsreg1", "goodwin"}) {
     NamedMatrix nm = make_named_matrix(name);
     Analysis an = analyze(nm.a);
-    Options scaled;
+    Options layout2d;
+    layout2d.layout = Layout::k2D;
+    Analysis an2 = analyze(nm.a, layout2d);
+    Options scaled = layout2d;
     scaled.scale_and_permute = true;
     Analysis an_mc64 = analyze(nm.a, scaled);
     std::vector<double> b(nm.a.rows(), 1.0);
     auto t0 = clock_type::now();
     Factorization f1(an, nm.a);
     auto t1 = clock_type::now();
-    Factorization2D f2(an, nm.a);
+    Factorization f2(an2, nm.a);
     auto t2 = clock_type::now();
-    Factorization2D f3(an_mc64, nm.a);
+    Factorization f3(an_mc64, nm.a);
     std::printf("%-10s %10.3f %10.3f %12.2e %12.2e %14.2e %12.1e\n", name,
                 std::chrono::duration<double>(t1 - t0).count(),
                 std::chrono::duration<double>(t2 - t1).count(),

@@ -2,11 +2,14 @@
 // unsymmetric matrix: prints the original and filled patterns, the extended
 // LU eforest with its Section-2 annotations (first L-row nonzeros, U-column
 // leaves), the postordered block-upper-triangular form, and both task
-// dependence graphs.  DOT renderings are written next to the binary.
+// dependence graphs.  DOT renderings are written into the build directory
+// by default; pass --out DIR to redirect them.
 //
-//   $ ./example_paper_figures
+//   $ ./example_paper_figures [--out DIR]
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
 
 #include "core/analysis.h"
 #include "graph/dot_export.h"
@@ -48,9 +51,22 @@ plu::CscMatrix example_matrix() {
   return coo.to_csc();
 }
 
+std::string artifact_dir(int argc, char** argv) {
+#ifdef PLU_ARTIFACT_DIR
+  std::string dir = PLU_ARTIFACT_DIR;
+#else
+  std::string dir = ".";
+#endif
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) dir = argv[i + 1];
+  }
+  return dir;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = artifact_dir(argc, argv);
   plu::CscMatrix a = example_matrix();
   plu::Pattern p = a.pattern();
   print_pattern("Figure 1(a): matrix A", p);
@@ -76,8 +92,10 @@ int main() {
   std::printf("  (compact storage: %zu integers vs %d pattern entries)\n",
               cs.storage_entries(), sym.abar.nnz());
   {
-    std::ofstream dot("paper_fig1_eforest.dot");
+    std::string fname = out_dir + "/paper_fig1_eforest.dot";
+    std::ofstream dot(fname);
     plu::graph::write_forest_dot(dot, ef);
+    std::printf("  written: %s\n", fname.c_str());
   }
 
   // Figure 3: postorder and the block upper triangular form.
@@ -109,7 +127,8 @@ int main() {
                     plu::taskgraph::to_string(an.graph.tasks.task(s)).c_str());
       }
     }
-    std::string fname = "paper_fig4_" + plu::taskgraph::to_string(kind) + ".dot";
+    std::string fname =
+        out_dir + "/paper_fig4_" + plu::taskgraph::to_string(kind) + ".dot";
     std::ofstream dot(fname);
     plu::taskgraph::write_task_graph_dot(dot, an.graph);
     std::printf("  written: %s\n", fname.c_str());

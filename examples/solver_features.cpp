@@ -6,7 +6,6 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/numeric2d.h"
 #include "core/parallel_solve.h"
 #include "core/solve.h"
 #include "core/sparse_lu.h"
@@ -53,11 +52,19 @@ int main() {
               "skipped\n",
               lazy.factorization().lazy_skipped_updates(), total_updates);
 
-  // 2-D factorization (block-restricted pivoting).
-  plu::Factorization2D f2(lu.analysis(), a, {4});
-  std::vector<double> x2 = f2.solve(b);
-  std::printf("2-D factorize:  residual %.2e, min pivot ratio %.1e, %d tasks\n",
+  // 2-D layout (block-restricted pivoting) through the same facade: flip
+  // Options::layout and everything -- factorize, solves, refinement --
+  // routes through the 2-d-block driver.
+  plu::SparseLU lu2d;
+  lu2d.options().layout = plu::Layout::k2D;
+  lu2d.numeric_options().mode = plu::ExecutionMode::kThreaded;
+  lu2d.numeric_options().threads = 4;
+  lu2d.factorize(a);
+  const plu::Factorization& f2 = lu2d.factorization();
+  std::vector<double> x2 = lu2d.solve(b);
+  std::printf("2-D factorize:  residual %.2e, min pivot ratio %.1e, %d tasks "
+              "(%s driver)\n",
               plu::relative_residual(a, x2, b), f2.min_pivot_ratio(),
-              f2.graph().size());
+              f2.task_graph().size(), f2.driver_name());
   return 0;
 }

@@ -3,9 +3,12 @@
 // simulated machine across processor counts.
 //
 //   $ ./example_taskgraph_explorer [grid2d|grid3d|banded|fem|random] [size]
+//                                  [--out DIR]
 //
 // Prints per-graph statistics (edges, critical path, max parallelism), a
 // speedup table for P = 1..8, and the improvement series of Figures 5-6.
+// The schedule trace CSV lands in the build directory unless --out says
+// otherwise.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,9 +37,24 @@ plu::CscMatrix make(const std::string& kind, int size) {
   std::exit(1);
 }
 
+std::string artifact_dir(int& argc, char** argv) {
+#ifdef PLU_ARTIFACT_DIR
+  std::string dir = PLU_ARTIFACT_DIR;
+#else
+  std::string dir = ".";
+#endif
+  // Strip a trailing "--out DIR" so the positional arguments stay simple.
+  if (argc >= 3 && std::strcmp(argv[argc - 2], "--out") == 0) {
+    dir = argv[argc - 1];
+    argc -= 2;
+  }
+  return dir;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string out_dir = artifact_dir(argc, argv);
   std::string kind = argc > 1 ? argv[1] : "grid2d";
   int size = argc > 2 ? std::atoi(argv[2]) : 20;
   plu::CscMatrix a = make(kind, size);
@@ -104,9 +122,10 @@ int main(int argc, char** argv) {
     plu::rt::write_ascii_gantt(gantt, r, gopt);
     std::fputs(gantt.str().c_str(), stdout);
     std::printf("%s\n", plu::rt::utilization_summary(r).c_str());
-    std::ofstream csv("taskgraph_trace.csv");
+    std::string fname = out_dir + "/taskgraph_trace.csv";
+    std::ofstream csv(fname);
     plu::rt::write_trace_csv(csv, r, &analyses[0].graph.tasks);
-    std::printf("trace written: taskgraph_trace.csv\n");
+    std::printf("trace written: %s\n", fname.c_str());
   }
   return 0;
 }

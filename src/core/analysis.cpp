@@ -90,9 +90,14 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
   // (5) Block structure with block-level closure, block eforest.
   an.blocks = symbolic::build_block_structure(an.symbolic.abar, an.partition);
 
-  // (6) Task dependence graph + cost model.
+  // (6) Task dependence graph + cost model; the block-granularity graph
+  // too when the 2-D numeric layout will run on this analysis.
   an.graph = taskgraph::build_task_graph(an.blocks, opt.task_graph);
   an.costs = taskgraph::compute_task_costs(an.blocks, an.graph.tasks);
+  if (opt.layout == Layout::k2D) {
+    an.block_graph = taskgraph::build_task_graph(an.blocks, opt.task_graph,
+                                                 taskgraph::Granularity::kBlock);
+  }
   return an;
 }
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/layout.h"
 #include "graph/forest.h"
 #include "matrix/csc.h"
 #include "ordering/ordering.h"
@@ -28,6 +29,10 @@ struct Options {
   symbolic::AmalgamationOptions amalgamation;
   /// Which dependence graph to build (Section 4).  kEforest is the paper's.
   taskgraph::GraphKind task_graph = taskgraph::GraphKind::kEforest;
+  /// Numeric layout (core/layout.h): k1D runs the paper's block-column
+  /// Factor/Update tasks; k2D runs per-block tasks with block-restricted
+  /// pivoting and makes the analysis also build Analysis::block_graph.
+  Layout layout = Layout::k1D;
   /// MC64-style preprocessing (graph/weighted_matching.h): permute the rows
   /// so the product of diagonal magnitudes is maximal and scale the matrix
   /// to an I-matrix before everything else.  The standard stability guard
@@ -70,6 +75,11 @@ struct Analysis {
 
   taskgraph::TaskGraph graph;
   taskgraph::TaskCosts costs;
+  /// Block-granularity task graph (2-D tasks + costs); built only when
+  /// options.layout == Layout::k2D -- empty otherwise.  Benchmarks wanting
+  /// it without the 2-D numeric path call taskgraph::build_task_graph with
+  /// Granularity::kBlock directly.
+  taskgraph::TaskGraph block_graph;
 
   /// Sizes of the diagonal blocks of the block-upper-triangular form
   /// (tree sizes of the postordered eforest; NoBlks of Table 3 is size()).

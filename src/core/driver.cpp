@@ -1,0 +1,333 @@
+#include "core/driver.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "blas/dense.h"
+#include "core/kernels.h"
+#include "core/numeric.h"
+#include "runtime/dag_executor.h"
+
+namespace plu {
+
+const char* to_string(Layout layout) {
+  return layout == Layout::k2D ? "2d" : "1d";
+}
+
+namespace {
+
+/// State shared by both per-run task dispatchers: pivot/elision counters,
+/// the min-accepted-pivot fold, and the optional per-block-column mutexes.
+class RunState {
+ public:
+  RunState(NumericRun& run, bool take_locks)
+      : run_(run) {
+    if (take_locks) {
+      locks_ = std::make_unique<std::vector<std::mutex>>(
+          run.an.blocks.num_blocks());
+    }
+  }
+
+  void finish() {
+    run_.zero_pivots = zero_pivots_.load();
+    run_.lazy_skipped = lazy_skipped_.load();
+    std::lock_guard<std::mutex> lock(min_pivot_mu_);
+    run_.min_pivot = min_pivot_;
+  }
+
+ protected:
+  std::unique_lock<std::mutex> maybe_lock(int column) {
+    if (!locks_) return {};
+    return std::unique_lock<std::mutex>((*locks_)[column]);
+  }
+
+  void count_factor(int info, double min_diag) {
+    if (info != 0) zero_pivots_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(min_pivot_mu_);
+    min_pivot_ = std::min(min_pivot_, min_diag);
+  }
+
+  void count_lazy_skip() {
+    lazy_skipped_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Block (i, j) as a checker resource id.
+  long resource(int i, int j) const {
+    return static_cast<long>(i) * run_.an.blocks.num_blocks() + j;
+  }
+
+  void record_read(int id, int i, int j) {
+    run_.checker->read(id, resource(i, j));
+  }
+
+  /// The kernels write block (i, j) while holding column j's mutex when
+  /// locks are on; tell the checker which lock so same-column serialized
+  /// (entry-disjoint or commuting) writes are not misreported.
+  void record_write(int id, int i, int j) {
+    if (locks_) {
+      run_.checker->locked_write(id, resource(i, j), j);
+    } else {
+      run_.checker->write(id, resource(i, j));
+    }
+  }
+
+  /// A write performed without taking any lock (the 2-D tasks other than
+  /// UpdateBlock -- the graph alone orders all access to their blocks).
+  void record_unlocked_write(int id, int i, int j) {
+    run_.checker->write(id, resource(i, j));
+  }
+
+  NumericRun& run_;
+  std::unique_ptr<std::vector<std::mutex>> locks_;
+
+ private:
+  std::atomic<int> zero_pivots_{0};
+  std::atomic<long> lazy_skipped_{0};
+  std::mutex min_pivot_mu_;
+  double min_pivot_ = std::numeric_limits<double>::infinity();
+};
+
+/// 1-D dispatcher: Factor(k) / Update(k, j) bodies over the packed panels,
+/// kernels from core/kernels.h.
+class Run1D : public RunState {
+ public:
+  Run1D(NumericRun& run, const NumericOptions& opt)
+      // Lock-free execution is only honored when the analysis proved the
+      // unordered updates' block footprints disjoint (symbolic/blocks.h).
+      : RunState(run, opt.use_column_locks || !run.an.blocks.lockfree_safe),
+        lazy_(opt.lazy_updates), threshold_(opt.pivot_threshold) {}
+
+  void run_task(int id) {
+    const taskgraph::Task& t = run_.graph.tasks.task(id);
+    if (t.kind == taskgraph::TaskKind::kFactor) {
+      factor(t.k);
+    } else {
+      update(t.k, t.j);
+    }
+  }
+
+  void factor(int k) {
+    const Analysis& an = run_.an;
+    if (run_.checker) {
+      // Footprint (Theorem 4 bookkeeping): Factor(k) rewrites the packed
+      // panel of block column k -- the diagonal block and every L row
+      // block -- and touches nothing else.
+      const int id = run_.graph.tasks.factor_id(k);
+      record_write(id, k, k);
+      for (int t : an.blocks.l_blocks(k)) record_write(id, t, k);
+    }
+    std::unique_lock<std::mutex> lock = maybe_lock(k);
+    blas::MatrixView p = run_.blocks.panel(k);
+    int info = kernels::factor_block(p, run_.ipiv[k], threshold_);
+    const int wk = an.blocks.part.width(k);
+    count_factor(info, kernels::min_diag_abs(p.block(0, 0, wk, wk)));
+  }
+
+  void update(int k, int j) {
+    const Analysis& an = run_.an;
+    if (run_.checker) {
+      // Update(k, j) reads panel k (L blocks + ipiv via the diagonal
+      // block) and writes the panel-k row blocks of block column j: the
+      // pivot replay swaps rows inside blocks (k, j) and (t, j), the trsm
+      // rewrites (k, j), the gemms rewrite each (t, j).  These are exactly
+      // the pivot-candidate row blocks Theorem 4 proves disjoint across
+      // independent subtrees.
+      const int id = run_.graph.tasks.update_id(k, j);
+      record_read(id, k, k);
+      record_write(id, k, j);
+      for (int t : an.blocks.l_blocks(k)) {
+        record_read(id, t, k);
+        record_write(id, t, j);
+      }
+    }
+    std::unique_lock<std::mutex> lock = maybe_lock(j);
+    // (a) deferred pivoting: panel-k row swaps replayed on block column j.
+    kernels::apply_panel_pivots(run_.blocks, run_.ipiv[k], k, j);
+    // LazyS+ elision: pivoting has been replayed (the swaps move other
+    // blocks of the column too), but a numerically zero B_kj produces a
+    // zero U_kj and zero Schur contributions -- skip the arithmetic.
+    if (lazy_ && blas::max_abs(run_.blocks.block(k, j)) == 0.0) {
+      count_lazy_skip();
+      return;
+    }
+    // (b) U_kj = L_kk^{-1} B_kj (unit lower triangular solve).
+    const int wk = an.blocks.part.width(k);
+    blas::ConstMatrixView panel_k = run_.blocks.panel(k);
+    blas::MatrixView ukj = run_.blocks.block(k, j);
+    kernels::solve_with_l(panel_k.block(0, 0, wk, wk), ukj);
+    // (c) Schur updates: B_tj -= L_tk * U_kj for every L row block t.
+    blas::ConstMatrixView ukj_c = ukj;
+    int off = wk;
+    for (int t : an.blocks.l_blocks(k)) {
+      const int wt = an.blocks.part.width(t);
+      kernels::schur_update(panel_k.block(off, 0, wt, wk), ukj_c,
+                            run_.blocks.block(t, j));
+      off += wt;
+    }
+  }
+
+ private:
+  const bool lazy_;
+  const double threshold_;
+};
+
+/// 2-D dispatcher: FactorDiag / FactorL / ComputeU / UpdateBlock bodies per
+/// block, same kernels.  Pivoting is restricted to the diagonal block (the
+/// price of 2-D distribution); rows outside it stay unpermuted.
+class Run2D : public RunState {
+ public:
+  Run2D(NumericRun& run, const NumericOptions& opt)
+      // Additive UpdateBlock gemms into one block commute but their memory
+      // writes must not interleave: serialize per target block column
+      // unless the graph already chains them (the S* kinds) and the caller
+      // opted out of locks.
+      : RunState(run, opt.use_column_locks ||
+                          run.graph.kind == taskgraph::GraphKind::kEforest),
+        lazy_(opt.lazy_updates), threshold_(opt.pivot_threshold) {}
+
+  void run_task(int id) {
+    const taskgraph::Task& t = run_.graph.tasks.task(id);
+    switch (t.kind) {
+      case taskgraph::TaskKind::kFactorDiag: {
+        if (run_.checker) record_unlocked_write(id, t.k, t.k);
+        blas::MatrixView d = run_.blocks.block(t.k, t.k);
+        int info = kernels::factor_block(d, run_.ipiv[t.k], threshold_);
+        count_factor(info, kernels::min_diag_abs(d));
+        break;
+      }
+      case taskgraph::TaskKind::kComputeU: {
+        if (run_.checker) {
+          record_read(id, t.k, t.k);
+          record_unlocked_write(id, t.k, t.j);
+        }
+        blas::MatrixView ukj = run_.blocks.block(t.k, t.j);
+        kernels::apply_local_pivots(ukj, run_.ipiv[t.k]);
+        if (lazy_ && blas::max_abs(ukj) == 0.0) {
+          count_lazy_skip();
+          break;
+        }
+        kernels::solve_with_l(run_.blocks.block(t.k, t.k), ukj);
+        break;
+      }
+      case taskgraph::TaskKind::kFactorL: {
+        if (run_.checker) {
+          record_read(id, t.k, t.k);
+          record_unlocked_write(id, t.i, t.k);
+        }
+        kernels::solve_with_u(run_.blocks.block(t.k, t.k),
+                              run_.blocks.block(t.i, t.k));
+        break;
+      }
+      case taskgraph::TaskKind::kUpdateBlock: {
+        blas::ConstMatrixView lik = run_.blocks.block(t.i, t.k);
+        blas::ConstMatrixView ukj = run_.blocks.block(t.k, t.j);
+        if (run_.checker) {
+          record_read(id, t.i, t.k);
+          record_read(id, t.k, t.j);
+          record_write(id, t.i, t.j);
+        }
+        // Operand reads are ordered by the graph's FL/CU edges; a zero
+        // operand contributes nothing (LazyS+ at block granularity).
+        if (lazy_ && (blas::max_abs(lik) == 0.0 || blas::max_abs(ukj) == 0.0)) {
+          count_lazy_skip();
+          break;
+        }
+        std::unique_lock<std::mutex> lock = maybe_lock(t.j);
+        kernels::schur_update(lik, ukj, run_.blocks.block(t.i, t.j));
+        break;
+      }
+      default:
+        throw std::logic_error("2-D driver: column-granularity task");
+    }
+  }
+
+ private:
+  const bool lazy_;
+  const double threshold_;
+};
+
+/// Shared mode dispatch: a sequential right-looking stage loop (also the
+/// partial/Schur mode), a topological-order replay, or the DAG executor
+/// (optionally schedule-fuzzed).  `dispatch` runs one task id.
+template <typename Dispatch>
+void execute(NumericRun& run, const NumericOptions& opt, Dispatch&& dispatch) {
+  const int nb = run.an.blocks.num_blocks();
+  const auto stage_loop = [&](int stages) {
+    for (int k = 0; k < stages; ++k) {
+      dispatch(run.graph.tasks.factor_id(k));
+      auto [b, e] = run.graph.tasks.stage_range(k);
+      for (int id = b; id < e; ++id) dispatch(id);
+    }
+  };
+  if (run.stages < nb) {
+    // Partial factorization (Schur-complement mode) is sequential by
+    // definition: the right-looking sweep stops mid-way.
+    stage_loop(run.stages);
+    return;
+  }
+  switch (opt.mode) {
+    case ExecutionMode::kSequential:
+      // Right-looking, no task graph: factor each stage, then push its
+      // solves and updates.  This is the correctness baseline.
+      stage_loop(nb);
+      break;
+    case ExecutionMode::kGraphSequential: {
+      rt::ExecutionReport rep = rt::execute_sequential(run.graph, dispatch);
+      if (!rep.completed) {
+        throw std::logic_error("Factorization: task graph is cyclic");
+      }
+      break;
+    }
+    case ExecutionMode::kThreaded: {
+      rt::ExecutionReport rep;
+      if (opt.fuzz_schedule) {
+        rt::FuzzOptions fuzz;
+        fuzz.seed = opt.fuzz_seed;
+        fuzz.max_delay_us = opt.fuzz_max_delay_us;
+        rep = rt::execute_task_graph_fuzzed(run.graph, opt.threads, fuzz,
+                                            dispatch);
+      } else {
+        rep = rt::execute_task_graph(run.graph, opt.threads, dispatch);
+      }
+      if (!rep.completed) {
+        throw std::logic_error("Factorization: threaded execution incomplete");
+      }
+      break;
+    }
+  }
+}
+
+class Driver1D final : public NumericDriver {
+ public:
+  Layout layout() const override { return Layout::k1D; }
+  const char* name() const override { return "1d-column"; }
+  void factorize(NumericRun& run, const NumericOptions& opt) const override {
+    Run1D state(run, opt);
+    execute(run, opt, [&](int id) { state.run_task(id); });
+    state.finish();
+  }
+};
+
+class Driver2D final : public NumericDriver {
+ public:
+  Layout layout() const override { return Layout::k2D; }
+  const char* name() const override { return "2d-block"; }
+  void factorize(NumericRun& run, const NumericOptions& opt) const override {
+    Run2D state(run, opt);
+    execute(run, opt, [&](int id) { state.run_task(id); });
+    state.finish();
+  }
+};
+
+}  // namespace
+
+const NumericDriver& NumericDriver::driver_for(Layout layout) {
+  static const Driver1D d1;
+  static const Driver2D d2;
+  if (layout == Layout::k2D) return d2;
+  return d1;
+}
+
+}  // namespace plu

@@ -1,0 +1,55 @@
+#include "core/kernels.h"
+
+#include <cmath>
+#include <limits>
+
+#include "blas/factor.h"
+#include "blas/level3.h"
+
+namespace plu::kernels {
+
+int factor_block(blas::MatrixView a, std::vector<int>& ipiv, double threshold) {
+  return threshold < 1.0 ? blas::getf2_threshold(a, ipiv, threshold)
+                         : blas::getrf(a, ipiv);
+}
+
+double min_diag_abs(blas::ConstMatrixView a) {
+  double m = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < a.cols && c < a.rows; ++c) {
+    double p = std::abs(a(c, c));
+    if (p > 0.0) m = std::min(m, p);
+  }
+  return m;
+}
+
+void apply_panel_pivots(BlockMatrix& bm, const std::vector<int>& ipiv, int k,
+                        int j) {
+  std::vector<int> rows = bm.panel_rows_in_column(k, j);
+  for (std::size_t c = 0; c < ipiv.size(); ++c) {
+    if (ipiv[c] != static_cast<int>(c)) {
+      bm.swap_rows(j, rows[c], rows[ipiv[c]]);
+    }
+  }
+}
+
+void apply_local_pivots(blas::MatrixView b, const std::vector<int>& ipiv) {
+  blas::laswp(b, ipiv, 0, static_cast<int>(ipiv.size()));
+}
+
+void solve_with_l(blas::ConstMatrixView lkk, blas::MatrixView ukj) {
+  blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
+             blas::Diag::Unit, 1.0, lkk, ukj);
+}
+
+void solve_with_u(blas::ConstMatrixView ukk, blas::MatrixView lik) {
+  blas::trsm(blas::Side::Right, blas::UpLo::Upper, blas::Trans::No,
+             blas::Diag::NonUnit, 1.0, ukk, lik);
+}
+
+void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
+                  blas::MatrixView bij) {
+  blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, lik, ukj, 1.0,
+                      bij);
+}
+
+}  // namespace plu::kernels

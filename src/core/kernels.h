@@ -1,0 +1,57 @@
+// Block-task kernel bodies shared by the 1-D and 2-D numeric drivers
+// (core/driver.cpp).  Each of the four task-body operations -- the
+// partial-pivoting block factor, the deferred / local pivot application,
+// the triangular solves, and the additive Schur gemm -- exists exactly
+// once, here; the drivers contribute only task enumeration, dispatch,
+// locking and footprint recording.
+//
+// All kernels operate on views into the shared BlockMatrix storage
+// (core/block_storage.h), which lays a block column out contiguously
+// (diagonal block first, then the sorted L row blocks) so the same buffer
+// serves as the 1-D packed panel and as the 2-D per-block operands.
+#pragma once
+
+#include <vector>
+
+#include "blas/dense.h"
+#include "core/block_storage.h"
+
+namespace plu::kernels {
+
+/// Partial-pivoting LU on a panel or diagonal block: blocked getrf at
+/// threshold >= 1, threshold pivoting with diagonal preference below it
+/// (blas::getf2_threshold).  Factor(k) passes the packed panel of block
+/// column k; FactorDiag(k) passes the diagonal block, restricting the
+/// pivot search to it.  Returns the LAPACK info (0 on success).
+int factor_block(blas::MatrixView a, std::vector<int>& ipiv, double threshold);
+
+/// Smallest nonzero |diagonal| of a factored block -- the accepted-pivot
+/// magnitude feeding Factorization::min_pivot_ratio().  Returns +inf when
+/// every diagonal entry is zero.
+double min_diag_abs(blas::ConstMatrixView a);
+
+/// Deferred pivoting (Update(k, j) step (a)): replays panel k's pivot
+/// interchanges on block column j.  The swaps cross row-block boundaries;
+/// the block-level George-Ng closure guarantees every touched row exists
+/// in column j (core/numeric.h).
+void apply_panel_pivots(BlockMatrix& bm, const std::vector<int>& ipiv, int k,
+                        int j);
+
+/// Local pivoting (ComputeU step (a)): applies a diagonal block's local
+/// interchanges (all indices inside the block) to one block of its row.
+void apply_local_pivots(blas::MatrixView b, const std::vector<int>& ipiv);
+
+/// U_kj := L_kk^{-1} B_kj (unit lower triangular solve; Update(k, j) step
+/// (b) and the ComputeU body).
+void solve_with_l(blas::ConstMatrixView lkk, blas::MatrixView ukj);
+
+/// L_ik := B_ik U_kk^{-1} (upper triangular solve from the right; the
+/// FactorL body).
+void solve_with_u(blas::ConstMatrixView ukk, blas::MatrixView lik);
+
+/// Additive Schur update B_ij -= L_ik U_kj (Update(k, j) step (c) per L row
+/// block, and the whole UpdateBlock body).
+void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
+                  blas::MatrixView bij);
+
+}  // namespace plu::kernels

@@ -1,0 +1,23 @@
+// Numeric layout selector: which task granularity the numeric
+// factorization runs at.  Chosen in Options (core/analysis.h) because the
+// analysis builds the matching task graph; the Factorization result is
+// tagged with it and otherwise layout-agnostic (core/numeric.h).
+#pragma once
+
+namespace plu {
+
+enum class Layout {
+  /// 1-D block-column tasks (the paper's scheme): Factor(k) does
+  /// partial-pivoting LU on the whole packed panel, Update(k, j) replays
+  /// the deferred pivots and applies trsm + gemms.
+  k1D,
+  /// 2-D per-block tasks (the S+ 2.0 future-work direction): pivoting is
+  /// RESTRICTED to each diagonal block -- numerically weaker (pair with
+  /// refinement; watch Factorization::min_pivot_ratio()), but the task
+  /// graph exposes parallelism in both matrix dimensions.
+  k2D,
+};
+
+const char* to_string(Layout layout);
+
+}  // namespace plu

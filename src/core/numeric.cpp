@@ -1,238 +1,72 @@
 #include "core/numeric.h"
 
-#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "blas/factor.h"
 #include "blas/level2.h"
 #include "blas/level3.h"
-#include "runtime/dag_executor.h"
+#include "core/driver.h"
 #include "taskgraph/analysis.h"
 
 namespace plu {
 
-namespace {
+const char* Factorization::driver_name() const {
+  return NumericDriver::driver_for(layout_).name();
+}
 
-/// Shared state and kernels for one factorization run.
-class Driver {
- public:
-  Driver(const Analysis& an, BlockMatrix& bm, std::vector<std::vector<int>>& ipiv,
-         const NumericOptions& opt, rt::RaceChecker* rc)
-      : an_(an), bm_(bm), ipiv_(ipiv), lazy_(opt.lazy_updates),
-        threshold_(opt.pivot_threshold), rc_(rc), zero_pivots_(0),
-        lazy_skipped_(0) {
-    // Lock-free execution is only honored when the analysis proved the
-    // unordered updates' block footprints disjoint (symbolic/blocks.h).
-    if (opt.use_column_locks || !an.blocks.lockfree_safe) {
-      locks_ = std::make_unique<std::vector<std::mutex>>(an.blocks.num_blocks());
-    }
-  }
-
-  void run_task(int id) {
-    const taskgraph::Task& t = an_.graph.tasks.task(id);
-    if (t.kind == taskgraph::TaskKind::kFactor) {
-      factor(t.k);
-    } else {
-      update(t.k, t.j);
-    }
-  }
-
-  void factor(int k) {
-    if (rc_) {
-      // Footprint (Theorem 4 bookkeeping): Factor(k) rewrites the packed
-      // panel of block column k -- the diagonal block and every L row
-      // block -- and touches nothing else.
-      const int id = an_.graph.tasks.factor_id(k);
-      record_write(id, k, k);
-      for (int t : an_.blocks.l_blocks(k)) record_write(id, t, k);
-    }
-    std::unique_lock<std::mutex> lock = maybe_lock(k);
-    blas::MatrixView p = bm_.panel(k);
-    int info = (threshold_ < 1.0)
-                   ? blas::getf2_threshold(p, ipiv_[k], threshold_)
-                   : blas::getrf(p, ipiv_[k]);
-    if (info != 0) zero_pivots_.fetch_add(1, std::memory_order_relaxed);
-  }
-
-  void update(int k, int j) {
-    if (rc_) {
-      // Update(k, j) reads panel k (L blocks + ipiv via the diagonal
-      // block) and writes the panel-k row blocks of block column j: the
-      // pivot replay swaps rows inside blocks (k, j) and (t, j), the trsm
-      // rewrites (k, j), the gemms rewrite each (t, j).  These are exactly
-      // the pivot-candidate row blocks Theorem 4 proves disjoint across
-      // independent subtrees.
-      const int id = an_.graph.tasks.update_id(k, j);
-      record_read(id, k, k);
-      record_write(id, k, j);
-      for (int t : an_.blocks.l_blocks(k)) {
-        record_read(id, t, k);
-        record_write(id, t, j);
-      }
-    }
-    std::unique_lock<std::mutex> lock = maybe_lock(j);
-    const std::vector<int>& piv = ipiv_[k];
-    // (a) deferred pivoting: panel-k row swaps replayed on block column j.
-    std::vector<int> rows = bm_.panel_rows_in_column(k, j);
-    for (std::size_t c = 0; c < piv.size(); ++c) {
-      if (piv[c] != static_cast<int>(c)) {
-        bm_.swap_rows(j, rows[c], rows[piv[c]]);
-      }
-    }
-    // LazyS+ elision: pivoting has been replayed (the swaps move other
-    // blocks of the column too), but a numerically zero B_kj produces a
-    // zero U_kj and zero Schur contributions -- skip the arithmetic.
-    if (lazy_ && blas::max_abs(bm_.block(k, j)) == 0.0) {
-      lazy_skipped_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    // (b) U_kj = L_kk^{-1} B_kj (unit lower triangular solve).
-    const int wk = an_.blocks.part.width(k);
-    blas::ConstMatrixView panel_k = bm_.panel(k);
-    blas::ConstMatrixView lkk = panel_k.block(0, 0, wk, wk);
-    blas::MatrixView ukj = bm_.block(k, j);
-    blas::trsm(blas::Side::Left, blas::UpLo::Lower, blas::Trans::No,
-               blas::Diag::Unit, 1.0, lkk, ukj);
-    // (c) Schur updates: B_tj -= L_tk * U_kj for every L row block t.
-    blas::ConstMatrixView ukj_c = ukj;
-    int off = wk;
-    for (int t : an_.blocks.l_blocks(k)) {
-      const int wt = an_.blocks.part.width(t);
-      blas::ConstMatrixView ltk = panel_k.block(off, 0, wt, wk);
-      blas::MatrixView btj = bm_.block(t, j);
-      blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, ltk, ukj_c, 1.0,
-                          btj);
-      off += wt;
-    }
-  }
-
-  int zero_pivots() const { return zero_pivots_.load(); }
-  long lazy_skipped() const { return lazy_skipped_.load(); }
-
- private:
-  std::unique_lock<std::mutex> maybe_lock(int column) {
-    if (!locks_) return {};
-    return std::unique_lock<std::mutex>((*locks_)[column]);
-  }
-
-  /// Block (i, j) as a checker resource id.
-  long resource(int i, int j) const {
-    return static_cast<long>(i) * an_.blocks.num_blocks() + j;
-  }
-
-  void record_read(int id, int i, int j) { rc_->read(id, resource(i, j)); }
-
-  /// The kernels write block (i, j) while holding column j's mutex when
-  /// locks are on; tell the checker which lock so same-column serialized
-  /// (entry-disjoint, commuting) writes are not misreported.
-  void record_write(int id, int i, int j) {
-    if (locks_) {
-      rc_->locked_write(id, resource(i, j), j);
-    } else {
-      rc_->write(id, resource(i, j));
-    }
-  }
-
-  const Analysis& an_;
-  BlockMatrix& bm_;
-  std::vector<std::vector<int>>& ipiv_;
-  const bool lazy_;
-  const double threshold_;
-  rt::RaceChecker* rc_;
-  std::unique_ptr<std::vector<std::mutex>> locks_;
-  std::atomic<int> zero_pivots_;
-  std::atomic<long> lazy_skipped_;
-};
-
-}  // namespace
+const taskgraph::TaskGraph& Factorization::task_graph() const {
+  return layout_ == Layout::k2D ? analysis_->block_graph : analysis_->graph;
+}
 
 Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
                              const NumericOptions& opt)
-    : analysis_(&analysis), blocks_(analysis.blocks) {
+    : analysis_(&analysis), blocks_(analysis.blocks),
+      layout_(analysis.options.layout) {
   if (a.rows() != analysis.n || a.cols() != analysis.n) {
     throw std::invalid_argument("Factorization: matrix/analysis size mismatch");
   }
+  const int nb = analysis.blocks.num_blocks();
+  const taskgraph::TaskGraph& graph = task_graph();
+  if (layout_ == Layout::k2D && graph.size() == 0 && nb > 0) {
+    throw std::logic_error(
+        "Factorization: 2-D layout needs an analysis run with "
+        "Options::layout = Layout::k2D (no block graph present)");
+  }
   blocks_.load(analysis.permute_input(a));
-  ipiv_.assign(analysis.blocks.num_blocks(), {});
+  ipiv_.assign(nb, {});
+
+  // Matrix magnitude reference for min_pivot_ratio (max |entry| of the
+  // loaded, scaled+permuted matrix).
+  double matrix_scale = 0.0;
+  for (int j = 0; j < nb; ++j) {
+    matrix_scale = std::max(matrix_scale, blas::max_abs(blocks_.column(j)));
+  }
+  if (matrix_scale == 0.0) matrix_scale = 1.0;
 
   std::unique_ptr<rt::RaceChecker> checker;
   if (opt.check_races) {
-    checker = std::make_unique<rt::RaceChecker>(analysis.graph.size());
+    checker = std::make_unique<rt::RaceChecker>(graph.size());
   }
-  Driver driver(analysis, blocks_, ipiv_, opt, checker.get());
-  // Cross-checks the recorded footprints against the dependence graph once
-  // the tasks have run (all exits of the constructor below).
-  auto finish_race_check = [&] {
-    if (checker) {
-      races_ = checker->check(analysis.graph);
-      race_checked_ = true;
-    }
-  };
-  const int nb_total = analysis.blocks.num_blocks();
-  factored_blocks_ =
-      (opt.stop_after_block >= 0 && opt.stop_after_block < nb_total)
-          ? opt.stop_after_block
-          : nb_total;
-  if (factored_blocks_ < nb_total) {
-    // Partial factorization (Schur-complement mode) is sequential by
-    // definition: the right-looking sweep stops mid-way.
-    for (int k = 0; k < factored_blocks_; ++k) {
-      driver.factor(k);
-      for (int j : analysis.blocks.u_blocks(k)) {
-        driver.update(k, j);
-      }
-    }
-    zero_pivots_ = driver.zero_pivots();
-    lazy_skipped_ = driver.lazy_skipped();
-    finish_race_check();
-    return;
+
+  factored_blocks_ = (opt.stop_after_block >= 0 && opt.stop_after_block < nb)
+                         ? opt.stop_after_block
+                         : nb;
+  NumericRun run{analysis, blocks_, ipiv_, graph, checker.get(),
+                 factored_blocks_};
+  NumericDriver::driver_for(layout_).factorize(run, opt);
+  zero_pivots_ = run.zero_pivots;
+  lazy_skipped_ = run.lazy_skipped;
+  min_pivot_ratio_ =
+      std::isfinite(run.min_pivot) ? run.min_pivot / matrix_scale : 0.0;
+  // Cross-check the recorded footprints against the dependence graph the
+  // run executed.
+  if (checker) {
+    races_ = checker->check(graph);
+    race_checked_ = true;
   }
-  switch (opt.mode) {
-    case ExecutionMode::kSequential: {
-      // Right-looking, no task graph: factor each panel, then push its
-      // updates.  This is the correctness baseline.
-      const int nb = analysis.blocks.num_blocks();
-      for (int k = 0; k < nb; ++k) {
-        driver.factor(k);
-        for (int j : analysis.blocks.u_blocks(k)) {
-          driver.update(k, j);
-        }
-      }
-      break;
-    }
-    case ExecutionMode::kGraphSequential: {
-      rt::ExecutionReport rep = rt::execute_sequential(
-          analysis.graph, [&](int id) { driver.run_task(id); });
-      if (!rep.completed) {
-        throw std::logic_error("Factorization: task graph is cyclic");
-      }
-      break;
-    }
-    case ExecutionMode::kThreaded: {
-      rt::ExecutionReport rep;
-      if (opt.fuzz_schedule) {
-        rt::FuzzOptions fuzz;
-        fuzz.seed = opt.fuzz_seed;
-        fuzz.max_delay_us = opt.fuzz_max_delay_us;
-        rep = rt::execute_task_graph_fuzzed(analysis.graph, opt.threads, fuzz,
-                                            [&](int id) { driver.run_task(id); });
-      } else {
-        rep = rt::execute_task_graph(analysis.graph, opt.threads,
-                                     [&](int id) { driver.run_task(id); });
-      }
-      if (!rep.completed) {
-        throw std::logic_error("Factorization: threaded execution incomplete");
-      }
-      break;
-    }
-  }
-  zero_pivots_ = driver.zero_pivots();
-  lazy_skipped_ = driver.lazy_skipped();
-  finish_race_check();
 }
 
 blas::DenseMatrix Factorization::schur_complement() const {

@@ -1,13 +1,31 @@
-// Numeric factorization (step 3): executes the Factor/Update tasks over the
-// dense-block storage, with partial pivoting inside the static structure.
+// Numeric factorization (step 3): executes the factorization tasks over
+// the dense-block storage, at either layout (Options::layout), producing
+// one layout-tagged result type.  The work is split across three tiers:
+// the task BODIES live in core/kernels.h (one translation unit for panel
+// getrf, pivot application, trsm, additive gemm), the dependence graphs in
+// taskgraph/build.h, and the per-layout enumeration/dispatch loops behind
+// the NumericDriver interface (core/driver.h); this class assembles a run
+// and hands it to the driver the analysis' layout selects.
 //
-// Kernels (Section 4's task bodies):
+// 1-D kernels (Section 4's task bodies):
 //   Factor(k):    getrf with partial pivoting on the packed panel of block
 //                 column k (diagonal block + L row blocks); the local pivot
 //                 sequence ipiv_k is recorded, not applied globally.
 //   Update(k,j):  (a) apply ipiv_k to the panel-k rows of block column j
 //                 (deferred pivoting), (b) trsm L_kk * U_kj = B_kj,
 //                 (c) gemm B_tj -= L_tk * U_kj for every L row block t.
+//
+// 2-D kernels (the S+ 2.0 scheme; pivoting RESTRICTED to each diagonal
+// block -- numerically weaker, watch min_pivot_ratio()):
+//   FactorDiag(k):      getrf with block-local pivoting on B_kk;
+//   ComputeU(k,j):      U_kj := L_kk^{-1} P_k B_kj;
+//   FactorL(i,k):       L_ik := B_ik U_kk^{-1}  (rows stay unpermuted);
+//   UpdateBlock(i,k,j): B_ij -= L_ik U_kj.
+//
+// Every solve path below is layout-agnostic: the 2-D local pivot sequences
+// are a special case of the 1-D panel sequences (every index inside the
+// diagonal block), so the same interchange replay, triangular passes and
+// elimination-operator transpose logic serve both.
 //
 // Why deferred pivoting is safe here: the block-level George-Ng closure
 // (symbolic/blocks.h) makes all pivot-candidate row blocks of a column share
@@ -23,6 +41,7 @@
 
 #include "core/analysis.h"
 #include "core/block_storage.h"
+#include "core/layout.h"
 #include "runtime/race_checker.h"
 
 namespace plu {
@@ -86,8 +105,23 @@ class Factorization {
   BlockMatrix& blocks() { return blocks_; }
   const std::vector<int>& panel_ipiv(int k) const { return ipiv_[k]; }
 
+  /// Which numeric layout ran (from Options::layout).
+  Layout layout() const { return layout_; }
+  /// NumericDriver::name() of the driver that ran ("1d-column" /
+  /// "2d-block"), for reports.
+  const char* driver_name() const;
+  /// The dependence graph the run executed: Analysis::graph for the 1-D
+  /// layout, Analysis::block_graph for the 2-D layout.
+  const taskgraph::TaskGraph& task_graph() const;
+
   bool singular() const { return zero_pivots_ > 0; }
   int zero_pivots() const { return zero_pivots_; }
+
+  /// Smallest |pivot| accepted, relative to the matrix max-abs; a crude
+  /// stability indicator.  Partial pivoting keeps it moderate; the 2-D
+  /// layout's block-restricted pivoting can drive it tiny (pair with
+  /// iterative refinement).
+  double min_pivot_ratio() const { return min_pivot_ratio_; }
 
   /// Updates elided by LazyS+ zero-block detection (0 unless
   /// NumericOptions::lazy_updates was set).
@@ -133,7 +167,9 @@ class Factorization {
 
   const Analysis* analysis_;
   BlockMatrix blocks_;
+  Layout layout_ = Layout::k1D;
   std::vector<std::vector<int>> ipiv_;
+  double min_pivot_ratio_ = 0.0;
   int zero_pivots_ = 0;
   long lazy_skipped_ = 0;
   int factored_blocks_ = 0;

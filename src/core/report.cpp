@@ -25,6 +25,8 @@ AnalysisReport report(const Analysis& an) {
 
 FactorizationReport report(const Factorization& f) {
   FactorizationReport r;
+  r.driver = f.driver_name();
+  r.min_pivot_ratio = f.min_pivot_ratio();
   r.singular = f.singular();
   r.zero_pivots = f.zero_pivots();
   r.pivot_interchanges = f.pivot_interchanges();
@@ -55,10 +57,11 @@ std::string to_string(const AnalysisReport& r) {
 
 std::string to_string(const FactorizationReport& r) {
   std::ostringstream os;
-  os << "numeric:     " << (r.singular ? "SINGULAR, " : "")
-     << r.pivot_interchanges << " interchange(s), " << r.zero_pivots
-     << " zero pivot(s), " << r.lazy_skipped_updates
-     << " lazy-skipped update(s), " << 8.0 * r.stored_doubles / 1e6
+  os << "numeric:     " << r.driver << " driver, "
+     << (r.singular ? "SINGULAR, " : "") << r.pivot_interchanges
+     << " interchange(s), " << r.zero_pivots << " zero pivot(s), "
+     << r.lazy_skipped_updates << " lazy-skipped update(s), min pivot ratio "
+     << r.min_pivot_ratio << ", " << 8.0 * r.stored_doubles / 1e6
      << " MB factor storage";
   return os.str();
 }

@@ -39,10 +39,12 @@ struct AnalysisReport {
 AnalysisReport report(const Analysis& an);
 
 struct FactorizationReport {
+  std::string driver;  // NumericDriver::name() of the driver that ran
   bool singular = false;
   int zero_pivots = 0;
   long pivot_interchanges = 0;
   long lazy_skipped_updates = 0;
+  double min_pivot_ratio = 0.0;
   std::size_t stored_doubles = 0;
 };
 

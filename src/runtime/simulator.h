@@ -124,7 +124,7 @@ std::vector<double> perturb_costs(const std::vector<double>& flops,
 /// Graph-shape-agnostic free-schedule simulation: any DAG given as
 /// successor lists with per-task flops and output payloads (the bytes a
 /// remote consumer must fetch).  This is what the 2-D task graphs
-/// (taskgraph/build2d.h) run through.  Priorities empty => bottom levels.
+/// (taskgraph/build.h, Granularity::kBlock) run through.  Priorities empty => bottom levels.
 SimulationResult simulate_dag(const std::vector<std::vector<int>>& succ,
                               const std::vector<int>& indegree,
                               const std::vector<double>& flops,

@@ -1,10 +1,13 @@
-// Task dependence graph construction (Section 4).
+// Task dependence graph construction (Section 4), at either task
+// granularity.  The dependence RULES are written once and shared; the
+// granularity only decides what a "target" is (a block column or a single
+// block) and which task consumes it.
 //
-// Two graphs over the same task set:
+// Column granularity -- two rule sets over the Factor/Update tasks:
 //
 //   kSStar (baseline, Fu & Yang's S*, minimal reading): updates into each
-//   target column are chained in ascending source index, and the column's
-//   Factor waits for the whole chain --
+//   target are chained in ascending source index, and the target's consumer
+//   waits for the whole chain --
 //     F(k) -> U(k, j)                      for every update task
 //     U(k1, j) -> U(k2, j)                 for consecutive sources k1 < k2
 //     U(k_last, j) -> F(j)
@@ -30,6 +33,25 @@
 //   commute.  Updates from an earlier tree never chain into F(k) at all --
 //   they write rows outside k's panel, and their consumers U(t, k) are
 //   reached through rule 4.
+//
+// Block granularity (2-D decomposition; the paper's first future-work item,
+// realized later by S+ 2.0) -- the operand edges are common to all kinds:
+//     FD(k) -> FL(i, k) and FD(k) -> CU(k, j);
+//     FL(i, k) -> UB(i, k, j), CU(k, j) -> UB(i, k, j);
+// and the target ordering reuses the SAME rules as above, with the target
+// now an individual block (i, j) and its consumer FD(j) when i == j, FL(i,
+// j) when i > j, CU(i, j) when i < j:
+//
+//   kEforest: UB(i, k, j) -> consumer(i, j) directly.  Updates into the
+//   same block from different sources are unordered (additive gemms
+//   commute); the consumer edge is the least necessary ordering at this
+//   granularity -- the Theorem-4 chain collapses because a block has
+//   exactly one consumer.
+//
+//   kSStar / kSStarProgramOrder: the S* chain rule verbatim -- updates into
+//   each block chained by ascending source, chain tail -> consumer.  This
+//   serializes the additive gemms per block (deterministic summation order,
+//   lock-free execution), the same trade S* makes in 1-D.
 #pragma once
 
 #include "symbolic/blocks.h"
@@ -45,12 +67,20 @@ struct TaskGraph {
   GraphKind kind = GraphKind::kEforest;
   std::vector<std::vector<int>> succ;  // successors by task id
   std::vector<int> indegree;
+  /// Per-task cost annotations, filled at BLOCK granularity only (the
+  /// column-granularity cost model lives in taskgraph/costs.h, where it
+  /// also carries panel footprints).
+  std::vector<double> flops;
+  std::vector<double> output_bytes;
+  double total_flops = 0.0;
 
+  Granularity granularity() const { return tasks.granularity(); }
   int size() const { return tasks.size(); }
   long num_edges() const;
 };
 
-TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind);
+TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind,
+                           Granularity granularity = Granularity::kColumn);
 
 /// The paper's third future-work item: "use the extended LU eforest for
 /// more effective task dependence representation".  This builds the SAME
@@ -65,6 +95,12 @@ TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind);
 /// compact annotations carry exactly the dependence information.
 TaskGraph build_task_graph_from_compact(const symbolic::CompactStorage& cs,
                                         int num_block_columns);
+
+/// 2-D block-cyclic owner map for a pr x pc process grid over a
+/// block-granularity graph: a task with target block (i, j) runs on
+/// (i mod pr) * pc + (j mod pc).  FactorDiag, FactorL and ComputeU own
+/// their output block; UpdateBlock owns (i, j).
+std::vector<int> block_cyclic_owners(const TaskGraph& g, int pr, int pc);
 
 std::string to_string(GraphKind k);
 

@@ -1,5 +1,7 @@
 #include "taskgraph/costs.h"
 
+#include <cassert>
+
 #include "blas/level3.h"
 
 namespace plu::taskgraph {
@@ -12,6 +14,9 @@ int panel_rows(const symbolic::BlockStructure& bs, int k) {
 
 TaskCosts compute_task_costs(const symbolic::BlockStructure& bs,
                              const TaskList& tasks) {
+  // Column granularity only: the block-granularity costs ride on the
+  // TaskGraph itself (taskgraph/build.cpp fills flops/output_bytes there).
+  assert(tasks.granularity() == Granularity::kColumn);
   const int nb = bs.num_blocks();
   TaskCosts c;
   c.flops.assign(tasks.size(), 0.0);

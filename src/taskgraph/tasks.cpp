@@ -5,46 +5,127 @@
 
 namespace plu::taskgraph {
 
+std::string to_string(Granularity g) {
+  return g == Granularity::kColumn ? "column" : "block";
+}
+
 std::string to_string(const Task& t) {
   std::ostringstream os;
-  if (t.kind == TaskKind::kFactor) {
-    os << "F(" << t.k << ")";
-  } else {
-    os << "U(" << t.k << "," << t.j << ")";
+  switch (t.kind) {
+    case TaskKind::kFactor:
+      os << "F(" << t.k << ")";
+      break;
+    case TaskKind::kUpdate:
+      os << "U(" << t.k << "," << t.j << ")";
+      break;
+    case TaskKind::kFactorDiag:
+      os << "FD(" << t.k << ")";
+      break;
+    case TaskKind::kFactorL:
+      os << "FL(" << t.i << "," << t.k << ")";
+      break;
+    case TaskKind::kComputeU:
+      os << "CU(" << t.k << "," << t.j << ")";
+      break;
+    case TaskKind::kUpdateBlock:
+      os << "UB(" << t.i << "," << t.k << "," << t.j << ")";
+      break;
   }
   return os.str();
 }
 
+bool is_update(TaskKind kind) {
+  return kind == TaskKind::kUpdate || kind == TaskKind::kUpdateBlock;
+}
+
 TaskList::TaskList(const std::vector<std::vector<int>>& u_targets) {
+  granularity_ = Granularity::kColumn;
   num_cols_ = static_cast<int>(u_targets.size());
   tasks_.reserve(num_cols_);
   for (int k = 0; k < num_cols_; ++k) {
-    tasks_.push_back({TaskKind::kFactor, k, k});
+    tasks_.push_back({TaskKind::kFactor, k, k, k});
   }
-  update_ptr_.assign(num_cols_ + 1, num_cols_);
+  stage_ptr_.assign(num_cols_ + 1, num_cols_);
   for (int k = 0; k < num_cols_; ++k) {
-    update_ptr_[k] = static_cast<int>(tasks_.size());
+    stage_ptr_[k] = static_cast<int>(tasks_.size());
     for (int j : u_targets[k]) {
-      tasks_.push_back({TaskKind::kUpdate, k, j});
+      tasks_.push_back({TaskKind::kUpdate, k, j, k});
     }
   }
-  update_ptr_[num_cols_] = static_cast<int>(tasks_.size());
+  stage_ptr_[num_cols_] = static_cast<int>(tasks_.size());
 }
 
-int TaskList::update_id(int k, int j) const {
-  int lo = update_ptr_[k];
-  int hi = update_ptr_[k + 1];
-  // Targets are ascending within the segment.
+TaskList TaskList::block_granularity(const std::vector<std::vector<int>>& l_blocks,
+                                     const std::vector<std::vector<int>>& u_blocks) {
+  TaskList tl;
+  tl.granularity_ = Granularity::kBlock;
+  tl.num_cols_ = static_cast<int>(l_blocks.size());
+  const int nb = tl.num_cols_;
+  for (int k = 0; k < nb; ++k) {
+    tl.tasks_.push_back({TaskKind::kFactorDiag, k, k, k});
+  }
+  tl.stage_ptr_.assign(nb + 1, nb);
+  tl.cu_ptr_.assign(nb, 0);
+  tl.ub_ptr_.assign(nb, 0);
+  for (int k = 0; k < nb; ++k) {
+    tl.stage_ptr_[k] = static_cast<int>(tl.tasks_.size());
+    for (int i : l_blocks[k]) {
+      tl.tasks_.push_back({TaskKind::kFactorL, k, k, i});
+    }
+    tl.cu_ptr_[k] = static_cast<int>(tl.tasks_.size());
+    for (int j : u_blocks[k]) {
+      tl.tasks_.push_back({TaskKind::kComputeU, k, j, k});
+    }
+    tl.ub_ptr_[k] = static_cast<int>(tl.tasks_.size());
+    for (int i : l_blocks[k]) {
+      for (int j : u_blocks[k]) {
+        tl.tasks_.push_back({TaskKind::kUpdateBlock, k, j, i});
+      }
+    }
+  }
+  tl.stage_ptr_[nb] = static_cast<int>(tl.tasks_.size());
+  return tl;
+}
+
+int TaskList::segment_find(int lo, int hi, int Task::* field, int value) const {
+  const int end = hi;
   while (lo < hi) {
     int mid = (lo + hi) / 2;
-    if (tasks_[mid].j < j) {
+    if (tasks_[mid].*field < value) {
       lo = mid + 1;
     } else {
       hi = mid;
     }
   }
-  if (lo < update_ptr_[k + 1] && tasks_[lo].j == j) return lo;
+  if (lo < end && tasks_[lo].*field == value) return lo;
   return -1;
+}
+
+int TaskList::update_id(int k, int j) const {
+  if (granularity_ != Granularity::kColumn) return -1;
+  return segment_find(stage_ptr_[k], stage_ptr_[k + 1], &Task::j, j);
+}
+
+int TaskList::factor_l_id(int i, int k) const {
+  if (granularity_ != Granularity::kBlock) return -1;
+  return segment_find(stage_ptr_[k], cu_ptr_[k], &Task::i, i);
+}
+
+int TaskList::compute_u_id(int k, int j) const {
+  if (granularity_ != Granularity::kBlock) return -1;
+  return segment_find(cu_ptr_[k], ub_ptr_[k], &Task::j, j);
+}
+
+int TaskList::update_block_id(int i, int k, int j) const {
+  if (granularity_ != Granularity::kBlock) return -1;
+  const int fl = factor_l_id(i, k);
+  const int cu = compute_u_id(k, j);
+  if (fl == -1 || cu == -1) return -1;
+  const int li = fl - stage_ptr_[k];
+  const int uj = cu - cu_ptr_[k];
+  const int nu = ub_ptr_[k] - cu_ptr_[k];
+  const int id = ub_ptr_[k] + li * nu + uj;
+  return id;
 }
 
 }  // namespace plu::taskgraph

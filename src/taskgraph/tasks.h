@@ -1,58 +1,126 @@
-// Task vocabulary of the 1-D block-column sparse LU (Section 4):
+// Task vocabulary of the sparse LU factorization, at both granularities the
+// paper's scheme admits (Section 4 and the first future-work item).
+//
+// Column granularity (1-D, the paper's scheme):
 //   Factor(k)   - factor block column k (find its pivot sequence);
 //   Update(k,j) - update block column j with the factored panel k
 //                 (exists for k < j with block B_kj structurally nonzero).
+//
+// Block granularity (2-D, the S+ 2.0 direction): both task families split
+// along the row partition --
+//   FactorDiag(k)      - getrf with block-local pivoting on B_kk;
+//   FactorL(i,k)       - L_ik := B_ik U_kk^{-1}       (i > k, L block)
+//   ComputeU(k,j)      - U_kj := L_kk^{-1} P_k B_kj   (j > k, U block)
+//   UpdateBlock(i,k,j) - B_ij -= L_ik U_kj            (gemm per block)
+//
+// One id scheme covers both granularities: the factor task of block column
+// k is ALWAYS task id k (Factor(k) or FactorDiag(k)), and the remaining
+// tasks are grouped by source stage k with ascending stage index.  Within a
+// block-granularity stage the layout is FactorL (ascending i), ComputeU
+// (ascending j), UpdateBlock (row-major over the L x U product), which
+// makes every lookup a binary search plus an offset.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace plu::taskgraph {
 
-enum class TaskKind { kFactor, kUpdate };
+enum class TaskKind {
+  // Column granularity.
+  kFactor,
+  kUpdate,
+  // Block granularity.
+  kFactorDiag,
+  kFactorL,
+  kComputeU,
+  kUpdateBlock,
+};
+
+enum class Granularity { kColumn, kBlock };
+
+std::string to_string(Granularity g);
 
 struct Task {
   TaskKind kind = TaskKind::kFactor;
-  int k = 0;  // source block column (the panel)
-  int j = 0;  // target block column (== k for Factor)
+  int k = 0;  // source block column (the panel / pivot stage)
+  int j = 0;  // target block column (== k for Factor/FactorDiag/FactorL)
+  int i = 0;  // target row block (== k for column-granularity tasks)
 
   friend bool operator==(const Task& a, const Task& b) {
-    return a.kind == b.kind && a.k == b.k && a.j == b.j;
+    return a.kind == b.kind && a.k == b.k && a.j == b.j && a.i == b.i;
   }
 };
 
 std::string to_string(const Task& t);
 
-/// Indexed task list: tasks are laid out Factor(0..N-1) first, then all
-/// Update tasks grouped by source panel k with ascending target j, which
-/// makes (k, j) -> id lookup a binary search.
+/// True for the additive-update kinds (kUpdate / kUpdateBlock).
+bool is_update(TaskKind kind);
+
+/// Indexed task list at either granularity.  Factor tasks of block column k
+/// are id k; the remaining tasks are grouped by source stage k ascending.
 class TaskList {
  public:
   TaskList() = default;
 
-  /// Builds from the U-block lists: u_targets[k] = ascending j > k with
-  /// B_kj nonzero.
+  /// Column granularity, from the U-block lists: u_targets[k] = ascending
+  /// j > k with B_kj nonzero.
   explicit TaskList(const std::vector<std::vector<int>>& u_targets);
 
+  /// Block granularity, from the L- and U-block lists of each stage
+  /// (ascending row / column indices, as symbolic::BlockStructure stores
+  /// them).
+  static TaskList block_granularity(const std::vector<std::vector<int>>& l_blocks,
+                                    const std::vector<std::vector<int>>& u_blocks);
+
+  Granularity granularity() const { return granularity_; }
   int size() const { return static_cast<int>(tasks_.size()); }
   int num_columns() const { return num_cols_; }
   const Task& task(int id) const { return tasks_[id]; }
   const std::vector<Task>& tasks() const { return tasks_; }
 
+  /// Id of Factor(k) / FactorDiag(k) -- the same at both granularities.
   int factor_id(int k) const { return k; }
 
-  /// Id of Update(k, j); -1 when absent.
+  /// Id of Update(k, j) (column granularity); -1 when absent.
   int update_id(int k, int j) const;
 
-  /// All Update(k, *) ids, ascending j.
+  /// Id of FactorL(i, k) (block granularity); -1 when absent.
+  int factor_l_id(int i, int k) const;
+
+  /// Id of ComputeU(k, j) (block granularity); -1 when absent.
+  int compute_u_id(int k, int j) const;
+
+  /// Id of UpdateBlock(i, k, j) (block granularity); -1 when absent.
+  int update_block_id(int i, int k, int j) const;
+
+  /// The additive-update ids of source stage k: all Update(k, *) ascending
+  /// j, or all UpdateBlock(*, k, *) row-major.
   std::pair<int, int> update_range(int k) const {
-    return {update_ptr_[k], update_ptr_[k + 1]};
+    return {granularity_ == Granularity::kColumn ? stage_ptr_[k] : ub_ptr_[k],
+            stage_ptr_[k + 1]};
+  }
+
+  /// Every non-factor task of source stage k (equals update_range at column
+  /// granularity; prepends the FactorL/ComputeU segment at block
+  /// granularity).  Running factor_id(k) then this range for k = 0..nb-1 is
+  /// a valid topological (right-looking) order at either granularity.
+  std::pair<int, int> stage_range(int k) const {
+    return {stage_ptr_[k], stage_ptr_[k + 1]};
   }
 
  private:
+  /// Index of the task in [lo, hi) whose `field` equals value; -1 when
+  /// absent.  The segment is sorted by `field`.
+  int segment_find(int lo, int hi, int Task::* field, int value) const;
+
+  Granularity granularity_ = Granularity::kColumn;
   int num_cols_ = 0;
   std::vector<Task> tasks_;
-  std::vector<int> update_ptr_;  // per-panel offsets into the update segment
+  std::vector<int> stage_ptr_;  // per-stage offsets into the non-factor segment
+  std::vector<int> cu_ptr_;     // block granularity: ComputeU offset per stage
+  std::vector<int> ub_ptr_;     // block granularity: UpdateBlock offset per stage
 };
 
 }  // namespace plu::taskgraph

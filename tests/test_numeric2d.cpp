@@ -1,10 +1,11 @@
-// 2-D numeric factorization with block-restricted pivoting: accuracy,
-// thread agreement, and the stability gap versus the 1-D panel pivoting.
+// 2-D numeric factorization (Options::layout = Layout::k2D) through the
+// unified Factorization: accuracy, thread agreement, and the stability gap
+// of block-restricted pivoting versus the 1-D panel pivoting.
 #include <gtest/gtest.h>
 
 #include <cmath>
 
-#include "core/numeric2d.h"
+#include "core/numeric.h"
 #include "core/refine.h"
 #include "core/sparse_lu.h"
 #include "test_helpers.h"
@@ -12,10 +13,17 @@
 namespace plu {
 namespace {
 
+Analysis analyze_2d(const CscMatrix& a, Options opt = {}) {
+  opt.layout = Layout::k2D;
+  return analyze(a, opt);
+}
+
 TEST(Numeric2D, SolvesAcrossMatrixClasses) {
   for (const CscMatrix& a : test::small_matrices()) {
-    Analysis an = analyze(a);
-    Factorization2D f(an, a);
+    Analysis an = analyze_2d(a);
+    Factorization f(an, a);
+    EXPECT_EQ(f.layout(), Layout::k2D) << describe(a);
+    EXPECT_STREQ(f.driver_name(), "2d-block");
     EXPECT_FALSE(f.singular()) << describe(a);
     std::vector<double> b = test::random_vector(a.rows(), 81);
     std::vector<double> x = f.solve(b);
@@ -27,11 +35,12 @@ TEST(Numeric2D, SolvesAcrossMatrixClasses) {
 
 TEST(Numeric2D, ThreadedAgreesWithSequential) {
   for (const CscMatrix& a : test::small_matrices()) {
-    Analysis an = analyze(a);
-    Numeric2DOptions seq, thr;
+    Analysis an = analyze_2d(a);
+    NumericOptions thr;
+    thr.mode = ExecutionMode::kThreaded;
     thr.threads = 4;
-    Factorization2D fs(an, a, seq);
-    Factorization2D ft(an, a, thr);
+    Factorization fs(an, a);
+    Factorization ft(an, a, thr);
     std::vector<double> b = test::random_vector(a.rows(), 82);
     std::vector<double> xs = fs.solve(b);
     std::vector<double> xt = ft.solve(b);
@@ -41,14 +50,33 @@ TEST(Numeric2D, ThreadedAgreesWithSequential) {
   }
 }
 
+TEST(Numeric2D, GraphSequentialAgreesWithSequential) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Analysis an = analyze_2d(a);
+    NumericOptions gs;
+    gs.mode = ExecutionMode::kGraphSequential;
+    Factorization f0(an, a);
+    Factorization fg(an, a, gs);
+    std::vector<double> b = test::random_vector(a.rows(), 87);
+    std::vector<double> x0 = f0.solve(b);
+    std::vector<double> xg = fg.solve(b);
+    for (int i = 0; i < a.rows(); ++i) {
+      EXPECT_NEAR(x0[i], xg[i], 1e-12 * (1.0 + std::abs(x0[i]))) << describe(a);
+    }
+  }
+}
+
 TEST(Numeric2D, MatchesOneDimensionalFactors) {
   // On a matrix where no cross-block pivoting happens... cannot be forced
   // in general; instead check both factorizations solve to their respective
   // accuracies and agree with each other through the solution.
   CscMatrix a = gen::grid2d(9, 9, {});
-  Analysis an = analyze(a);
-  Factorization f1(an, a);
-  Factorization2D f2(an, a);
+  Analysis an1 = analyze(a);
+  Analysis an2 = analyze_2d(a);
+  Factorization f1(an1, a);
+  Factorization f2(an2, a);
+  EXPECT_EQ(f1.layout(), Layout::k1D);
+  EXPECT_STREQ(f1.driver_name(), "1d-column");
   std::vector<double> b = test::random_vector(a.rows(), 83);
   std::vector<double> x1 = f1.solve(b);
   std::vector<double> x2 = f2.solve(b);
@@ -61,8 +89,8 @@ TEST(Numeric2D, RefinementRecoversAccuracy) {
   // Weaker pivoting + refinement reaches the strong factorization's
   // accuracy level -- the standard pairing for restricted-pivot methods.
   CscMatrix a = gen::random_sparse(90, 3.5, 0.4, 0.6, 84);
-  Analysis an = analyze(a);
-  Factorization2D f(an, a);
+  Analysis an = analyze_2d(a);
+  Factorization f(an, a);
   std::vector<double> b = test::random_vector(90, 85);
   std::vector<double> x = f.solve(b);
   double r0 = relative_residual(a, x, b);
@@ -92,9 +120,10 @@ TEST(Numeric2D, RestrictedPivotingIsMeasurablyWeaker) {
   CscMatrix a = coo.to_csc();
   Options opt;
   opt.ordering = ordering::Method::kNatural;  // keep the crafted structure
-  Analysis an = analyze(a, opt);
-  Factorization f1(an, a);
-  Factorization2D f2(an, a);
+  Analysis an1 = analyze(a, opt);
+  Analysis an2 = analyze_2d(a, opt);
+  Factorization f1(an1, a);
+  Factorization f2(an2, a);
   std::vector<double> b = test::random_vector(n, 86);
   double r1 = relative_residual(a, f1.solve(b), b);
   double r2 = relative_residual(a, f2.solve(b), b);
@@ -114,17 +143,31 @@ TEST(Numeric2D, ReportsSingularDiagonalBlock) {
   coo.add(2, 2, 1.0);
   coo.add(3, 3, 1.0);
   CscMatrix a = coo.to_csc();
-  Analysis an = analyze(a);
-  Factorization2D f(an, a);
+  Analysis an = analyze_2d(a);
+  Factorization f(an, a);
   EXPECT_TRUE(f.singular());
 }
 
 TEST(Numeric2D, GraphAccessorsConsistent) {
   CscMatrix a = test::small_matrices()[0];
-  Analysis an = analyze(a);
-  Factorization2D f(an, a);
-  EXPECT_GT(f.graph().size(), an.blocks.num_blocks());
+  Analysis an = analyze_2d(a);
+  Factorization f(an, a);
+  EXPECT_EQ(f.task_graph().granularity(), taskgraph::Granularity::kBlock);
+  EXPECT_GT(f.task_graph().size(), an.blocks.num_blocks());
   EXPECT_GT(f.min_pivot_ratio(), 0.0);
+}
+
+TEST(Numeric2D, RequiresTwoDimensionalAnalysis) {
+  // A 1-D analysis carries no block graph; asking its result to run the 2-D
+  // driver anyway cannot happen through the public API (layout rides on the
+  // analysis), but a 2-D analysis must interoperate with 1-D numerics: the
+  // column graph is still there.
+  CscMatrix a = test::small_matrices()[0];
+  Analysis an = analyze(a);  // 1-D
+  EXPECT_EQ(an.block_graph.size(), 0);
+  Analysis an2 = analyze_2d(a);
+  EXPECT_GT(an2.block_graph.size(), 0);
+  EXPECT_GT(an2.graph.size(), 0);  // column graph still built
 }
 
 }  // namespace

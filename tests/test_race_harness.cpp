@@ -18,7 +18,6 @@
 
 #include "core/analysis.h"
 #include "core/numeric.h"
-#include "core/numeric2d.h"
 #include "matrix/generators.h"
 #include "runtime/race_checker.h"
 #include "taskgraph/analysis.h"
@@ -336,13 +335,40 @@ TEST(RaceHarness, CheckerFiresOnBrokenDependenceGraph) {
 TEST(RaceHarness, Numeric2DThreadedReportsZeroRaces) {
   for (int mi : {0, 2}) {
     const CscMatrix a = test::small_matrices()[mi];
-    Analysis an = analyze(a);
-    Numeric2DOptions opt;
+    Options aopt;
+    aopt.layout = Layout::k2D;
+    Analysis an = analyze(a, aopt);
+    NumericOptions opt;
+    opt.mode = ExecutionMode::kThreaded;
     opt.threads = 4;
     opt.check_races = true;
-    Factorization2D f(an, a, opt);
+    Factorization f(an, a, opt);
+    EXPECT_EQ(f.layout(), Layout::k2D);
+    EXPECT_TRUE(f.race_checked());
     EXPECT_TRUE(f.races().empty())
         << "matrix " << mi << ": " << to_string(f.races().front());
+  }
+}
+
+TEST(RaceHarness, Numeric2DFuzzedSchedulesReportZeroRaces) {
+  // Schedule fuzzing over the block-granularity graph: many legal
+  // interleavings of FD/FL/CU/UB, all race-free (the block analogue of
+  // Theorem 4's disjointness).
+  const CscMatrix a = test::small_matrices()[0];
+  Options aopt;
+  aopt.layout = Layout::k2D;
+  Analysis an = analyze(a, aopt);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    NumericOptions opt;
+    opt.mode = ExecutionMode::kThreaded;
+    opt.threads = 4;
+    opt.check_races = true;
+    opt.fuzz_schedule = true;
+    opt.fuzz_seed = seed;
+    Factorization f(an, a, opt);
+    EXPECT_TRUE(f.races().empty())
+        << "seed " << seed << ": " << to_string(f.races().front());
+    EXPECT_FALSE(f.singular());
   }
 }
 

@@ -1,6 +1,8 @@
 // Public facade: lifecycle, option plumbing, analysis reuse, error states.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/sparse_lu.h"
 #include "test_helpers.h"
 
@@ -97,6 +99,91 @@ TEST(SparseLU, RejectsStructurallySingular) {
   coo.add(2, 2, 1.0);
   SparseLU lu;
   EXPECT_THROW(lu.analyze(coo.to_csc()), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// 1-D / 2-D layout parity through the facade: the layout selector changes
+// the numeric driver and nothing else a user can observe beyond roundoff.
+
+TEST(SparseLU, LayoutParityAcrossExecutionModes) {
+  CscMatrix a = gen::grid2d(10, 9, {});
+  std::vector<double> b = test::random_vector(a.rows(), 55);
+  for (ExecutionMode mode : {ExecutionMode::kSequential,
+                             ExecutionMode::kGraphSequential,
+                             ExecutionMode::kThreaded}) {
+    SparseLU lu1;
+    lu1.numeric_options().mode = mode;
+    lu1.numeric_options().threads = 4;
+    lu1.factorize(a);
+
+    SparseLU lu2;
+    lu2.options().layout = Layout::k2D;
+    lu2.numeric_options().mode = mode;
+    lu2.numeric_options().threads = 4;
+    lu2.factorize(a);
+
+    EXPECT_EQ(lu1.factorization().layout(), Layout::k1D);
+    EXPECT_EQ(lu2.factorization().layout(), Layout::k2D);
+
+    // Same symbolic pipeline => identical permutations: the layout is a
+    // numeric-tier decision only.
+    const Analysis& an1 = lu1.analysis();
+    const Analysis& an2 = lu2.analysis();
+    for (int i = 0; i < a.rows(); ++i) {
+      EXPECT_EQ(an1.row_perm.old_of(i), an2.row_perm.old_of(i));
+      EXPECT_EQ(an1.col_perm.old_of(i), an2.col_perm.old_of(i));
+    }
+
+    std::vector<double> x1 = lu1.solve(b);
+    std::vector<double> x2 = lu2.solve(b);
+    EXPECT_LT(relative_residual(a, x1, b), 1e-10) << static_cast<int>(mode);
+    EXPECT_LT(relative_residual(a, x2, b), 1e-8) << static_cast<int>(mode);
+    for (int i = 0; i < a.rows(); ++i) {
+      EXPECT_NEAR(x1[i], x2[i], 1e-7 * (1.0 + std::abs(x1[i])))
+          << "mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(SparseLU, TwoDimensionalLayoutFullSolveSurface) {
+  // Every facade solve path works unchanged on a 2-D factorization:
+  // the 2-D local pivots are a special case of the 1-D panel pivots.
+  CscMatrix a = gen::grid2d(9, 9, {});
+  std::vector<double> b = test::random_vector(a.rows(), 56);
+  SparseLU lu;
+  lu.options().layout = Layout::k2D;
+  lu.factorize(a);
+
+  std::vector<double> x = lu.solve(b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-8);
+
+  std::vector<double> xt = lu.solve_transpose(b);
+  std::vector<double> r;
+  a.matvec_transpose(xt, r);
+  double err = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i)
+    err = std::max(err, std::abs(r[i] - b[i]));
+  EXPECT_LT(err, 1e-7);
+
+  std::vector<double> xp = lu.solve_parallel(b, 4);
+  for (int i = 0; i < a.rows(); ++i) {
+    EXPECT_NEAR(xp[i], x[i], 1e-10 * (1.0 + std::abs(x[i])));
+  }
+
+  RefineResult rr = lu.solve_refined(b);
+  EXPECT_LT(rr.residual_history.back(), 1e-12);
+}
+
+TEST(SparseLU, TwoDimensionalLayoutRaceCheckedThroughFacade) {
+  CscMatrix a = test::small_matrices()[0];
+  SparseLU lu;
+  lu.options().layout = Layout::k2D;
+  lu.numeric_options().mode = ExecutionMode::kThreaded;
+  lu.numeric_options().threads = 4;
+  lu.numeric_options().check_races = true;
+  lu.factorize(a);
+  EXPECT_TRUE(lu.factorization().race_checked());
+  EXPECT_TRUE(lu.factorization().races().empty());
 }
 
 TEST(SparseLU, AnalysisStatsExposed) {

@@ -13,6 +13,8 @@
 //     --ordering METHOD     natural | mindeg | rcm | nd        (default mindeg)
 //     --no-postorder        disable eforest postordering
 //     --taskgraph KIND      eforest | sstar | sstar-po         (default eforest)
+//     --layout L            1d | 2d numeric layout             (default 1d;
+//                           2d = per-block tasks, block-restricted pivoting)
 //     --scale               MC64 max-product permutation + scaling
 //     --pivot-threshold T   threshold pivoting with diagonal preference
 //     --threads N           threaded numeric factorization
@@ -43,8 +45,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s MATRIX [--rhs FILE] [--ordering natural|mindeg|rcm|nd]\n"
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
-               "       [--scale] [--pivot-threshold T] [--threads N] [--lazy]\n"
-               "       [--refine] [--simulate P] [--stats]\n",
+               "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
+               "       [--threads N] [--lazy] [--refine] [--simulate P] [--stats]\n",
                argv0);
   std::exit(2);
 }
@@ -143,6 +145,11 @@ int main(int argc, char** argv) {
       else if (k == "sstar-po")
         opt.task_graph = plu::taskgraph::GraphKind::kSStarProgramOrder;
       else usage(argv[0]);
+    } else if (arg == "--layout") {
+      std::string l = next();
+      if (l == "1d") opt.layout = plu::Layout::k1D;
+      else if (l == "2d") opt.layout = plu::Layout::k2D;
+      else usage(argv[0]);
     } else if (arg == "--scale") {
       opt.scale_and_permute = true;
     } else if (arg == "--pivot-threshold") {
@@ -189,9 +196,13 @@ int main(int argc, char** argv) {
       std::printf("WARNING: %d zero pivot(s); results may be invalid\n",
                   f.zero_pivots());
     }
-    std::printf("numeric: %ld row interchanges", f.pivot_interchanges());
+    std::printf("numeric: %s driver, %ld row interchanges", f.driver_name(),
+                f.pivot_interchanges());
     if (nopt.lazy_updates) {
       std::printf(", %ld lazy-skipped updates", f.lazy_skipped_updates());
+    }
+    if (f.layout() == plu::Layout::k2D) {
+      std::printf(", min pivot ratio %.1e", f.min_pivot_ratio());
     }
     std::printf("\n");
 
