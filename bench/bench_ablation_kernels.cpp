@@ -67,6 +67,8 @@ void print_table() {
   for (const char* name : {"orsreg1", "goodwin", "lns3937"}) {
     NamedMatrix nm = make_named_matrix(name);
     Analysis an = analyze(nm.a);
+    double total_flops = 0.0;
+    for (double f : an.costs.flops) total_flops += f;
     auto time_arm = [&](bool blocked) {
       blas::set_use_blocked_kernels(blocked);
       auto t0 = std::chrono::steady_clock::now();
@@ -79,6 +81,16 @@ void print_table() {
     double ts = time_arm(false);
     blas::set_use_blocked_kernels(true);
     std::printf("%-10s %14.3f %14.3f %9.2f\n", name, tb, ts, ts / tb);
+    for (int blocked = 0; blocked < 2; ++blocked) {
+      double secs = blocked ? tb : ts;
+      json_append(JsonRecord()
+                      .field("bench", "ablation_kernels")
+                      .field("matrix", name)
+                      .field("kernel", blocked ? "blocked" : "scalar")
+                      .field("threads", 1)
+                      .field("seconds", secs)
+                      .field("gflops", total_flops / (secs * 1e9)));
+    }
   }
   print_rule(64);
 }

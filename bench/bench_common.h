@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,85 @@
 #include "runtime/simulator.h"
 
 namespace plu::bench {
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: every bench binary accepts `--json out.json` (or
+// `--json=out.json`) and then APPENDS one JSON object per measurement as a
+// JSON-lines record, so several binaries can share one artifact file (CI
+// collects BENCH_pr3.json from the scheduler and kernels ablations).  The
+// flag is stripped before google-benchmark sees argv, which would otherwise
+// reject it as unrecognized.
+// ---------------------------------------------------------------------------
+
+/// Path set by --json; empty = JSON output disabled.
+inline std::string& json_output_path() {
+  static std::string path;
+  return path;
+}
+
+/// Removes `--json <path>` / `--json=<path>` from argv and records the path.
+inline void strip_json_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      json_output_path() = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_output_path() = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// One flat JSON object built field by field; str() renders it.
+class JsonRecord {
+ public:
+  JsonRecord& field(const char* key, const std::string& v) {
+    add_key(key);
+    body_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      body_ += c;
+    }
+    body_ += '"';
+    return *this;
+  }
+  JsonRecord& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonRecord& field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    add_key(key);
+    body_ += buf;
+    return *this;
+  }
+  JsonRecord& field(const char* key, int v) {
+    add_key(key);
+    body_ += std::to_string(v);
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void add_key(const char* key) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"';
+    body_ += key;
+    body_ += "\": ";
+  }
+  std::string body_;
+};
+
+/// Appends one record to the --json file (no-op when the flag was not given).
+inline void json_append(const JsonRecord& rec) {
+  if (json_output_path().empty()) return;
+  if (FILE* f = std::fopen(json_output_path().c_str(), "a")) {
+    std::fprintf(f, "%s\n", rec.str().c_str());
+    std::fclose(f);
+  }
+}
 
 /// Analysis + simulated makespan for one matrix/options/processor-count.
 inline double simulated_seconds(const Analysis& an, int processors,
@@ -82,6 +162,7 @@ inline void print_taskgraph_improvement(const std::vector<std::string>& names) {
 /// Usage: PLU_BENCH_MAIN(print_table)
 #define PLU_BENCH_MAIN(print_fn)                      \
   int main(int argc, char** argv) {                   \
+    ::plu::bench::strip_json_flag(&argc, argv);       \
     ::benchmark::Initialize(&argc, argv);             \
     if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
     ::benchmark::RunSpecifiedBenchmarks();            \

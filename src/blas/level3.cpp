@@ -1,11 +1,13 @@
 #include "blas/level3.h"
 
 #include "blas/level1.h"
+#include "blas/scratch.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cassert>
-#include <vector>
+#include <cmath>
+#include <cstddef>
 
 namespace plu::blas {
 
@@ -13,58 +15,28 @@ namespace {
 
 std::atomic<bool> g_use_blocked{true};
 
-// Cache-blocking parameters, modest because the target blocks are small
-// supernodal panels (tens of rows/columns).
-constexpr int kMc = 64;   // rows of A per block
-constexpr int kKc = 128;  // inner dimension per block
-constexpr int kNc = 64;   // cols of B per block
-
-// Micro-kernel: C(0:m,0:n) += alpha * A(0:m,0:k) * B(0:k,0:n) with all views
-// column-major, no transposes.  Inner loop is stride-1 over rows of A and C.
-void gemm_nn_block(int m, int n, int k, double alpha, const double* a, int lda,
-                   const double* b, int ldb, double* c, int ldc) {
-  for (int j = 0; j < n; ++j) {
-    double* cj = c + static_cast<std::size_t>(j) * ldc;
-    const double* bj = b + static_cast<std::size_t>(j) * ldb;
-    int p = 0;
-    // Unroll the k-loop by 4 to amortize the column-pointer arithmetic.
-    for (; p + 4 <= k; p += 4) {
-      const double b0 = alpha * bj[p];
-      const double b1 = alpha * bj[p + 1];
-      const double b2 = alpha * bj[p + 2];
-      const double b3 = alpha * bj[p + 3];
-      const double* a0 = a + static_cast<std::size_t>(p) * lda;
-      const double* a1 = a0 + lda;
-      const double* a2 = a1 + lda;
-      const double* a3 = a2 + lda;
-      if (b0 == 0.0 && b1 == 0.0 && b2 == 0.0 && b3 == 0.0) continue;
-      for (int i = 0; i < m; ++i) {
-        cj[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
-      }
-    }
-    for (; p < k; ++p) {
-      const double bp = alpha * bj[p];
-      if (bp == 0.0) continue;
-      const double* ap = a + static_cast<std::size_t>(p) * lda;
-      for (int i = 0; i < m; ++i) cj[i] += bp * ap[i];
-    }
-  }
-}
-
-// Materializes op(X) into a compact column-major buffer when op is a
-// transpose, so the blocked no-transpose kernel can be reused.
-DenseMatrix materialize_transpose(ConstMatrixView x) {
-  DenseMatrix t(x.cols, x.rows);
-  for (int j = 0; j < x.cols; ++j) {
-    for (int i = 0; i < x.rows; ++i) t(j, i) = x(i, j);
-  }
-  return t;
-}
-
-// B(:,dst) += coeff * B(:,src); used by the Side::Right trsm variants.
-void axpy_col(MatrixView b, int dst, int src, double coeff) {
-  axpy(b.rows, coeff, b.col(src), 1, b.col(dst), 1);
-}
+// Register-tile shape of the packed microkernel: kMr x kNr accumulators
+// held in registers across the whole k-loop, written as plain loops over
+// fixed trip counts so the compiler auto-vectorizes them.  The tile must
+// fit the register file or the accumulators spill every iteration: 8 x 4
+// doubles = 8 ymm under AVX (the PLU_NATIVE CMake option compiles
+// -march=native and gets this), but baseline x86-64 has only 16 xmm
+// registers, so the portable build uses a 4 x 4 tile (8 xmm, leaving room
+// for the A vector and B broadcasts).
+#if defined(__AVX__)
+constexpr int kMr = 8;
+#else
+constexpr int kMr = 4;
+#endif
+constexpr int kNr = 4;
+// Cache-blocking parameters (multiples of the register tile).  Modest,
+// because the target blocks are small supernodal panels: an A block of
+// kMc x kKc doubles is 128 KiB, a B block kKc x kNc the same.
+constexpr int kMc = 64;
+constexpr int kKc = 256;
+constexpr int kNc = 64;
+// Column-block width of the blocked right-side trsm.
+constexpr int kTrsmNb = 32;
 
 void scale_c(double beta, MatrixView c) {
   if (beta == 1.0) return;
@@ -74,6 +46,272 @@ void scale_c(double beta, MatrixView c) {
       std::fill(cj, cj + c.rows, 0.0);
     } else {
       for (int i = 0; i < c.rows; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+// Packs op(A)(ic:ic+mb, pc:pc+kb) into contiguous micro-panels of kMr rows
+// (panel for rows [ir, ir+kMr) occupies kMr*kb doubles at dst + ir*kb),
+// zero-padding the ragged last panel so the microkernel always runs the
+// full register tile.
+void pack_a(Trans tr, ConstMatrixView a, int ic, int pc, int mb, int kb,
+            double* dst) {
+  for (int ir = 0; ir < mb; ir += kMr) {
+    const int m = std::min(kMr, mb - ir);
+    if (tr == Trans::No) {
+      const double* src =
+          a.data + static_cast<std::size_t>(pc) * a.ld + ic + ir;
+      for (int p = 0; p < kb; ++p) {
+        const double* col = src + static_cast<std::size_t>(p) * a.ld;
+        int i = 0;
+        for (; i < m; ++i) dst[i] = col[i];
+        for (; i < kMr; ++i) dst[i] = 0.0;
+        dst += kMr;
+      }
+    } else {
+      for (int p = 0; p < kb; ++p) {
+        int i = 0;
+        for (; i < m; ++i) dst[i] = a.data[static_cast<std::size_t>(ic + ir + i) * a.ld + pc + p];
+        for (; i < kMr; ++i) dst[i] = 0.0;
+        dst += kMr;
+      }
+    }
+  }
+}
+
+// Packs op(B)(pc:pc+kb, jc:jc+nb) into micro-panels of kNr columns with
+// alpha folded in (panel for columns [jr, jr+kNr) lives at dst + jr*kb).
+// While packing it also records, per panel and per k-index, whether the
+// packed row is entirely zero (mask + (jr/kNr)*kb): factorization blocks
+// carry real zeros from the static symbolic structure, and because a
+// supernode's columns share one row structure those zeros arrive as whole
+// zero ROWS of the block -- the microkernel skips them outright, which is
+// what keeps the packed engine competitive with the zero-skipping scalar
+// kernel on sparse panels.
+bool pack_b(Trans tr, double alpha, ConstMatrixView b, int pc, int jc, int kb,
+            int nb, double* dst, unsigned char* mask) {
+  bool any_zero_row = false;
+  for (int jr = 0; jr < nb; jr += kNr) {
+    const int n = std::min(kNr, nb - jr);
+    for (int p = 0; p < kb; ++p) {
+      double any = 0.0;
+      int j = 0;
+      if (tr == Trans::No) {
+        for (; j < n; ++j) {
+          const double v =
+              b.data[static_cast<std::size_t>(jc + jr + j) * b.ld + pc + p];
+          any += std::abs(v);
+          dst[j] = alpha * v;
+        }
+      } else {
+        for (; j < n; ++j) {
+          const double v =
+              b.data[static_cast<std::size_t>(pc + p) * b.ld + jc + jr + j];
+          any += std::abs(v);
+          dst[j] = alpha * v;
+        }
+      }
+      for (; j < kNr; ++j) dst[j] = 0.0;
+      mask[p] = (any != 0.0);
+      any_zero_row |= (any == 0.0);
+      dst += kNr;
+    }
+    mask += kb;
+  }
+  return any_zero_row;
+}
+
+// C(0:m, 0:n) += ap * bp over packed micro-panels.  The accumulator tile is
+// always the full kMr x kNr (the packs are zero-padded), kept in a local
+// array the compiler promotes to registers; only the valid m x n corner is
+// written back, so ragged edges cost nothing extra in the k-loop.
+void micro_kernel(int kb, const double* ap, const double* bp,
+                  const unsigned char* mask, double* c, int ldc, int m,
+                  int n) {
+  double acc[kMr * kNr] = {};
+  if (mask == nullptr) {  // fully dense panel: branch-free k-loop
+    for (int p = 0; p < kb; ++p) {
+      const double* a = ap + static_cast<std::size_t>(p) * kMr;
+      const double* b = bp + static_cast<std::size_t>(p) * kNr;
+      for (int j = 0; j < kNr; ++j) {
+        const double bj = b[j];
+        double* accj = acc + j * kMr;
+        for (int i = 0; i < kMr; ++i) accj[i] += a[i] * bj;
+      }
+    }
+  } else {
+    for (int p = 0; p < kb; ++p) {
+      if (!mask[p]) continue;  // whole packed B row is zero
+      const double* a = ap + static_cast<std::size_t>(p) * kMr;
+      const double* b = bp + static_cast<std::size_t>(p) * kNr;
+      for (int j = 0; j < kNr; ++j) {
+        const double bj = b[j];
+        double* accj = acc + j * kMr;
+        for (int i = 0; i < kMr; ++i) accj[i] += a[i] * bj;
+      }
+    }
+  }
+  if (m == kMr && n == kNr) {
+    for (int j = 0; j < kNr; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      const double* accj = acc + j * kMr;
+      for (int i = 0; i < kMr; ++i) cj[i] += accj[i];
+    }
+  } else {
+    for (int j = 0; j < n; ++j) {
+      double* cj = c + static_cast<std::size_t>(j) * ldc;
+      const double* accj = acc + j * kMr;
+      for (int i = 0; i < m; ++i) cj[i] += accj[i];
+    }
+  }
+}
+
+// Engine choice.  The packed engine wins on large DENSE operations; on the
+// factorization's own Schur updates the blocks carry real numeric zeros
+// from the static symbolic structure, and the direct kernel's per-column
+// zero-operand skipping recovers more time than the microkernel's vector
+// throughput (the packed engine can only skip whole packed rows).  So gemm
+// routes to the packed engine when the operation is big enough to amortize
+// packing (m*n*k >= kPackThreshold) AND a cheap O(k*n) scan finds op(B)
+// essentially free of zeros; everything else takes the direct engine.
+constexpr double kPackThreshold = 32768.0;
+constexpr double kPackMaxZeroFrac = 1.0 / 16.0;
+
+bool b_is_dense_enough(Trans tr, ConstMatrixView b, int k, int n) {
+  const long budget = static_cast<long>(kPackMaxZeroFrac *
+                                        (static_cast<double>(k) * n));
+  long zeros = 0;
+  if (tr == Trans::No) {
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
+      for (int p = 0; p < k; ++p) zeros += (bj[p] == 0.0);
+      if (zeros > budget) return false;
+    }
+  } else {
+    for (int p = 0; p < k; ++p) {
+      const double* bp = b.data + static_cast<std::size_t>(p) * b.ld;
+      for (int j = 0; j < n; ++j) zeros += (bp[j] == 0.0);
+      if (zeros > budget) return false;
+    }
+  }
+  return true;
+}
+
+// Direct-engine inner kernel: C(0:m,0:n) += alpha * A(0:m,0:k) * B(0:k,0:n),
+// column-major, no transposes.  4-way unrolled k-loop, stride-1 over rows,
+// and zero-operand groups are skipped entirely.
+void gemm_nn_direct(int m, int n, int k, double alpha, const double* a,
+                    int lda, const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    double* cj = c + static_cast<std::size_t>(j) * ldc;
+    const double* bj = b + static_cast<std::size_t>(j) * ldb;
+    int p = 0;
+    for (; p + 4 <= k; p += 4) {
+      const double b0 = alpha * bj[p];
+      const double b1 = alpha * bj[p + 1];
+      const double b2 = alpha * bj[p + 2];
+      const double b3 = alpha * bj[p + 3];
+      if (b0 == 0.0 && b1 == 0.0 && b2 == 0.0 && b3 == 0.0) continue;
+      const double* a0 = a + static_cast<std::size_t>(p) * lda;
+      const double* a1 = a0 + lda;
+      const double* a2 = a1 + lda;
+      const double* a3 = a2 + lda;
+      for (int i = 0; i < m; ++i) {
+        cj[i] += b0 * a0[i] + b1 * a1[i] + b2 * a2[i] + b3 * a3[i];
+      }
+    }
+    for (; p < k; ++p) {
+      const double bpj = alpha * bj[p];
+      if (bpj == 0.0) continue;
+      const double* ap = a + static_cast<std::size_t>(p) * lda;
+      for (int i = 0; i < m; ++i) cj[i] += ap[i] * bpj;
+    }
+  }
+}
+
+// Direct (non-packing) engine: cache-blocked loops around gemm_nn_direct
+// for the common No/No case; index lambdas for the transpose cases (rare
+// and small below the pack threshold).
+void gemm_direct(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, MatrixView c, int m, int n, int k) {
+  if (transa == Trans::No && transb == Trans::No) {
+    for (int jc = 0; jc < n; jc += kNc) {
+      const int nb = std::min(kNc, n - jc);
+      for (int pc = 0; pc < k; pc += kKc) {
+        const int kb = std::min(kKc, k - pc);
+        for (int ic = 0; ic < m; ic += kMc) {
+          const int mb = std::min(kMc, m - ic);
+          gemm_nn_direct(mb, nb, kb, alpha,
+                         a.data + static_cast<std::size_t>(pc) * a.ld + ic,
+                         a.ld,
+                         b.data + static_cast<std::size_t>(jc) * b.ld + pc,
+                         b.ld,
+                         c.data + static_cast<std::size_t>(jc) * c.ld + ic,
+                         c.ld);
+        }
+      }
+    }
+    return;
+  }
+  auto aa = [&](int i, int p) { return (transa == Trans::No) ? a(i, p) : a(p, i); };
+  auto bb = [&](int p, int j) { return (transb == Trans::No) ? b(p, j) : b(j, p); };
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const double bpj = alpha * bb(p, j);
+      if (bpj == 0.0) continue;
+      for (int i = 0; i < m; ++i) c(i, j) += aa(i, p) * bpj;
+    }
+  }
+}
+
+// Unblocked right-side solve X op(A) = B via column operations -- the
+// pre-blocking kernel, now only ever applied to kTrsmNb-wide diagonal
+// blocks (the inter-block work goes through one gemm per block instead of
+// per-column axpy chains).
+void trsm_right_unblocked(UpLo uplo, Trans trans, Diag diag, ConstMatrixView a,
+                          MatrixView b) {
+  const int n = a.rows;
+  // B(:,dst) += coeff * B(:,src).
+  auto axpy_col = [&b](int dst, int src, double coeff) {
+    axpy(b.rows, coeff, b.col(src), 1, b.col(dst), 1);
+  };
+  if (trans == Trans::No) {
+    if (uplo == UpLo::Upper) {
+      // Forward over columns of A (upper, no trans => X left to right).
+      for (int j = 0; j < n; ++j) {
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
+        for (int p = j + 1; p < n; ++p) {
+          double apj = a(j, p);
+          if (apj != 0.0) axpy_col(p, j, -apj);
+        }
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
+        for (int p = 0; p < j; ++p) {
+          double apj = a(j, p);
+          if (apj != 0.0) axpy_col(p, j, -apj);
+        }
+      }
+    }
+  } else {
+    if (uplo == UpLo::Lower) {
+      // X A^T = B with A lower => A^T upper; same pattern as Upper/No.
+      for (int j = 0; j < n; ++j) {
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
+        for (int p = j + 1; p < n; ++p) {
+          double apj = a(p, j);
+          if (apj != 0.0) axpy_col(p, j, -apj);
+        }
+      }
+    } else {
+      for (int j = n - 1; j >= 0; --j) {
+        if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
+        for (int p = 0; p < j; ++p) {
+          double apj = a(p, j);
+          if (apj != 0.0) axpy_col(p, j, -apj);
+        }
+      }
     }
   }
 }
@@ -102,35 +340,50 @@ void gemm_reference(Trans transa, Trans transb, double alpha, ConstMatrixView a,
 
 void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c) {
-  // Reduce the transposed cases to the no-transpose kernel by materializing
-  // the transposed operand; blocks in this code base are small enough that
-  // the copy is cheap relative to the O(mnk) work.
-  if (transa == Trans::Yes) {
-    DenseMatrix at = materialize_transpose(a);
-    gemm(Trans::No, transb, alpha, at.view(), b, beta, c);
-    return;
-  }
-  if (transb == Trans::Yes) {
-    DenseMatrix bt = materialize_transpose(b);
-    gemm(Trans::No, Trans::No, alpha, a, bt.view(), beta, c);
-    return;
-  }
-  const int m = a.rows;
-  const int k = a.cols;
-  const int n = b.cols;
-  assert(b.rows == k && c.rows == m && c.cols == n);
+  const int m = (transa == Trans::No) ? a.rows : a.cols;
+  const int k = (transa == Trans::No) ? a.cols : a.rows;
+  const int n = (transb == Trans::No) ? b.cols : b.rows;
+  assert(((transb == Trans::No) ? b.rows : b.cols) == k);
+  assert(c.rows == m && c.cols == n);
   scale_c(beta, c);
   if (alpha == 0.0 || k == 0) return;
+  if (static_cast<double>(m) * n * k < kPackThreshold ||
+      !b_is_dense_enough(transb, b, k, n)) {
+    gemm_direct(transa, transb, alpha, a, b, c, m, n, k);
+    return;
+  }
+  // Packed engine: both operands are copied into contiguous aligned
+  // micro-panel buffers (transposes fold into the packing, alpha folds
+  // into B), then an kMr x kNr register-tiled microkernel sweeps them.
+  // The buffers come from the per-worker scratch arena, so steady-state
+  // Schur updates allocate nothing.
+  WorkerScratch& scratch = worker_scratch();
+  double* apack = scratch.pack_a(static_cast<std::size_t>(kMc) * kKc);
+  double* bpack = scratch.pack_b(static_cast<std::size_t>(kKc) * kNc);
+  // Per-(panel, k-index) nonzero mask; kKc * kNc/kNr bytes fit in doubles.
+  unsigned char* bmask = reinterpret_cast<unsigned char*>(
+      scratch.temp(static_cast<std::size_t>(kKc) * (kNc / kNr) / 8 + 8));
   for (int jc = 0; jc < n; jc += kNc) {
     const int nb = std::min(kNc, n - jc);
     for (int pc = 0; pc < k; pc += kKc) {
       const int kb = std::min(kKc, k - pc);
+      const bool masked = pack_b(transb, alpha, b, pc, jc, kb, nb, bpack, bmask);
       for (int ic = 0; ic < m; ic += kMc) {
         const int mb = std::min(kMc, m - ic);
-        gemm_nn_block(mb, nb, kb, alpha,
-                      a.data + static_cast<std::size_t>(pc) * a.ld + ic, a.ld,
-                      b.data + static_cast<std::size_t>(jc) * b.ld + pc, b.ld,
-                      c.data + static_cast<std::size_t>(jc) * c.ld + ic, c.ld);
+        pack_a(transa, a, ic, pc, mb, kb, apack);
+        for (int jr = 0; jr < nb; jr += kNr) {
+          const double* bpanel = bpack + static_cast<std::size_t>(jr) * kb;
+          const unsigned char* pmask =
+              masked ? bmask + (jr / kNr) * kb : nullptr;
+          const int nr = std::min(kNr, nb - jr);
+          for (int ir = 0; ir < mb; ir += kMr) {
+            micro_kernel(kb, apack + static_cast<std::size_t>(ir) * kb, bpanel,
+                         pmask,
+                         c.data + static_cast<std::size_t>(jc + jr) * c.ld +
+                             ic + ir,
+                         c.ld, std::min(kMr, mb - ir), nr);
+          }
+        }
       }
     }
   }
@@ -144,9 +397,6 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
     assert(b.rows == n);
     if (alpha != 1.0) scale_c(alpha, b);
     // Column-by-column triangular solves; each column of B is independent.
-    // For the hot case (Lower/No/Unit: computing a U panel from a factored
-    // diagonal block) use a column-blocked loop so the inner updates are
-    // rank-1 over contiguous columns.
     for (int j = 0; j < b.cols; ++j) {
       trsv(uplo, trans, diag, a, b.col(j), 1);
     }
@@ -154,43 +404,46 @@ void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
   } else {
     assert(b.cols == n);
     if (alpha != 1.0) scale_c(alpha, b);
-    // X op(A) = B  <=>  op(A)^T X^T = B^T; solve row-wise.
-    // Implemented directly via column updates on B.
-    if (trans == Trans::No) {
-      if (uplo == UpLo::Upper) {
-        // Forward over columns of A (upper, no trans => X computed left to right).
-        for (int j = 0; j < n; ++j) {
-          if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
-          for (int p = j + 1; p < n; ++p) {
-            double apj = a(j, p);
-            if (apj != 0.0) axpy_col(b, p, j, -apj);
-          }
-        }
-      } else {
-        for (int j = n - 1; j >= 0; --j) {
-          if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
-          for (int p = 0; p < j; ++p) {
-            double apj = a(j, p);
-            if (apj != 0.0) axpy_col(b, p, j, -apj);
+    // Blocked right-side solve: the kTrsmNb-wide diagonal block is solved
+    // with the unblocked column kernel, then its effect on every remaining
+    // column is folded in with ONE gemm -- replacing the O(n^2) chain of
+    // per-column axpy calls the unblocked kernel would spend on the
+    // off-diagonal part.
+    const bool op_upper = (uplo == UpLo::Upper) == (trans == Trans::No);
+    if (op_upper) {
+      // X op(A) = B with op(A) upper: column blocks left to right, each
+      // solved block updates the trailing columns.
+      for (int j0 = 0; j0 < n; j0 += kTrsmNb) {
+        const int w = std::min(kTrsmNb, n - j0);
+        trsm_right_unblocked(uplo, trans, diag, a.block(j0, j0, w, w),
+                             b.block(0, j0, b.rows, w));
+        const int rest = n - (j0 + w);
+        if (rest > 0) {
+          MatrixView btrail = b.block(0, j0 + w, b.rows, rest);
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, -1.0, b.block(0, j0, b.rows, w),
+                 a.block(j0, j0 + w, w, rest), 1.0, btrail);
+          } else {
+            gemm(Trans::No, Trans::Yes, -1.0, b.block(0, j0, b.rows, w),
+                 a.block(j0 + w, j0, rest, w), 1.0, btrail);
           }
         }
       }
     } else {
-      if (uplo == UpLo::Lower) {
-        // X A^T = B with A lower => A^T upper; same pattern as Upper/No.
-        for (int j = 0; j < n; ++j) {
-          if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
-          for (int p = j + 1; p < n; ++p) {
-            double apj = a(p, j);
-            if (apj != 0.0) axpy_col(b, p, j, -apj);
-          }
-        }
-      } else {
-        for (int j = n - 1; j >= 0; --j) {
-          if (diag == Diag::NonUnit) scal(b.rows, 1.0 / a(j, j), b.col(j), 1);
-          for (int p = 0; p < j; ++p) {
-            double apj = a(p, j);
-            if (apj != 0.0) axpy_col(b, p, j, -apj);
+      // op(A) lower: column blocks right to left, each solved block
+      // updates the leading columns.
+      for (int j0 = ((n - 1) / kTrsmNb) * kTrsmNb; j0 >= 0; j0 -= kTrsmNb) {
+        const int w = std::min(kTrsmNb, n - j0);
+        trsm_right_unblocked(uplo, trans, diag, a.block(j0, j0, w, w),
+                             b.block(0, j0, b.rows, w));
+        if (j0 > 0) {
+          MatrixView blead = b.block(0, 0, b.rows, j0);
+          if (trans == Trans::No) {
+            gemm(Trans::No, Trans::No, -1.0, b.block(0, j0, b.rows, w),
+                 a.block(j0, 0, w, j0), 1.0, blead);
+          } else {
+            gemm(Trans::No, Trans::Yes, -1.0, b.block(0, j0, b.rows, w),
+                 a.block(0, j0, j0, w), 1.0, blead);
           }
         }
       }

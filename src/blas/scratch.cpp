@@ -1,0 +1,23 @@
+#include "blas/scratch.h"
+
+#include <cstdint>
+
+namespace plu::blas {
+
+double* WorkerScratch::Buffer::grab(std::size_t n) {
+  // Over-allocate by one cache line so the returned pointer can be rounded
+  // up to a 64-byte boundary (vector's allocation only guarantees 16).
+  if (store.size() < n + 8) {
+    store.resize(n + 8);
+  }
+  auto p = reinterpret_cast<std::uintptr_t>(store.data());
+  p = (p + 63) & ~static_cast<std::uintptr_t>(63);
+  return reinterpret_cast<double*>(p);
+}
+
+WorkerScratch& worker_scratch() {
+  thread_local WorkerScratch scratch;
+  return scratch;
+}
+
+}  // namespace plu::blas

@@ -289,7 +289,9 @@ void execute(NumericRun& run, const NumericOptions& opt, Dispatch&& dispatch) {
         rep = rt::execute_task_graph_fuzzed(run.graph, opt.threads, fuzz,
                                             dispatch);
       } else {
-        rep = rt::execute_task_graph(run.graph, opt.threads, dispatch);
+        rt::ExecOptions eopt;
+        eopt.kind = opt.executor;
+        rep = rt::execute_task_graph(run.graph, opt.threads, dispatch, eopt);
       }
       if (!rep.completed) {
         throw std::logic_error("Factorization: threaded execution incomplete");

@@ -42,6 +42,7 @@
 #include "core/analysis.h"
 #include "core/block_storage.h"
 #include "core/layout.h"
+#include "runtime/dag_executor.h"
 #include "runtime/race_checker.h"
 
 namespace plu {
@@ -55,6 +56,11 @@ enum class ExecutionMode {
 struct NumericOptions {
   ExecutionMode mode = ExecutionMode::kSequential;
   int threads = 4;
+  /// Which threaded executor runs the task graph under kThreaded (ignored
+  /// by the other modes and by fuzz_schedule): the work-stealing runtime
+  /// with critical-path priorities, or the central mutex/condvar queue kept
+  /// as the scheduler-ablation baseline (rt::ExecutorKind).
+  rt::ExecutorKind executor = rt::ExecutorKind::kWorkStealing;
   /// Serialize writers of each block column with a mutex.  Setting this to
   /// false is honored only when the analysis proved the unordered updates'
   /// block footprints disjoint (BlockStructure::lockfree_safe); otherwise

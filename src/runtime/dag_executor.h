@@ -1,15 +1,36 @@
 // Shared-memory execution of a task dependence graph.
 //
 // Dependences are enforced with atomic indegree counters: a finished task
-// decrements each successor's counter and enqueues those that hit zero.
-// Tasks left unordered by the graph (updates from independent subtrees)
-// touch disjoint blocks -- Theorem 4 / verify_candidate_disjointness -- so
-// no additional synchronization is required beyond what the numeric layer
-// chooses to take.
+// decrements each successor's counter (release) and the worker that drops a
+// counter to zero acquires the task -- the release/acquire pair on the
+// counter makes every predecessor's writes visible before the successor
+// runs (see DESIGN.md, "The work-stealing runtime").  Tasks left unordered
+// by the graph (updates from independent subtrees) touch disjoint blocks --
+// Theorem 4 / verify_candidate_disjointness -- so no additional
+// synchronization is required beyond what the numeric layer chooses to
+// take.
+//
+// Two executors are kept runtime-selectable (ExecOptions::kind) so the
+// scheduler ablation can measure one against the other:
+//
+//   kWorkStealing (default): per-worker Chase-Lev deques
+//     (runtime/work_steal_deque.h).  A worker pushes the successors it
+//     releases onto its own deque in ascending priority order and pops LIFO,
+//     so it dives depth-first along the most critical chain it just enabled;
+//     idle workers steal FIFO from a randomized victim, preferring -- by
+//     two-choice top-task comparison -- the victim whose oldest task has the
+//     higher critical-path priority.  Priorities are the classic bottom
+//     levels (weighted longest path to a sink) over the per-task flop
+//     estimates taskgraph::build annotates; idle workers spin with
+//     exponential backoff before parking on a condvar.
+//
+//   kCentralQueue: the original single mutex/condvar FIFO queue
+//     (runtime/thread_pool.h), preserved as the ablation baseline.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "taskgraph/build.h"
 
@@ -20,8 +41,27 @@ struct ExecutionReport {
   bool completed = false;  // false if the graph was cyclic / run threw
 };
 
-/// Schedule perturbation for the fuzzed executors: instead of the FIFO pop
-/// order the mutex happens to produce, workers pop a seed-determined RANDOM
+enum class ExecutorKind {
+  kWorkStealing,  // Chase-Lev deques + critical-path steal preference
+  kCentralQueue,  // single mutex/condvar FIFO queue (ablation baseline)
+};
+
+const char* to_string(ExecutorKind k);
+
+/// Tuning and policy knobs for the non-fuzzed executors.
+struct ExecOptions {
+  ExecutorKind kind = ExecutorKind::kWorkStealing;
+  /// Per-task priorities, higher = schedule earlier (size n or empty).
+  /// When empty, execute_task_graph derives critical-path bottom levels
+  /// from the graph's flop annotations; execute_dag treats all tasks equal.
+  const std::vector<double>* priorities = nullptr;
+  /// Bound on the exponential backoff an idle worker spins through before
+  /// parking on the condvar (iterations of the final spin round).
+  int max_spin = 256;
+};
+
+/// Schedule perturbation for the fuzzed executors: instead of the pop order
+/// the scheduler happens to produce, workers pop a seed-determined RANDOM
 /// ready task and may sleep a random delay before running it, so repeated
 /// runs explore many legal interleavings of the unordered tasks (the ones
 /// Theorem 4 leaves unordered).  Used by the concurrency-correctness tier
@@ -35,14 +75,20 @@ struct FuzzOptions {
 
 /// Executes the graph on `num_threads` threads, invoking run(task_id) for
 /// each task after all its predecessors finished.  run must not throw.
+/// Uses the work-stealing executor with critical-path priorities from the
+/// graph's flop annotations unless `opt` says otherwise.
 ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_threads,
-                                   const std::function<void(int)>& run);
+                                   const std::function<void(int)>& run,
+                                   const ExecOptions& opt = {});
 
 /// Graph-shape-agnostic variant: any DAG as successor lists + indegrees
-/// (used by the parallel triangular solves and the 2-D experiments).
+/// (used by the parallel triangular solves and the 2-D experiments).  A
+/// cyclic graph runs the acyclic prefix exactly once and reports
+/// completed == false.
 ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
                             const std::vector<int>& indegree, int num_threads,
-                            const std::function<void(int)>& run);
+                            const std::function<void(int)>& run,
+                            const ExecOptions& opt = {});
 
 /// Like execute_task_graph, but with the fuzzed ready-queue discipline of
 /// `fuzz`.  Same completion semantics; different (still legal) interleaving

@@ -22,12 +22,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  bool wake;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push(std::move(job));
     ++in_flight_;
+    // Only signal when a worker is actually parked: a busy pool re-checks
+    // the queue on its own, and skipping the futex call keeps the central
+    // queue's (baseline) overhead honest.
+    wake = idle_waiters_ > 0;
   }
-  cv_job_.notify_one();
+  if (wake) cv_job_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
@@ -40,7 +45,9 @@ void ThreadPool::worker_loop() {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++idle_waiters_;
       cv_job_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      --idle_waiters_;
       if (stop_ && jobs_.empty()) return;
       job = std::move(jobs_.front());
       jobs_.pop();

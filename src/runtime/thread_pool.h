@@ -1,4 +1,8 @@
-// Minimal fixed-size thread pool (shared-memory execution substrate).
+// Minimal fixed-size thread pool: one mutex/condvar FIFO queue feeding all
+// workers.  This is deliberately the simplest possible substrate -- it
+// survives as the CENTRAL-QUEUE ablation baseline of the scheduler bench
+// (rt::ExecutorKind::kCentralQueue); the production DAG executor runs on
+// per-worker Chase-Lev deques instead (runtime/dag_executor.cpp).
 #pragma once
 
 #include <condition_variable>
@@ -36,6 +40,7 @@ class ThreadPool {
   std::condition_variable cv_job_;
   std::condition_variable cv_idle_;
   int in_flight_ = 0;
+  int idle_waiters_ = 0;  // workers blocked in cv_job_.wait
   bool stop_ = false;
 };
 

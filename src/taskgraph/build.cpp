@@ -136,6 +136,36 @@ void add_block_operand_edges(TaskGraph& g, int nb) {
   }
 }
 
+/// Per-task flop estimates of the column granularity: the same kernel-flop
+/// formulas as taskgraph/costs.cpp (whose TaskCosts additionally carry
+/// panel message footprints for the simulator).  Annotated here so the
+/// work-stealing executor can weight its critical-path priorities from the
+/// graph alone.
+void annotate_column_costs(TaskGraph& g, const symbolic::BlockStructure& bs,
+                           const std::vector<std::vector<int>>& lblocks) {
+  const auto& part = bs.part;
+  const int nb = bs.num_blocks();
+  std::vector<int> prows(nb);
+  for (int k = 0; k < nb; ++k) {
+    int rows = part.width(k);
+    for (int t : lblocks[k]) rows += part.width(t);
+    prows[k] = rows;
+  }
+  g.flops.assign(g.size(), 0.0);
+  for (int id = 0; id < g.size(); ++id) {
+    const Task& t = g.tasks.task(id);
+    const int wk = part.width(t.k);
+    if (t.kind == TaskKind::kFactor) {
+      g.flops[id] = blas::getrf_flops(prows[t.k], wk);
+    } else {
+      const int wj = part.width(t.j);
+      g.flops[id] = blas::trsm_flops(blas::Side::Left, wk, wj) +
+                    blas::gemm_flops(prows[t.k] - wk, wj, wk);
+    }
+    g.total_flops += g.flops[id];
+  }
+}
+
 /// Per-task flop/byte costs of the block granularity (the column cost
 /// model, which also needs panel footprints, lives in taskgraph/costs.h).
 void annotate_block_costs(TaskGraph& g, const symbolic::BlockStructure& bs) {
@@ -215,6 +245,8 @@ TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind,
 
   if (granularity == Granularity::kBlock) {
     annotate_block_costs(g, bs);
+  } else {
+    annotate_column_costs(g, bs, lblocks);
   }
   return g;
 }

@@ -67,10 +67,15 @@ struct TaskGraph {
   GraphKind kind = GraphKind::kEforest;
   std::vector<std::vector<int>> succ;  // successors by task id
   std::vector<int> indegree;
-  /// Per-task cost annotations, filled at BLOCK granularity only (the
-  /// column-granularity cost model lives in taskgraph/costs.h, where it
-  /// also carries panel footprints).
+  /// Per-task flop estimates, filled by build_task_graph at BOTH
+  /// granularities -- they weight the critical-path (bottom-level)
+  /// priorities of the work-stealing executor (rt::execute_task_graph).
+  /// The full column-granularity cost model (which also carries panel
+  /// message footprints for the simulator) lives in taskgraph/costs.h;
+  /// build_task_graph_from_compact has no block widths and leaves this
+  /// empty.
   std::vector<double> flops;
+  /// Per-task output footprint, filled at BLOCK granularity only.
   std::vector<double> output_bytes;
   double total_flops = 0.0;
 

@@ -251,6 +251,48 @@ TEST(RaceHarness, TwentyFuzzSeedsZeroRacesOnEforestGraph) {
   EXPECT_TRUE(lockfree_arm);  // natural ordering must prove disjointness here
 }
 
+// The same gate on the WORK-STEALING runtime (and its central-queue
+// ablation baseline): 20 repeats of real non-fuzzed threaded execution per
+// executor, each one race-checked and residual-checked.  Stealing explores
+// different interleavings run to run (randomized victim selection), so the
+// repeats are the WS analogue of the fuzz seeds above.
+TEST(RaceHarness, TwentyWorkStealingRunsZeroRacesOnEforestGraph) {
+  gen::StencilOptions g;
+  g.seed = 42;
+  g.convection = 0.5;
+  const CscMatrix a = gen::grid2d(8, 8, g);
+  const std::vector<double> b = test::random_vector(a.rows(), 99);
+
+  bool lockfree_arm = false;
+  for (ordering::Method method :
+       {ordering::Method::kMinimumDegreeAtA, ordering::Method::kNatural}) {
+    Options aopt;
+    aopt.ordering = method;
+    Analysis an = analyze(a, aopt);
+    for (rt::ExecutorKind kind :
+         {rt::ExecutorKind::kWorkStealing, rt::ExecutorKind::kCentralQueue}) {
+      const int reps = (kind == rt::ExecutorKind::kWorkStealing) ? 20 : 3;
+      for (int rep = 0; rep < reps; ++rep) {
+        NumericOptions opt;
+        opt.mode = ExecutionMode::kThreaded;
+        opt.executor = kind;
+        opt.threads = 4;
+        opt.check_races = true;
+        opt.use_column_locks = !an.blocks.lockfree_safe;
+        Factorization f(an, a, opt);
+        ASSERT_TRUE(f.race_checked());
+        EXPECT_TRUE(f.races().empty())
+            << rt::to_string(kind) << " rep " << rep << ": "
+            << to_string(f.races().front());
+        EXPECT_LT(relative_residual(a, f.solve(b), b), 1e-9)
+            << rt::to_string(kind) << " rep " << rep;
+      }
+    }
+    if (an.blocks.lockfree_safe) lockfree_arm = true;
+  }
+  EXPECT_TRUE(lockfree_arm);
+}
+
 // ---------------------------------------------------------------------------
 // The checker must FIRE on a deliberately broken dependence graph: drop one
 // U(i,k) -> U(i',k) chain edge whose endpoint write footprints overlap and

@@ -1,20 +1,27 @@
-// Runtime: thread pool semantics and DAG executor ordering guarantees.
+// Runtime: thread pool semantics, the work-stealing deque, and DAG executor
+// ordering guarantees (both executor kinds).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "core/analysis.h"
 #include "runtime/dag_executor.h"
 #include "runtime/thread_pool.h"
+#include "runtime/work_steal_deque.h"
 #include "test_helpers.h"
 
 namespace plu::rt {
 namespace {
+
+constexpr ExecutorKind kBothKinds[] = {ExecutorKind::kWorkStealing,
+                                       ExecutorKind::kCentralQueue};
 
 TEST(ThreadPool, RunsAllJobs) {
   ThreadPool pool(4);
@@ -78,6 +85,80 @@ TEST(ThreadPool, WaitIdleCorrectUnderTransitiveSubmitStress) {
   }
 }
 
+TEST(WorkStealDeque, OwnerSideIsLifo) {
+  WorkStealDeque d;
+  for (int v = 0; v < 5; ++v) d.push(v);
+  for (int v = 4; v >= 0; --v) EXPECT_EQ(d.pop(), v);
+  EXPECT_EQ(d.pop(), WorkStealDeque::kEmpty);
+}
+
+TEST(WorkStealDeque, StealTakesOldestAndPeekAgrees) {
+  WorkStealDeque d;
+  for (int v = 10; v < 15; ++v) d.push(v);
+  EXPECT_EQ(d.peek_top(), 10);
+  EXPECT_EQ(d.steal(), 10);
+  EXPECT_EQ(d.steal(), 11);
+  EXPECT_EQ(d.pop(), 14);  // owner still takes the newest
+  EXPECT_EQ(d.size_hint(), 2);
+}
+
+TEST(WorkStealDeque, GrowPreservesLiveRange) {
+  // Push far past the initial capacity (16): the ring must grow and keep
+  // every queued value, in order, for both ends.
+  WorkStealDeque d(16);
+  const int kN = 1000;
+  for (int v = 0; v < kN; ++v) d.push(v);
+  EXPECT_EQ(d.steal(), 0);
+  for (int v = kN - 1; v >= 1; --v) EXPECT_EQ(d.pop(), v);
+  EXPECT_EQ(d.pop(), WorkStealDeque::kEmpty);
+}
+
+TEST(WorkStealDeque, ConcurrentThievesConserveItems) {
+  // One owner pushes kN items (popping a few itself along the way), three
+  // thieves steal concurrently.  Every item must be taken exactly once:
+  // counts[] all end at 1 and pops + steals == kN.
+  const int kN = 20000;
+  const int kThieves = 3;
+  WorkStealDeque d(16);  // small initial ring so grow() runs under contention
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<long> taken{0};
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load() || d.size_hint() > 0) {
+        int v = d.steal();
+        if (v >= 0) {
+          counts[v].fetch_add(1);
+          taken.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (int v = 0; v < kN; ++v) {
+    d.push(v);
+    if (v % 7 == 0) {
+      int got = d.pop();
+      if (got >= 0) {
+        counts[got].fetch_add(1);
+        taken.fetch_add(1);
+      }
+    }
+  }
+  int got;
+  while ((got = d.pop()) != WorkStealDeque::kEmpty) {
+    counts[got].fetch_add(1);
+    taken.fetch_add(1);
+  }
+  done.store(true);
+  for (auto& t : thieves) t.join();
+  EXPECT_EQ(taken.load(), kN);
+  for (int v = 0; v < kN; ++v) {
+    EXPECT_EQ(counts[v].load(), 1) << "item " << v;
+  }
+}
+
 taskgraph::TaskGraph small_graph(const CscMatrix& a,
                                  taskgraph::GraphKind kind) {
   Options opt;
@@ -85,34 +166,103 @@ taskgraph::TaskGraph small_graph(const CscMatrix& a,
   return analyze(a, opt).graph;
 }
 
-TEST(DagExecutor, RunsEveryTaskOnce) {
-  for (const CscMatrix& a : test::small_matrices()) {
-    taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
-    std::vector<std::atomic<int>> runs(g.size());
-    for (auto& r : runs) r.store(0);
-    ExecutionReport rep =
-        execute_task_graph(g, 4, [&](int id) { runs[id].fetch_add(1); });
-    EXPECT_TRUE(rep.completed);
-    EXPECT_EQ(rep.tasks_run, g.size());
-    for (int id = 0; id < g.size(); ++id) EXPECT_EQ(runs[id].load(), 1);
+TEST(DagExecutor, RunsEveryTaskOnceBothExecutors) {
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    for (const CscMatrix& a : test::small_matrices()) {
+      taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
+      std::vector<std::atomic<int>> runs(g.size());
+      for (auto& r : runs) r.store(0);
+      ExecutionReport rep = execute_task_graph(
+          g, 4, [&](int id) { runs[id].fetch_add(1); }, eopt);
+      EXPECT_TRUE(rep.completed) << to_string(kind);
+      EXPECT_EQ(rep.tasks_run, g.size()) << to_string(kind);
+      for (int id = 0; id < g.size(); ++id) {
+        EXPECT_EQ(runs[id].load(), 1) << to_string(kind) << " task " << id;
+      }
+    }
   }
 }
 
-TEST(DagExecutor, RespectsDependenceOrder) {
+TEST(DagExecutor, RespectsDependenceOrderBothExecutors) {
   CscMatrix a = test::small_matrices()[0];
   taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kSStar);
-  // Logical clock: record a finish stamp per task; every edge must observe
-  // pred.finish < succ.start.
-  std::atomic<long> clock{0};
-  std::vector<long> start(g.size()), finish(g.size());
-  ExecutionReport rep = execute_task_graph(g, 8, [&](int id) {
-    start[id] = clock.fetch_add(1);
-    finish[id] = clock.fetch_add(1);
-  });
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    // Logical clock: record a finish stamp per task; every edge must observe
+    // pred.finish < succ.start.
+    std::atomic<long> clock{0};
+    std::vector<long> start(g.size()), finish(g.size());
+    ExecutionReport rep = execute_task_graph(g, 8, [&](int id) {
+      start[id] = clock.fetch_add(1);
+      finish[id] = clock.fetch_add(1);
+    }, eopt);
+    ASSERT_TRUE(rep.completed) << to_string(kind);
+    for (int u = 0; u < g.size(); ++u) {
+      for (int v : g.succ[u]) {
+        EXPECT_LT(finish[u], start[v])
+            << to_string(kind) << " edge " << u << "->" << v;
+      }
+    }
+  }
+}
+
+TEST(DagExecutor, SingleWorkerFollowsCriticalPathPriorities) {
+  // Star: 0 -> {1, 2, 3, 4} with explicit priorities.  The work-stealing
+  // executor pushes released successors in ASCENDING priority so its LIFO
+  // pop serves the most critical first; with one worker the execution order
+  // is therefore deterministic: root, then children by descending priority.
+  taskgraph::TaskGraph g;
+  g.tasks = taskgraph::TaskList({{}, {}, {}, {}, {}});
+  g.succ.assign(5, {});
+  g.indegree.assign(5, 0);
+  g.succ[0] = {1, 2, 3, 4};
+  for (int v = 1; v < 5; ++v) g.indegree[v] = 1;
+  std::vector<double> prio = {100.0, 1.0, 5.0, 9.0, 3.0};
+  ExecOptions eopt;
+  eopt.kind = ExecutorKind::kWorkStealing;
+  eopt.priorities = &prio;
+  std::vector<int> seen;
+  ExecutionReport rep =
+      execute_task_graph(g, 1, [&](int id) { seen.push_back(id); }, eopt);
   ASSERT_TRUE(rep.completed);
-  for (int u = 0; u < g.size(); ++u) {
-    for (int v : g.succ[u]) {
-      EXPECT_LT(finish[u], start[v]) << "edge " << u << "->" << v;
+  EXPECT_EQ(seen, (std::vector<int>{0, 3, 2, 4, 1}));
+}
+
+TEST(DagExecutor, StealHeavyUnbalancedDagRunsCorrectly) {
+  // Worst case for stealing: one root releases a wide fan of leaves plus a
+  // long serial chain.  The owner dives down the chain (LIFO keeps it
+  // local); every other worker must STEAL the fan tasks.  Checks the full
+  // once-each + ordering contract under that pressure, repeatedly.
+  const int kWide = 256, kChain = 64;
+  const int n = 1 + kWide + kChain;
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 1);
+  indegree[0] = 0;
+  for (int w = 0; w < kWide; ++w) succ[0].push_back(1 + w);
+  succ[0].push_back(1 + kWide);  // chain head
+  for (int c = 0; c + 1 < kChain; ++c) {
+    succ[1 + kWide + c] = {1 + kWide + c + 1};
+  }
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::atomic<int>> runs(n);
+    for (auto& r : runs) r.store(0);
+    std::atomic<long> clock{0};
+    std::vector<long> start(n), finish(n);
+    ExecutionReport rep = execute_dag(succ, indegree, 4, [&](int id) {
+      start[id] = clock.fetch_add(1);
+      runs[id].fetch_add(1);
+      finish[id] = clock.fetch_add(1);
+    });
+    ASSERT_TRUE(rep.completed) << "round " << round;
+    ASSERT_EQ(rep.tasks_run, n);
+    for (int id = 0; id < n; ++id) {
+      ASSERT_EQ(runs[id].load(), 1) << "round " << round << " task " << id;
+    }
+    for (int u = 0; u < n; ++u) {
+      for (int v : succ[u]) ASSERT_LT(finish[u], start[v]);
     }
   }
 }
@@ -120,18 +270,24 @@ TEST(DagExecutor, RespectsDependenceOrder) {
 TEST(DagExecutor, CyclicGraphRunsAcyclicPrefixOnceAndReportsIncomplete) {
   // 0 -> 1, 1 -> 2, 2 -> 1: task 0 is runnable, the 1-2 cycle is not.
   // execute_dag (no up-front acyclicity check) must run the acyclic prefix
-  // exactly once, never run a cyclic task, and report completed == false.
+  // exactly once, never run a cyclic task, and report completed == false --
+  // on BOTH executors (negative control for the work-stealing termination
+  // counter: outstanding_ drains when the prefix does, without the cycle).
   std::vector<std::vector<int>> succ = {{1}, {2}, {1}};
   std::vector<int> indegree = {0, 2, 1};
-  std::vector<std::atomic<int>> runs(3);
-  for (auto& r : runs) r.store(0);
-  ExecutionReport rep =
-      execute_dag(succ, indegree, 4, [&](int id) { runs[id].fetch_add(1); });
-  EXPECT_FALSE(rep.completed);
-  EXPECT_EQ(rep.tasks_run, 1);
-  EXPECT_EQ(runs[0].load(), 1);
-  EXPECT_EQ(runs[1].load(), 0);
-  EXPECT_EQ(runs[2].load(), 0);
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    std::vector<std::atomic<int>> runs(3);
+    for (auto& r : runs) r.store(0);
+    ExecutionReport rep = execute_dag(
+        succ, indegree, 4, [&](int id) { runs[id].fetch_add(1); }, eopt);
+    EXPECT_FALSE(rep.completed) << to_string(kind);
+    EXPECT_EQ(rep.tasks_run, 1) << to_string(kind);
+    EXPECT_EQ(runs[0].load(), 1) << to_string(kind);
+    EXPECT_EQ(runs[1].load(), 0) << to_string(kind);
+    EXPECT_EQ(runs[2].load(), 0) << to_string(kind);
+  }
 }
 
 TEST(DagExecutor, DetectsCycle) {
@@ -143,8 +299,12 @@ TEST(DagExecutor, DetectsCycle) {
   g.succ[1] = {0};
   g.indegree[0] = 1;
   g.indegree[1] = 1;
-  ExecutionReport rep = execute_task_graph(g, 2, [](int) {});
-  EXPECT_FALSE(rep.completed);
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    ExecutionReport rep = execute_task_graph(g, 2, [](int) {}, eopt);
+    EXPECT_FALSE(rep.completed) << to_string(kind);
+  }
 }
 
 TEST(FuzzedExecutor, RunsEveryTaskOnceAcrossSeeds) {
