@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/sparse_lu.h"
 #include "matrix/named_matrices.h"
 #include "runtime/simulator.h"
@@ -49,45 +50,8 @@ inline void strip_json_flag(int* argc, char** argv) {
   *argc = out;
 }
 
-/// One flat JSON object built field by field; str() renders it.
-class JsonRecord {
- public:
-  JsonRecord& field(const char* key, const std::string& v) {
-    add_key(key);
-    body_ += '"';
-    for (char c : v) {
-      if (c == '"' || c == '\\') body_ += '\\';
-      body_ += c;
-    }
-    body_ += '"';
-    return *this;
-  }
-  JsonRecord& field(const char* key, const char* v) {
-    return field(key, std::string(v));
-  }
-  JsonRecord& field(const char* key, double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.6g", v);
-    add_key(key);
-    body_ += buf;
-    return *this;
-  }
-  JsonRecord& field(const char* key, int v) {
-    add_key(key);
-    body_ += std::to_string(v);
-    return *this;
-  }
-  std::string str() const { return "{" + body_ + "}"; }
-
- private:
-  void add_key(const char* key) {
-    if (!body_.empty()) body_ += ", ";
-    body_ += '"';
-    body_ += key;
-    body_ += "\": ";
-  }
-  std::string body_;
-};
+// JsonRecord lives in bench_json.h (unit-tested: escapes control characters
+// and emits non-finite doubles as null, so the artifact stays parseable).
 
 /// Appends one record to the --json file (no-op when the flag was not given).
 inline void json_append(const JsonRecord& rec) {

@@ -1,0 +1,93 @@
+// Minimal JSON-lines record builder for the bench binaries.
+//
+// Split out of bench_common.h (which drags in google-benchmark) so the
+// emitter can be unit-tested: CI parses the artifact files these produce,
+// so the output must be VALID JSON even for hostile inputs -- matrix names
+// containing quotes or backslashes, control characters from a mangled
+// title line, and non-finite measurements (a failed run's NaN residual),
+// which JSON has no literal for and are emitted as null.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace plu::bench {
+
+/// One flat JSON object built field by field; str() renders it.
+class JsonRecord {
+ public:
+  JsonRecord& field(const char* key, const std::string& v) {
+    add_key(key);
+    body_ += '"';
+    for (char c : v) {
+      switch (c) {
+        case '"':
+          body_ += "\\\"";
+          break;
+        case '\\':
+          body_ += "\\\\";
+          break;
+        case '\b':
+          body_ += "\\b";
+          break;
+        case '\f':
+          body_ += "\\f";
+          break;
+        case '\n':
+          body_ += "\\n";
+          break;
+        case '\r':
+          body_ += "\\r";
+          break;
+        case '\t':
+          body_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            body_ += buf;
+          } else {
+            body_ += c;
+          }
+      }
+    }
+    body_ += '"';
+    return *this;
+  }
+  JsonRecord& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonRecord& field(const char* key, double v) {
+    add_key(key);
+    if (!std::isfinite(v)) {
+      // JSON has no NaN/Infinity literal; "%.6g" would emit one and make
+      // the whole line unparseable.
+      body_ += "null";
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      body_ += buf;
+    }
+    return *this;
+  }
+  JsonRecord& field(const char* key, int v) {
+    add_key(key);
+    body_ += std::to_string(v);
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void add_key(const char* key) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += '"';
+    body_ += key;
+    body_ += "\": ";
+  }
+  std::string body_;
+};
+
+}  // namespace plu::bench

@@ -8,7 +8,23 @@
 
 namespace plu::blas {
 
-int getf2(MatrixView a, std::vector<int>& ipiv) {
+namespace {
+
+/// Applies the static perturbation policy to the selected pivot value at
+/// panel column j: bumps |pv| up to the magnitude (sign-preserving, + for
+/// exact zeros) and logs the column.  Returns the pivot to eliminate with.
+inline double maybe_perturb(double pv, int j, PivotPerturbation* perturb) {
+  if (!perturb || perturb->magnitude <= 0.0 ||
+      std::abs(pv) >= perturb->magnitude) {
+    return pv;
+  }
+  perturb->columns.push_back(j);
+  return pv < 0.0 ? -perturb->magnitude : perturb->magnitude;
+}
+
+}  // namespace
+
+int getf2(MatrixView a, std::vector<int>& ipiv, PivotPerturbation* perturb) {
   const int m = a.rows;
   const int n = a.cols;
   const int p = std::min(m, n);
@@ -18,7 +34,7 @@ int getf2(MatrixView a, std::vector<int>& ipiv) {
     // Pivot: largest magnitude in column j at or below the diagonal.
     int piv = j + iamax(m - j, a.col(j) + j, 1);
     ipiv[j] = piv;
-    double pv = a(piv, j);
+    double pv = maybe_perturb(a(piv, j), j, perturb);
     if (pv == 0.0) {
       if (info == 0) info = j + 1;
       continue;  // Singular column: skip elimination, keep scanning.
@@ -26,6 +42,7 @@ int getf2(MatrixView a, std::vector<int>& ipiv) {
     if (piv != j) {
       swap(n, a.data + j, a.ld, a.data + piv, a.ld);
     }
+    a(j, j) = pv;  // no-op unless the pivot was perturbed
     // Scale multipliers and rank-1 update of the trailing submatrix.
     if (j + 1 < m) {
       scal(m - j - 1, 1.0 / a(j, j), a.col(j) + j + 1, 1);
@@ -39,7 +56,7 @@ int getf2(MatrixView a, std::vector<int>& ipiv) {
 }
 
 int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
-                    long* swaps) {
+                    long* swaps, PivotPerturbation* perturb) {
   const int m = a.rows;
   const int n = a.cols;
   const int p = std::min(m, n);
@@ -52,7 +69,7 @@ int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
       piv = j;
     }
     ipiv[j] = piv;
-    double pv = a(piv, j);
+    double pv = maybe_perturb(a(piv, j), j, perturb);
     if (pv == 0.0) {
       if (info == 0) info = j + 1;
       continue;
@@ -61,6 +78,7 @@ int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
       swap(n, a.data + j, a.ld, a.data + piv, a.ld);
       if (swaps) ++*swaps;
     }
+    a(j, j) = pv;
     if (j + 1 < m) {
       scal(m - j - 1, 1.0 / a(j, j), a.col(j) + j + 1, 1);
       if (j + 1 < n) {
@@ -72,14 +90,15 @@ int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
   return info;
 }
 
-int getrf(MatrixView a, std::vector<int>& ipiv, int block_size) {
+int getrf(MatrixView a, std::vector<int>& ipiv, int block_size,
+          PivotPerturbation* perturb) {
   const int m = a.rows;
   const int n = a.cols;
   const int p = std::min(m, n);
   ipiv.assign(p, 0);
   if (p == 0) return 0;
   if (block_size <= 1 || p <= block_size) {
-    return getf2(a, ipiv);
+    return getf2(a, ipiv, perturb);
   }
   int info = 0;
   for (int j = 0; j < p; j += block_size) {
@@ -87,8 +106,13 @@ int getrf(MatrixView a, std::vector<int>& ipiv, int block_size) {
     // Factor the current panel A(j:m, j:j+jb).
     MatrixView panel = a.block(j, j, m - j, jb);
     std::vector<int> piv_local;
-    int linfo = getf2(panel, piv_local);
+    PivotPerturbation local_perturb;
+    if (perturb) local_perturb.magnitude = perturb->magnitude;
+    int linfo = getf2(panel, piv_local, perturb ? &local_perturb : nullptr);
     if (linfo != 0 && info == 0) info = j + linfo;
+    if (perturb) {
+      for (int c : local_perturb.columns) perturb->columns.push_back(j + c);
+    }
     // Record pivots in global row indices.
     for (int t = 0; t < jb; ++t) ipiv[j + t] = j + piv_local[t];
     // Apply the interchanges to the columns left of the panel...
@@ -157,6 +181,20 @@ bool dense_solve(const DenseMatrix& a, std::vector<double>& b) {
   if (getrf(lu.view(), ipiv) != 0) return false;
   MatrixView bv(b.data(), a.rows(), 1);
   getrs(Trans::No, lu.view(), ipiv, bv);
+  return true;
+}
+
+bool all_finite(ConstMatrixView a, int* first_bad_col) {
+  if (first_bad_col) *first_bad_col = -1;
+  for (int j = 0; j < a.cols; ++j) {
+    const double* col = a.col(j);
+    for (int i = 0; i < a.rows; ++i) {
+      if (!std::isfinite(col[i])) {
+        if (first_bad_col) *first_bad_col = j;
+        return false;
+      }
+    }
+  }
   return true;
 }
 

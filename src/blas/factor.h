@@ -11,16 +11,30 @@
 
 namespace plu::blas {
 
+/// Static pivot perturbation (SuperLU_DIST-style): when `magnitude` > 0, a
+/// selected pivot with |pivot| < magnitude is replaced by +-magnitude (sign
+/// preserved, + for exact zeros) instead of stopping the elimination, and
+/// its 0-based panel column is appended to `columns`.  The factorization
+/// then completes with info == 0 for those columns; accuracy is recovered
+/// afterwards by iterative refinement (core/refine.h).
+struct PivotPerturbation {
+  double magnitude = 0.0;     // 0 disables perturbation
+  std::vector<int> columns;   // panel columns whose pivot was perturbed
+};
+
 /// Unblocked right-looking LU with partial pivoting on an m x n panel.
 ///
 /// On exit A holds L (unit lower, strictly below diagonal) and U (upper).
 /// ipiv[j] = 0-based row index swapped with row j at step j (LAPACK style,
 /// ipiv[j] >= j).  Returns the 0-based index of the first zero pivot + 1, or
-/// 0 on success (LAPACK info convention).
-int getf2(MatrixView a, std::vector<int>& ipiv);
+/// 0 on success (LAPACK info convention).  With `perturb` set, tiny pivots
+/// are bumped instead of reported (see PivotPerturbation).
+int getf2(MatrixView a, std::vector<int>& ipiv,
+          PivotPerturbation* perturb = nullptr);
 
 /// Blocked LU with partial pivoting; same contract as getf2.
-int getrf(MatrixView a, std::vector<int>& ipiv, int block_size = 32);
+int getrf(MatrixView a, std::vector<int>& ipiv, int block_size = 32,
+          PivotPerturbation* perturb = nullptr);
 
 /// getf2 with threshold pivoting and diagonal preference: the diagonal
 /// entry is kept as the pivot whenever |a_jj| >= threshold * max|column|;
@@ -29,7 +43,13 @@ int getrf(MatrixView a, std::vector<int>& ipiv, int block_size = 32);
 /// diagonal).  `swaps`, when non-null, accumulates the number of actual
 /// interchanges -- the quantity MC64-style preprocessing drives toward 0.
 int getf2_threshold(MatrixView a, std::vector<int>& ipiv, double threshold,
-                    long* swaps = nullptr);
+                    long* swaps = nullptr,
+                    PivotPerturbation* perturb = nullptr);
+
+/// True when every entry of the view is finite (no Inf/NaN).  When
+/// `first_bad_col` is non-null it receives the 0-based column of the first
+/// non-finite entry found (column-major scan order), or -1 if none.
+bool all_finite(ConstMatrixView a, int* first_bad_col = nullptr);
 
 /// Applies the row interchanges ipiv[j0..j1) to all columns of A (forward
 /// order), matching LAPACK dlaswp with increment 1.

@@ -1,5 +1,6 @@
 #include "core/driver.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -14,6 +15,20 @@ namespace plu {
 
 const char* to_string(Layout layout) {
   return layout == Layout::k2D ? "2d" : "1d";
+}
+
+const char* to_string(FactorStatus s) {
+  switch (s) {
+    case FactorStatus::kOk:
+      return "ok";
+    case FactorStatus::kPerturbed:
+      return "perturbed";
+    case FactorStatus::kSingular:
+      return "singular";
+    case FactorStatus::kOverflow:
+      return "overflow";
+  }
+  return "unknown";
 }
 
 namespace {
@@ -33,9 +48,26 @@ class RunState {
   void finish() {
     run_.zero_pivots = zero_pivots_.load();
     run_.lazy_skipped = lazy_skipped_.load();
-    std::lock_guard<std::mutex> lock(min_pivot_mu_);
-    run_.min_pivot = min_pivot_;
+    {
+      std::lock_guard<std::mutex> lock(min_pivot_mu_);
+      run_.min_pivot = min_pivot_;
+    }
+    std::lock_guard<std::mutex> lock(fail_mu_);
+    std::sort(perturbed_.begin(), perturbed_.end());
+    run_.perturbed_columns = std::move(perturbed_);
+    if (fail_col_ >= 0) {
+      run_.status = fail_status_;
+      run_.failed_column = fail_col_;
+    } else {
+      run_.status = run_.perturbed_columns.empty() ? FactorStatus::kOk
+                                                   : FactorStatus::kPerturbed;
+      run_.failed_column = -1;
+    }
   }
+
+  /// Token the executors watch: the first observed breakdown cancels it, so
+  /// the remaining tasks drain without running (runtime/dag_executor.h).
+  rt::CancelToken* cancel() { return &cancel_; }
 
  protected:
   std::unique_lock<std::mutex> maybe_lock(int column) {
@@ -43,10 +75,40 @@ class RunState {
     return std::unique_lock<std::mutex>((*locks_)[column]);
   }
 
-  void count_factor(int info, double min_diag) {
-    if (info != 0) zero_pivots_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(min_pivot_mu_);
-    min_pivot_ = std::min(min_pivot_, min_diag);
+  /// Records a breakdown at global column `col` and cancels the run.  When
+  /// several in-flight factor tasks break down concurrently, the smallest
+  /// column wins (and, at equal columns, the first reporter).
+  void fail(int col, FactorStatus status) {
+    {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      if (fail_col_ < 0 || col < fail_col_) {
+        fail_col_ = col;
+        fail_status_ = status;
+      }
+    }
+    cancel_.cancel();
+  }
+
+  /// Folds one block-factor outcome into the run-wide status.  `col0` is
+  /// the global column of the block's first panel column, so breakdown and
+  /// perturbation positions are reported in matrix coordinates.
+  void count_factor(const kernels::FactorResult& r, int col0,
+                    double min_diag) {
+    {
+      std::lock_guard<std::mutex> lock(min_pivot_mu_);
+      min_pivot_ = std::min(min_pivot_, min_diag);
+    }
+    if (!r.perturbed.empty()) {
+      std::lock_guard<std::mutex> lock(fail_mu_);
+      for (int c : r.perturbed) perturbed_.push_back(col0 + c);
+    }
+    if (r.info != 0) {
+      zero_pivots_.fetch_add(1, std::memory_order_relaxed);
+      fail(col0 + r.info - 1, FactorStatus::kSingular);
+    }
+    if (r.first_nonfinite >= 0) {
+      fail(col0 + r.first_nonfinite, FactorStatus::kOverflow);
+    }
   }
 
   void count_lazy_skip() {
@@ -87,6 +149,11 @@ class RunState {
   std::atomic<long> lazy_skipped_{0};
   std::mutex min_pivot_mu_;
   double min_pivot_ = std::numeric_limits<double>::infinity();
+  rt::CancelToken cancel_;
+  std::mutex fail_mu_;
+  int fail_col_ = -1;
+  FactorStatus fail_status_ = FactorStatus::kOk;
+  std::vector<int> perturbed_;
 };
 
 /// 1-D dispatcher: Factor(k) / Update(k, j) bodies over the packed panels,
@@ -120,9 +187,11 @@ class Run1D : public RunState {
     }
     std::unique_lock<std::mutex> lock = maybe_lock(k);
     blas::MatrixView p = run_.blocks.panel(k);
-    int info = kernels::factor_block(p, run_.ipiv[k], threshold_);
+    kernels::FactorResult r = kernels::factor_block(
+        p, run_.ipiv[k], threshold_, run_.perturb_magnitude);
     const int wk = an.blocks.part.width(k);
-    count_factor(info, kernels::min_diag_abs(p.block(0, 0, wk, wk)));
+    count_factor(r, an.blocks.part.first(k),
+                 kernels::min_diag_abs(p.block(0, 0, wk, wk)));
   }
 
   void update(int k, int j) {
@@ -193,8 +262,10 @@ class Run2D : public RunState {
       case taskgraph::TaskKind::kFactorDiag: {
         if (run_.checker) record_unlocked_write(id, t.k, t.k);
         blas::MatrixView d = run_.blocks.block(t.k, t.k);
-        int info = kernels::factor_block(d, run_.ipiv[t.k], threshold_);
-        count_factor(info, kernels::min_diag_abs(d));
+        kernels::FactorResult r = kernels::factor_block(
+            d, run_.ipiv[t.k], threshold_, run_.perturb_magnitude);
+        count_factor(r, run_.an.blocks.part.first(t.k),
+                     kernels::min_diag_abs(d));
         break;
       }
       case taskgraph::TaskKind::kComputeU: {
@@ -252,13 +323,20 @@ class Run2D : public RunState {
 /// partial/Schur mode), a topological-order replay, or the DAG executor
 /// (optionally schedule-fuzzed).  `dispatch` runs one task id.
 template <typename Dispatch>
-void execute(NumericRun& run, const NumericOptions& opt, Dispatch&& dispatch) {
+void execute(NumericRun& run, const NumericOptions& opt,
+             rt::CancelToken* token, Dispatch&& dispatch) {
   const int nb = run.an.blocks.num_blocks();
+  // Sequential modes honor the same cancellation contract as the threaded
+  // executors: once a factor task reports a breakdown the remaining tasks
+  // are skipped, so a later panel never divides by a zero pivot.
+  const auto guarded = [&](int id) {
+    if (!token->cancelled()) dispatch(id);
+  };
   const auto stage_loop = [&](int stages) {
-    for (int k = 0; k < stages; ++k) {
-      dispatch(run.graph.tasks.factor_id(k));
+    for (int k = 0; k < stages && !token->cancelled(); ++k) {
+      guarded(run.graph.tasks.factor_id(k));
       auto [b, e] = run.graph.tasks.stage_range(k);
-      for (int id = b; id < e; ++id) dispatch(id);
+      for (int id = b; id < e; ++id) guarded(id);
     }
   };
   if (run.stages < nb) {
@@ -274,7 +352,7 @@ void execute(NumericRun& run, const NumericOptions& opt, Dispatch&& dispatch) {
       stage_loop(nb);
       break;
     case ExecutionMode::kGraphSequential: {
-      rt::ExecutionReport rep = rt::execute_sequential(run.graph, dispatch);
+      rt::ExecutionReport rep = rt::execute_sequential(run.graph, guarded);
       if (!rep.completed) {
         throw std::logic_error("Factorization: task graph is cyclic");
       }
@@ -286,14 +364,16 @@ void execute(NumericRun& run, const NumericOptions& opt, Dispatch&& dispatch) {
         rt::FuzzOptions fuzz;
         fuzz.seed = opt.fuzz_seed;
         fuzz.max_delay_us = opt.fuzz_max_delay_us;
+        fuzz.cancel = token;
         rep = rt::execute_task_graph_fuzzed(run.graph, opt.threads, fuzz,
                                             dispatch);
       } else {
         rt::ExecOptions eopt;
         eopt.kind = opt.executor;
+        eopt.cancel = token;
         rep = rt::execute_task_graph(run.graph, opt.threads, dispatch, eopt);
       }
-      if (!rep.completed) {
+      if (!rep.completed && !rep.cancelled) {
         throw std::logic_error("Factorization: threaded execution incomplete");
       }
       break;
@@ -307,7 +387,7 @@ class Driver1D final : public NumericDriver {
   const char* name() const override { return "1d-column"; }
   void factorize(NumericRun& run, const NumericOptions& opt) const override {
     Run1D state(run, opt);
-    execute(run, opt, [&](int id) { state.run_task(id); });
+    execute(run, opt, state.cancel(), [&](int id) { state.run_task(id); });
     state.finish();
   }
 };
@@ -318,7 +398,7 @@ class Driver2D final : public NumericDriver {
   const char* name() const override { return "2d-block"; }
   void factorize(NumericRun& run, const NumericOptions& opt) const override {
     Run2D state(run, opt);
-    execute(run, opt, [&](int id) { state.run_task(id); });
+    execute(run, opt, state.cancel(), [&](int id) { state.run_task(id); });
     state.finish();
   }
 };

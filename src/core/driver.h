@@ -15,6 +15,7 @@
 
 #include "core/analysis.h"
 #include "core/block_storage.h"
+#include "core/status.h"
 #include "runtime/race_checker.h"
 
 namespace plu {
@@ -36,11 +37,24 @@ struct NumericRun {
   /// Number of leading stages to run (== num_blocks for a full run; less is
   /// the sequential Schur-complement mode).
   int stages = 0;
+  /// Static pivot perturbation magnitude (0 disables).  Set by the
+  /// Factorization constructor to sqrt(eps) * max|A| when
+  /// NumericOptions::perturb_pivots is on.
+  double perturb_magnitude = 0.0;
 
   // Outputs.
   int zero_pivots = 0;
   long lazy_skipped = 0;
   double min_pivot = std::numeric_limits<double>::infinity();
+  /// Breakdown status of the run.  On kSingular / kOverflow the remaining
+  /// tasks were cancelled; failed_column is the smallest global column
+  /// among the breakdowns the run observed before stopping (deterministic
+  /// across schedules when the matrix has a single breakdown, because only
+  /// a failure triggers cancellation -- the failing task always runs).
+  FactorStatus status = FactorStatus::kOk;
+  int failed_column = -1;
+  /// Perturbation log: global columns whose pivot was bumped (sorted).
+  std::vector<int> perturbed_columns{};
 };
 
 class NumericDriver {

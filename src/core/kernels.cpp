@@ -8,9 +8,18 @@
 
 namespace plu::kernels {
 
-int factor_block(blas::MatrixView a, std::vector<int>& ipiv, double threshold) {
-  return threshold < 1.0 ? blas::getf2_threshold(a, ipiv, threshold)
-                         : blas::getrf(a, ipiv);
+FactorResult factor_block(blas::MatrixView a, std::vector<int>& ipiv,
+                          double threshold, double perturb_magnitude) {
+  FactorResult r;
+  blas::PivotPerturbation perturb;
+  perturb.magnitude = perturb_magnitude;
+  blas::PivotPerturbation* p = perturb_magnitude > 0.0 ? &perturb : nullptr;
+  r.info = threshold < 1.0
+               ? blas::getf2_threshold(a, ipiv, threshold, nullptr, p)
+               : blas::getrf(a, ipiv, 32, p);
+  r.perturbed = std::move(perturb.columns);
+  blas::all_finite(a, &r.first_nonfinite);
+  return r;
 }
 
 double min_diag_abs(blas::ConstMatrixView a) {

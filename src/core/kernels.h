@@ -18,12 +18,31 @@
 
 namespace plu::kernels {
 
+/// Outcome of one block factorization: the breakdown signals the drivers
+/// fold into the run-wide FactorStatus (core/status.h).
+struct FactorResult {
+  /// LAPACK info: 0, or the 0-based panel column of the first exact-zero
+  /// pivot + 1.  Always 0 when perturbation rescued every tiny pivot.
+  int info = 0;
+  /// Panel column of the first non-finite entry found in the factored
+  /// block (-1 when all entries are finite).  A non-finite entry means an
+  /// upstream update overflowed or the input already carried NaN/Inf.
+  int first_nonfinite = -1;
+  /// Panel columns whose pivot was bumped to the static perturbation
+  /// magnitude (empty when perturbation is off).
+  std::vector<int> perturbed;
+};
+
 /// Partial-pivoting LU on a panel or diagonal block: blocked getrf at
 /// threshold >= 1, threshold pivoting with diagonal preference below it
 /// (blas::getf2_threshold).  Factor(k) passes the packed panel of block
 /// column k; FactorDiag(k) passes the diagonal block, restricting the
-/// pivot search to it.  Returns the LAPACK info (0 on success).
-int factor_block(blas::MatrixView a, std::vector<int>& ipiv, double threshold);
+/// pivot search to it.  When perturb_magnitude > 0, pivots below it are
+/// bumped instead of reported singular (blas::PivotPerturbation).  The
+/// factored block is scanned for non-finite values so overflow is caught at
+/// the earliest task that observes it.
+FactorResult factor_block(blas::MatrixView a, std::vector<int>& ipiv,
+                          double threshold, double perturb_magnitude = 0.0);
 
 /// Smallest nonzero |diagonal| of a factored block -- the accepted-pivot
 /// magnitude feeding Factorization::min_pivot_ratio().  Returns +inf when

@@ -2,8 +2,10 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
+#include <string>
 
 #include "blas/factor.h"
 #include "blas/level2.h"
@@ -54,13 +56,35 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   factored_blocks_ = (opt.stop_after_block >= 0 && opt.stop_after_block < nb)
                          ? opt.stop_after_block
                          : nb;
+  if (opt.perturb_pivots) {
+    perturb_magnitude_ =
+        std::sqrt(std::numeric_limits<double>::epsilon()) * matrix_scale;
+  }
   NumericRun run{analysis, blocks_, ipiv_, graph, checker.get(),
                  factored_blocks_};
+  run.perturb_magnitude = perturb_magnitude_;
   NumericDriver::driver_for(layout_).factorize(run, opt);
   zero_pivots_ = run.zero_pivots;
   lazy_skipped_ = run.lazy_skipped;
   min_pivot_ratio_ =
       std::isfinite(run.min_pivot) ? run.min_pivot / matrix_scale : 0.0;
+  status_ = run.status;
+  failed_column_ = run.failed_column;
+  perturbed_columns_ = std::move(run.perturbed_columns);
+  // Final factor scan: pivot growth, plus overflow the factor tasks could
+  // not see (in the 1-D layout the U blocks above a panel are only written
+  // by Update tasks, which perform no scan of their own).
+  double factor_max = 0.0;
+  for (int j = 0; j < nb; ++j) {
+    blas::ConstMatrixView col = blocks_.column(j);
+    factor_max = std::max(factor_max, blas::max_abs(col));
+    int bad = -1;
+    if (factor_usable(status_) && !blas::all_finite(col, &bad)) {
+      status_ = FactorStatus::kOverflow;
+      failed_column_ = analysis.blocks.part.first(j) + bad;
+    }
+  }
+  growth_factor_ = factor_max / matrix_scale;
   // Cross-check the recorded footprints against the dependence graph the
   // run executed.
   if (checker) {
@@ -69,7 +93,15 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   }
 }
 
+void Factorization::require_usable(const char* what) const {
+  if (factor_usable(status_)) return;
+  throw std::runtime_error(
+      std::string(what) + ": factorization failed (" + to_string(status_) +
+      " at column " + std::to_string(failed_column_) + ")");
+}
+
 blas::DenseMatrix Factorization::schur_complement() const {
+  require_usable("schur_complement");
   if (!partial()) {
     throw std::logic_error(
         "schur_complement: factorization is complete; use "
@@ -107,6 +139,7 @@ long Factorization::pivot_interchanges() const {
 }
 
 std::vector<double> Factorization::solve(const std::vector<double>& b) const {
+  require_usable("solve");
   if (partial()) {
     throw std::logic_error("solve: factorization is partial (Schur mode)");
   }
@@ -186,6 +219,7 @@ std::vector<double> Factorization::solve(const std::vector<double>& b) const {
 }
 
 void Factorization::solve_matrix(blas::ConstMatrixView b, blas::MatrixView x) const {
+  require_usable("solve_matrix");
   if (partial()) {
     throw std::logic_error("solve: factorization is partial (Schur mode)");
   }
@@ -264,6 +298,7 @@ void Factorization::solve_matrix(blas::ConstMatrixView b, blas::MatrixView x) co
 }
 
 std::vector<double> Factorization::solve_transpose(const std::vector<double>& b) const {
+  require_usable("solve_transpose");
   if (partial()) {
     throw std::logic_error("solve: factorization is partial (Schur mode)");
   }
@@ -365,6 +400,29 @@ double relative_residual(const CscMatrix& a, const std::vector<double>& x,
   for (double v : x) xn = std::max(xn, std::abs(v));
   double denom = a.norm_inf() * xn + bn;
   return denom > 0.0 ? rn / denom : rn;
+}
+
+double componentwise_backward_error(const CscMatrix& a,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& b) {
+  const int n = a.rows();
+  std::vector<double> r;
+  a.matvec(x, r);  // r = A x
+  std::vector<double> absax(n, 0.0);  // |A| |x|, accumulated columnwise
+  for (int j = 0; j < a.cols(); ++j) {
+    const double axj = std::abs(x[j]);
+    for (int k = a.col_begin(j); k < a.col_end(j); ++k) {
+      absax[a.row_index(k)] += std::abs(a.value(k)) * axj;
+    }
+  }
+  double berr = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double denom = absax[i] + std::abs(b[i]);
+    if (denom > 0.0) {
+      berr = std::max(berr, std::abs(b[i] - r[i]) / denom);
+    }
+  }
+  return berr;
 }
 
 }  // namespace plu

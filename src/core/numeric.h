@@ -42,6 +42,7 @@
 #include "core/analysis.h"
 #include "core/block_storage.h"
 #include "core/layout.h"
+#include "core/status.h"
 #include "runtime/dag_executor.h"
 #include "runtime/race_checker.h"
 
@@ -97,6 +98,14 @@ struct NumericOptions {
   std::uint64_t fuzz_seed = 1;
   /// Maximum injected pre-task delay (microseconds) when fuzzing.
   int fuzz_max_delay_us = 50;
+  /// Static pivot perturbation (the SuperLU_DIST recovery for the static
+  /// symbolic factorization): a pivot with |p| < sqrt(eps) * max|A| is
+  /// bumped to that magnitude (sign preserved) instead of stopping the run
+  /// with FactorStatus::kSingular.  The factorization then completes with
+  /// status kPerturbed and Factorization::perturbed_columns() lists the
+  /// bumped columns; pair with refined_solve (core/refine.h) to recover the
+  /// accuracy the perturbation gave up.
+  bool perturb_pivots = false;
 };
 
 class Factorization {
@@ -120,7 +129,31 @@ class Factorization {
   /// layout, Analysis::block_graph for the 2-D layout.
   const taskgraph::TaskGraph& task_graph() const;
 
-  bool singular() const { return zero_pivots_ > 0; }
+  /// Breakdown status of the run (core/status.h).  On kSingular /
+  /// kOverflow the remaining tasks were cancelled cooperatively and the
+  /// solve paths throw std::runtime_error; check this (or SparseLU's
+  /// factor_status()) before trusting the factors.
+  FactorStatus status() const { return status_; }
+  /// Global column of the breakdown (-1 when status() is kOk/kPerturbed):
+  /// the smallest column among the breakdowns the run observed.
+  int failed_column() const { return failed_column_; }
+  /// Columns whose pivot was bumped to the static perturbation magnitude
+  /// (empty unless NumericOptions::perturb_pivots; sorted).
+  const std::vector<int>& perturbed_columns() const {
+    return perturbed_columns_;
+  }
+  /// The perturbation magnitude used (sqrt(eps) * max|A|, or 0 when
+  /// perturbation was off).
+  double perturbation_magnitude() const { return perturb_magnitude_; }
+  /// Pivot growth max|L,U entry| / max|A entry| over the loaded
+  /// (scaled+permuted) matrix -- the classic stability indicator; large
+  /// growth means the backward error bound is weak and refinement is
+  /// advisable.
+  double growth_factor() const { return growth_factor_; }
+
+  bool singular() const {
+    return status_ == FactorStatus::kSingular || zero_pivots_ > 0;
+  }
   int zero_pivots() const { return zero_pivots_; }
 
   /// Smallest |pivot| accepted, relative to the matrix max-abs; a crude
@@ -171,6 +204,9 @@ class Factorization {
  private:
   friend class NumericDriver;
 
+  /// Throws std::runtime_error unless factor_usable(status_).
+  void require_usable(const char* what) const;
+
   const Analysis* analysis_;
   BlockMatrix blocks_;
   Layout layout_ = Layout::k1D;
@@ -181,10 +217,25 @@ class Factorization {
   int factored_blocks_ = 0;
   std::vector<rt::FootprintRace> races_;
   bool race_checked_ = false;
+  FactorStatus status_ = FactorStatus::kOk;
+  int failed_column_ = -1;
+  std::vector<int> perturbed_columns_;
+  double perturb_magnitude_ = 0.0;
+  double growth_factor_ = 0.0;
 };
 
 /// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).
 double relative_residual(const CscMatrix& a, const std::vector<double>& x,
                          const std::vector<double>& b);
+
+/// Componentwise (Oettli-Prager) backward error
+///   max_i |b - Ax|_i / (|A| |x| + |b|)_i,
+/// skipping rows whose denominator is exactly zero.  The sharpest standard
+/// measure of solve quality: ~eps means x is the exact solution of a
+/// componentwise-tiny perturbation of (A, b) -- the target iterative
+/// refinement drives a perturbed factorization back to.
+double componentwise_backward_error(const CscMatrix& a,
+                                    const std::vector<double>& x,
+                                    const std::vector<double>& b);
 
 }  // namespace plu

@@ -23,6 +23,7 @@ RefineResult refined_solve(const Factorization& f, const CscMatrix& a,
     res.residual_history.push_back(relative_residual(a, res.x, b));
   }
   if (res.residual_history.back() <= opt.target_residual) res.converged = true;
+  res.backward_error = componentwise_backward_error(a, res.x, b);
   return res;
 }
 

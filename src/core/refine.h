@@ -14,6 +14,10 @@ struct RefineResult {
                                          // starting with the unrefined solve
   int iterations = 0;
   bool converged = false;
+  /// Componentwise (Oettli-Prager) backward error of the final x -- the
+  /// measure that shows refinement recovering the accuracy a perturbed
+  /// factorization (NumericOptions::perturb_pivots) gave up.
+  double backward_error = 0.0;
 };
 
 struct RefineOptions {

@@ -1,5 +1,6 @@
 #include "core/report.h"
 
+#include <algorithm>
 #include <ostream>
 #include <sstream>
 
@@ -26,7 +27,12 @@ AnalysisReport report(const Analysis& an) {
 FactorizationReport report(const Factorization& f) {
   FactorizationReport r;
   r.driver = f.driver_name();
+  r.status = f.status();
+  r.failed_column = f.failed_column();
   r.min_pivot_ratio = f.min_pivot_ratio();
+  r.growth_factor = f.growth_factor();
+  r.perturbation_magnitude = f.perturbation_magnitude();
+  r.perturbed_columns = f.perturbed_columns();
   r.singular = f.singular();
   r.zero_pivots = f.zero_pivots();
   r.pivot_interchanges = f.pivot_interchanges();
@@ -57,12 +63,26 @@ std::string to_string(const AnalysisReport& r) {
 
 std::string to_string(const FactorizationReport& r) {
   std::ostringstream os;
-  os << "numeric:     " << r.driver << " driver, "
-     << (r.singular ? "SINGULAR, " : "") << r.pivot_interchanges
-     << " interchange(s), " << r.zero_pivots << " zero pivot(s), "
-     << r.lazy_skipped_updates << " lazy-skipped update(s), min pivot ratio "
-     << r.min_pivot_ratio << ", " << 8.0 * r.stored_doubles / 1e6
-     << " MB factor storage";
+  os << "numeric:     " << r.driver << " driver, status "
+     << to_string(r.status);
+  if (!factor_usable(r.status)) {
+    os << " (failed at column " << r.failed_column << ")";
+  }
+  os << ", " << r.pivot_interchanges << " interchange(s), " << r.zero_pivots
+     << " zero pivot(s), " << r.lazy_skipped_updates
+     << " lazy-skipped update(s), min pivot ratio " << r.min_pivot_ratio
+     << ", growth factor " << r.growth_factor << ", "
+     << 8.0 * r.stored_doubles / 1e6 << " MB factor storage";
+  if (!r.perturbed_columns.empty()) {
+    os << "\nperturbed:   " << r.perturbed_columns.size()
+       << " pivot(s) bumped to " << r.perturbation_magnitude << " at column(s)";
+    const std::size_t shown = std::min<std::size_t>(8, r.perturbed_columns.size());
+    for (std::size_t i = 0; i < shown; ++i) os << ' ' << r.perturbed_columns[i];
+    if (shown < r.perturbed_columns.size()) {
+      os << " ... (+" << r.perturbed_columns.size() - shown << " more)";
+    }
+    os << "; pair with refined_solve to recover accuracy";
+  }
   return os.str();
 }
 

@@ -40,11 +40,17 @@ AnalysisReport report(const Analysis& an);
 
 struct FactorizationReport {
   std::string driver;  // NumericDriver::name() of the driver that ran
+  FactorStatus status = FactorStatus::kOk;
+  int failed_column = -1;  // breakdown column when status is singular/overflow
   bool singular = false;
   int zero_pivots = 0;
   long pivot_interchanges = 0;
   long lazy_skipped_updates = 0;
   double min_pivot_ratio = 0.0;
+  double growth_factor = 0.0;
+  /// Static pivot perturbation log (NumericOptions::perturb_pivots).
+  double perturbation_magnitude = 0.0;
+  std::vector<int> perturbed_columns;
   std::size_t stored_doubles = 0;
 };
 

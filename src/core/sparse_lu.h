@@ -43,6 +43,13 @@ class SparseLU {
   bool analyzed() const { return analysis_ != nullptr; }
   bool factorized() const { return factorization_ != nullptr; }
 
+  /// Breakdown status of the last factorize() (core/status.h); kOk when no
+  /// factorization ran yet.  Check factor_usable(factor_status()) before
+  /// solving -- the solve paths throw std::runtime_error otherwise.
+  FactorStatus factor_status() const {
+    return factorization_ ? factorization_->status() : FactorStatus::kOk;
+  }
+
   const Analysis& analysis() const;
   const Factorization& factorization() const;
 

@@ -1,0 +1,33 @@
+// Numeric-breakdown status of a factorization run.
+//
+// The symbolic factorization is STATIC: the task graph is fixed before any
+// numeric value is seen, so a numeric breakdown cannot be repaired by
+// re-analysis.  Instead the numeric tier detects it, cancels the remaining
+// tasks cooperatively (runtime/dag_executor.h, CancelToken) and surfaces a
+// status the caller must check before trusting solves.  The SuperLU_DIST
+// recovery path -- perturb tiny pivots, log them, repair accuracy with
+// iterative refinement -- is available behind NumericOptions::perturb_pivots.
+#pragma once
+
+namespace plu {
+
+enum class FactorStatus {
+  kOk,         // factorization completed with usable pivots
+  kPerturbed,  // completed, but some pivots were bumped to the static
+               // perturbation magnitude; pair with refined_solve to recover
+               // accuracy (Factorization::perturbed_columns() lists them)
+  kSingular,   // exact zero pivot with perturbation off; the run was
+               // cancelled at Factorization::failed_column()
+  kOverflow,   // a non-finite value (Inf/NaN) appeared in the factors; the
+               // run was cancelled at Factorization::failed_column()
+};
+
+/// "ok" / "perturbed" / "singular" / "overflow".
+const char* to_string(FactorStatus s);
+
+/// True when the factors are safe to solve with (kOk or kPerturbed).
+inline bool factor_usable(FactorStatus s) {
+  return s == FactorStatus::kOk || s == FactorStatus::kPerturbed;
+}
+
+}  // namespace plu

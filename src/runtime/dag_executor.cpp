@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <random>
@@ -35,7 +36,8 @@ class WorkStealEngine {
   WorkStealEngine(const std::vector<std::vector<int>>& succ,
                   const std::vector<int>& indegree, int num_threads,
                   const std::function<void(int)>& run,
-                  const std::vector<double>* priorities, int max_spin)
+                  const std::vector<double>* priorities, int max_spin,
+                  CancelToken* cancel)
       : succ_(succ),
         run_(run),
         prio_(priorities && static_cast<int>(priorities->size()) ==
@@ -43,6 +45,7 @@ class WorkStealEngine {
                   ? priorities
                   : nullptr),
         max_spin_(std::max(1, max_spin)),
+        cancel_(cancel ? cancel : &own_cancel_),
         n_(static_cast<int>(succ.size())),
         indeg_(n_) {
     for (int v = 0; v < n_; ++v) {
@@ -85,7 +88,12 @@ class WorkStealEngine {
     worker_loop(0);
     for (std::thread& th : threads) th.join();
 
+    // Worker-exception safety: rethrow the captured exception on the
+    // calling thread, AFTER every worker has been joined (no thread touches
+    // the engine or the run closure past this point).
+    if (error_) std::rethrow_exception(error_);
     rep.tasks_run = done_.load(std::memory_order_relaxed);
+    rep.cancelled = cancel_->cancelled();
     rep.completed = rep.tasks_run == n_;
     return rep;
   }
@@ -123,15 +131,27 @@ class WorkStealEngine {
   }
 
   void run_task(Worker& me, int id) {
-    run_(id);
-    done_.fetch_add(1, std::memory_order_relaxed);
+    // Cooperative cancellation: once the token trips, queued tasks DRAIN
+    // here -- no run, no dependence release -- so outstanding_ still
+    // reaches zero and the engine terminates cleanly.
+    if (!cancel_->cancelled()) {
+      try {
+        run_(id);
+        done_.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        capture_error(id, std::current_exception());
+        cancel_->cancel();
+      }
+    }
     // Lock-free release: the release half of the acq_rel fetch_sub publishes
     // every write this task made; the worker that drops a successor's
     // counter to zero acquires them all (dag_executor.h, DESIGN.md).
     me.ready.clear();
-    for (int s : succ_[id]) {
-      if (indeg_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        me.ready.push_back(s);
+    if (!cancel_->cancelled()) {
+      for (int s : succ_[id]) {
+        if (indeg_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          me.ready.push_back(s);
+        }
       }
     }
     if (!me.ready.empty()) {
@@ -230,13 +250,30 @@ class WorkStealEngine {
     sleepers_.fetch_sub(1, std::memory_order_relaxed);
   }
 
+  /// Keeps the exception of the LOWEST task id among those that threw, so
+  /// the reported error is deterministic whenever a single task fails
+  /// (cancellation usually prevents more than one from running anyway).
+  void capture_error(int id, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!error_ || id < error_task_) {
+      error_task_ = id;
+      error_ = std::move(e);
+    }
+  }
+
   const std::vector<std::vector<int>>& succ_;
   const std::function<void(int)>& run_;
   const std::vector<double>* prio_;
   const int max_spin_;
+  CancelToken own_cancel_;  // used when the caller passed no token
+  CancelToken* const cancel_;
   const int n_;
   std::vector<std::atomic<int>> indeg_;
   std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::mutex error_mu_;
+  int error_task_ = 0;
+  std::exception_ptr error_;
 
   std::atomic<long> outstanding_{0};  // tasks queued or in flight
   std::atomic<long> done_{0};
@@ -253,7 +290,8 @@ class WorkStealEngine {
 ExecutionReport execute_dag_central(const std::vector<std::vector<int>>& succ,
                                     const std::vector<int>& indegree,
                                     int num_threads,
-                                    const std::function<void(int)>& run) {
+                                    const std::function<void(int)>& run,
+                                    CancelToken* cancel) {
   ExecutionReport rep;
   const int n = static_cast<int>(succ.size());
   if (n == 0) {
@@ -261,15 +299,38 @@ ExecutionReport execute_dag_central(const std::vector<std::vector<int>>& succ,
     return rep;
   }
 
+  CancelToken own_cancel;
+  CancelToken* const token = cancel ? cancel : &own_cancel;
   std::vector<std::atomic<int>> indeg(n);
   for (int v = 0; v < n; ++v) indeg[v].store(indegree[v], std::memory_order_relaxed);
   std::atomic<long> done{0};
+  std::mutex error_mu;
+  int error_task = 0;
+  std::exception_ptr error;
 
   ThreadPool pool(num_threads);
   // self-submitting closure: running a task enqueues its newly-ready succs.
+  // Once the token trips, queued closures drain without running or
+  // releasing, so wait_idle() still returns.  An exception is captured (the
+  // ThreadPool's workers would std::terminate otherwise), cancels the run,
+  // and is rethrown on the submitting thread below.
   std::function<void(int)> run_task = [&](int id) {
-    run(id);
-    done.fetch_add(1, std::memory_order_relaxed);
+    if (!token->cancelled()) {
+      try {
+        run(id);
+        done.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error || id < error_task) {
+            error_task = id;
+            error = std::current_exception();
+          }
+        }
+        token->cancel();
+      }
+    }
+    if (token->cancelled()) return;
     for (int s : succ[id]) {
       if (indeg[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
         pool.submit([&run_task, s] { run_task(s); });
@@ -282,7 +343,9 @@ ExecutionReport execute_dag_central(const std::vector<std::vector<int>>& succ,
     }
   }
   pool.wait_idle();
+  if (error) std::rethrow_exception(error);
   rep.tasks_run = done.load();
+  rep.cancelled = token->cancelled();
   rep.completed = rep.tasks_run == n;
   return rep;
 }
@@ -298,10 +361,10 @@ ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
                             const std::function<void(int)>& run,
                             const ExecOptions& opt) {
   if (opt.kind == ExecutorKind::kCentralQueue) {
-    return execute_dag_central(succ, indegree, num_threads, run);
+    return execute_dag_central(succ, indegree, num_threads, run, opt.cancel);
   }
   WorkStealEngine engine(succ, indegree, num_threads, run, opt.priorities,
-                         opt.max_spin);
+                         opt.max_spin, opt.cancel);
   return engine.execute();
 }
 
@@ -322,6 +385,8 @@ ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
   // random delay before running, widening the window in which unordered
   // tasks actually overlap.  Termination: all tasks done, or the ready list
   // drained with nothing in flight (cyclic remainder).
+  CancelToken own_cancel;
+  CancelToken* const token = fuzz.cancel ? fuzz.cancel : &own_cancel;
   std::mutex mu;
   std::condition_variable cv;
   std::vector<int> indeg = indegree;
@@ -332,6 +397,8 @@ ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
   long done = 0;
   int active = 0;
   bool stop = ready.empty();  // all-cyclic graph: nothing ever runs
+  int error_task = 0;
+  std::exception_ptr error;
 
   auto worker = [&](int tid) {
     std::mt19937_64 rng(fuzz.seed * 0x9E3779B97F4A7C15ull +
@@ -347,18 +414,42 @@ ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
       std::swap(ready[pick], ready.back());
       const int id = ready.back();
       ready.pop_back();
+      // Cancelled: drain the ready list without running or releasing.
+      if (token->cancelled()) {
+        if (ready.empty() && active == 0) {
+          stop = true;
+          cv.notify_all();
+        }
+        continue;
+      }
       ++active;
       lock.unlock();
       if (fuzz.max_delay_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(
             rng() % static_cast<std::uint64_t>(fuzz.max_delay_us + 1)));
       }
-      run(id);
+      bool ran = false;
+      try {
+        run(id);
+        ran = true;
+      } catch (...) {
+        lock.lock();
+        if (!error || id < error_task) {
+          error_task = id;
+          error = std::current_exception();
+        }
+        lock.unlock();
+        token->cancel();
+      }
       lock.lock();
-      ++done;
       --active;
-      for (int s : succ[id]) {
-        if (--indeg[s] == 0) ready.push_back(s);
+      if (ran && !token->cancelled()) {
+        ++done;
+        for (int s : succ[id]) {
+          if (--indeg[s] == 0) ready.push_back(s);
+        }
+      } else if (ran) {
+        ++done;  // ran before cancellation tripped; no release
       }
       if (done == n || (ready.empty() && active == 0)) {
         stop = true;
@@ -373,7 +464,9 @@ ExecutionReport execute_dag_fuzzed(const std::vector<std::vector<int>>& succ,
   threads.reserve(num_threads);
   for (int t = 0; t < num_threads; ++t) threads.emplace_back(worker, t);
   for (std::thread& th : threads) th.join();
+  if (error) std::rethrow_exception(error);
   rep.tasks_run = done;
+  rep.cancelled = token->cancelled();
   rep.completed = done == n;
   return rep;
 }

@@ -28,6 +28,7 @@
 //     (runtime/thread_pool.h), preserved as the ablation baseline.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -36,9 +37,29 @@
 
 namespace plu::rt {
 
+/// Cooperative cancellation of a DAG execution.  Any task body (or an
+/// outside observer) may call cancel(); from then on the executors stop
+/// releasing dependences, so every already-queued task drains WITHOUT
+/// running and no new task becomes ready.  Tasks already in flight finish
+/// normally -- nothing is interrupted mid-kernel, so the shared state a
+/// task was mutating is never torn.  The numeric drivers use this to stop
+/// the factorization at the first pivot breakdown (core/status.h).
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_release); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
 struct ExecutionReport {
   long tasks_run = 0;
-  bool completed = false;  // false if the graph was cyclic / run threw
+  bool completed = false;  // false if the graph was cyclic or cancelled
+  bool cancelled = false;  // the run was stopped by a CancelToken (or by a
+                           // worker exception, which cancels before rethrow)
 };
 
 enum class ExecutorKind {
@@ -58,6 +79,11 @@ struct ExecOptions {
   /// Bound on the exponential backoff an idle worker spins through before
   /// parking on the condvar (iterations of the final spin round).
   int max_spin = 256;
+  /// Optional cooperative cancellation: when the token is cancelled the
+  /// executor stops releasing dependences and drains queued tasks without
+  /// running them (ExecutionReport::cancelled).  A worker exception cancels
+  /// the same token, so the caller can observe WHY a run stopped early.
+  CancelToken* cancel = nullptr;
 };
 
 /// Schedule perturbation for the fuzzed executors: instead of the pop order
@@ -71,12 +97,22 @@ struct FuzzOptions {
   /// Maximum injected pre-task delay in microseconds (uniform in
   /// [0, max_delay_us]; 0 disables delays and only shuffles pop order).
   int max_delay_us = 50;
+  /// Same cooperative cancellation contract as ExecOptions::cancel.
+  CancelToken* cancel = nullptr;
 };
 
 /// Executes the graph on `num_threads` threads, invoking run(task_id) for
-/// each task after all its predecessors finished.  run must not throw.
-/// Uses the work-stealing executor with critical-path priorities from the
-/// graph's flop annotations unless `opt` says otherwise.
+/// each task after all its predecessors finished.  Uses the work-stealing
+/// executor with critical-path priorities from the graph's flop annotations
+/// unless `opt` says otherwise.
+///
+/// Worker-exception safety: if run(id) throws, the exception is captured
+/// via std::exception_ptr, the execution is cancelled (queued tasks drain
+/// without running, dependences stop being released), the worker threads
+/// are joined, and the exception is RETHROWN on the calling thread -- never
+/// std::terminate.  When several in-flight tasks throw, the exception of
+/// the lowest task id among those that actually ran wins, so a single
+/// failing task reports deterministically across schedules.
 ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_threads,
                                    const std::function<void(int)>& run,
                                    const ExecOptions& opt = {});

@@ -1,0 +1,51 @@
+// JSON-lines emitter used by the bench binaries (bench/bench_json.h): CI
+// parses the artifact files, so hostile strings and non-finite doubles must
+// still produce valid JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "../bench/bench_json.h"
+
+namespace plu::bench {
+namespace {
+
+TEST(JsonRecord, PlainFields) {
+  JsonRecord r;
+  r.field("name", "grid2d").field("p", 4).field("seconds", 1.5);
+  EXPECT_EQ(r.str(), "{\"name\": \"grid2d\", \"p\": 4, \"seconds\": 1.5}");
+}
+
+TEST(JsonRecord, EscapesQuotesAndBackslashes) {
+  JsonRecord r;
+  r.field("title", "matrix \"west0479\" from C:\\data");
+  EXPECT_EQ(r.str(),
+            "{\"title\": \"matrix \\\"west0479\\\" from C:\\\\data\"}");
+}
+
+TEST(JsonRecord, EscapesControlCharacters) {
+  JsonRecord r;
+  r.field("s", std::string("a\nb\tc\rd\x01" "e"));
+  EXPECT_EQ(r.str(), "{\"s\": \"a\\nb\\tc\\rd\\u0001e\"}");
+}
+
+TEST(JsonRecord, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Infinity literal; "%.6g" would print one and corrupt
+  // the record (the regression this emitter fixes).
+  JsonRecord r;
+  r.field("nan", std::nan(""))
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("ninf", -std::numeric_limits<double>::infinity())
+      .field("ok", 2.0);
+  EXPECT_EQ(r.str(),
+            "{\"nan\": null, \"inf\": null, \"ninf\": null, \"ok\": 2}");
+}
+
+TEST(JsonRecord, EmptyRecordIsAnEmptyObject) {
+  EXPECT_EQ(JsonRecord().str(), "{}");
+}
+
+}  // namespace
+}  // namespace plu::bench

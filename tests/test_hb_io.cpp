@@ -113,6 +113,55 @@ TEST(HarwellBoeing, ReadMatrixIsSolvable) {
   EXPECT_LT(relative_residual(a, x, b), 1e-14);
 }
 
+TEST(HarwellBoeing, ParsesRunTogetherFixedWidthFields) {
+  // Regression: Fortran fixed-width output needs NO delimiter between
+  // fields -- with (4D14.7) and all-negative values every 14-character
+  // field starts with '-' and the columns run together.  A
+  // whitespace-tokenizing reader mis-splits this; the reader must cut on
+  // field width.  Same structure as rua_fixture() with negated values.
+  std::ostringstream os;
+  os << "Run-together fields                                                     "
+        "TEST0002\n";
+  os << "             5             1             1             2             0\n";
+  os << "RUA                        4             4             7             0\n";
+  os << "(8I4)           (8I4)           (4D14.7)            \n";
+  os << "   1   3   5   7   8\n";
+  os << "   1   2   2   4   1   3   4\n";
+  os << "-1.0000000D+00-2.0000000D+00-3.0000000D+00-4.0000000D+00\n";
+  os << "-5.0000000D+00-6.0000000D+00-7.0000000D+00\n";
+  std::istringstream in(os.str());
+  CscMatrix a = read_harwell_boeing(in);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), -3.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 1), -4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), -5.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 2), -6.0);
+  EXPECT_DOUBLE_EQ(a.at(3, 3), -7.0);
+}
+
+TEST(HarwellBoeing, ParsesLowercaseFortranExponents) {
+  // Regression: some writers emit lowercase 'd' (or 'e') exponents; strtod
+  // rejects 'd', so the reader must normalize case before converting.
+  std::ostringstream os;
+  os << "Lowercase exponents                                                     "
+        "TEST0003\n";
+  os << "             5             1             1             2             0\n";
+  os << "RUA                        4             4             7             0\n";
+  os << "(8I4)           (8I4)           (4D14.6)            \n";
+  os << "   1   3   5   7   8\n";
+  os << "   1   2   2   4   1   3   4\n";
+  os << "  1.250000d+00  2.000000d-01  3.000000d+00  4.000000d+00\n";
+  os << "  5.000000d+00  6.000000d+00  7.500000d-02\n";
+  std::istringstream in(os.str());
+  CscMatrix a = read_harwell_boeing(in);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.25);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(a.at(3, 3), 0.075);
+}
+
 TEST(HarwellBoeing, RejectsBadInput) {
   {
     std::istringstream in("too\nshort\n");

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -394,6 +395,165 @@ TEST(FuzzedExecutor, EmptyGraphCompletes) {
   ExecutionReport rep = execute_dag_fuzzed({}, {}, 4, fuzz, [](int) {});
   EXPECT_TRUE(rep.completed);
   EXPECT_EQ(rep.tasks_run, 0);
+}
+
+TEST(DagExecutor, ThrowingTaskCancelsDownstreamAndRethrowsBothExecutors) {
+  // Chain 0 -> 1 -> 2 -> ... plus a wide fan off the root.  Task 1 throws:
+  // the executor must rethrow the exception on the calling thread (never
+  // std::terminate), and every task downstream of the thrower must drain
+  // WITHOUT running.  The fan tasks may or may not run (they were already
+  // released); the chain after the thrower must not.
+  const int kWide = 64, kChain = 16;
+  const int n = 1 + kWide + kChain;
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 1);
+  indegree[0] = 0;
+  for (int w = 0; w < kWide; ++w) succ[0].push_back(1 + kChain + w);
+  succ[0].push_back(1);  // chain: 1 -> 2 -> ... -> kChain
+  for (int c = 1; c < kChain; ++c) succ[c] = {c + 1};
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    CancelToken token;
+    eopt.cancel = &token;
+    std::vector<std::atomic<int>> runs(n);
+    for (auto& r : runs) r.store(0);
+    bool threw = false;
+    try {
+      execute_dag(succ, indegree, 4, [&](int id) {
+        runs[id].fetch_add(1);
+        if (id == 1) throw std::runtime_error("pivot breakdown in task 1");
+      }, eopt);
+    } catch (const std::runtime_error& e) {
+      threw = true;
+      EXPECT_STREQ(e.what(), "pivot breakdown in task 1") << to_string(kind);
+    }
+    EXPECT_TRUE(threw) << to_string(kind);
+    EXPECT_TRUE(token.cancelled()) << to_string(kind);
+    for (int c = 2; c <= kChain; ++c) {
+      EXPECT_EQ(runs[c].load(), 0)
+          << to_string(kind) << " chain task " << c << " ran after the throw";
+    }
+    for (int id = 0; id < n; ++id) {
+      EXPECT_LE(runs[id].load(), 1) << to_string(kind) << " task " << id;
+    }
+  }
+}
+
+TEST(DagExecutor, PreCancelledTokenDrainsWithoutRunningBothExecutors) {
+  CscMatrix a = test::small_matrices()[0];
+  taskgraph::TaskGraph g = small_graph(a, taskgraph::GraphKind::kEforest);
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    CancelToken token;
+    token.cancel();
+    eopt.cancel = &token;
+    std::atomic<int> ran{0};
+    ExecutionReport rep =
+        execute_task_graph(g, 4, [&](int) { ran.fetch_add(1); }, eopt);
+    EXPECT_EQ(ran.load(), 0) << to_string(kind);
+    EXPECT_FALSE(rep.completed) << to_string(kind);
+    EXPECT_TRUE(rep.cancelled) << to_string(kind);
+  }
+}
+
+TEST(DagExecutor, CancelFromInsideATaskStopsDependenceRelease) {
+  // 0 -> 1 -> 2: task 0 cancels the token mid-run.  Its successors must
+  // never become ready, and the run must still terminate (outstanding_
+  // drains through the skipped tasks).
+  std::vector<std::vector<int>> succ = {{1}, {2}, {}};
+  std::vector<int> indegree = {0, 1, 1};
+  for (ExecutorKind kind : kBothKinds) {
+    ExecOptions eopt;
+    eopt.kind = kind;
+    CancelToken token;
+    eopt.cancel = &token;
+    std::vector<std::atomic<int>> runs(3);
+    for (auto& r : runs) r.store(0);
+    ExecutionReport rep = execute_dag(succ, indegree, 2, [&](int id) {
+      runs[id].fetch_add(1);
+      if (id == 0) token.cancel();
+    }, eopt);
+    EXPECT_EQ(runs[0].load(), 1) << to_string(kind);
+    EXPECT_EQ(runs[1].load(), 0) << to_string(kind);
+    EXPECT_EQ(runs[2].load(), 0) << to_string(kind);
+    EXPECT_FALSE(rep.completed) << to_string(kind);
+    EXPECT_TRUE(rep.cancelled) << to_string(kind);
+  }
+}
+
+TEST(FuzzedExecutor, ThrowingTaskCancelsAndRethrows) {
+  std::vector<std::vector<int>> succ = {{1}, {2}, {}};
+  std::vector<int> indegree = {0, 1, 1};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    FuzzOptions fuzz;
+    fuzz.seed = seed;
+    fuzz.max_delay_us = 5;
+    CancelToken token;
+    fuzz.cancel = &token;
+    std::vector<std::atomic<int>> runs(3);
+    for (auto& r : runs) r.store(0);
+    bool threw = false;
+    try {
+      execute_dag_fuzzed(succ, indegree, 4, fuzz, [&](int id) {
+        runs[id].fetch_add(1);
+        if (id == 1) throw std::runtime_error("boom");
+      });
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "seed " << seed;
+    EXPECT_TRUE(token.cancelled()) << "seed " << seed;
+    EXPECT_EQ(runs[2].load(), 0) << "seed " << seed;
+  }
+}
+
+TEST(DagExecutor, WorkStealingCancellationTwentySeedGate) {
+  // TSan gate for cancellation under work stealing: twenty rounds of a
+  // steal-heavy graph (wide fan + serial chain) with the throwing task
+  // moved around the fan, so cancellation races dependence release, steals
+  // and the park/wake protocol from many interleavings.  Run under
+  // -DPLU_SANITIZE=thread via `ctest -L sanitize` (this binary carries the
+  // label); the assertions here are the functional half of the gate.
+  const int kWide = 128, kChain = 32;
+  const int n = 1 + kWide + kChain;
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 1);
+  indegree[0] = 0;
+  for (int w = 0; w < kWide; ++w) succ[0].push_back(1 + w);
+  succ[0].push_back(1 + kWide);  // chain head
+  for (int c = 0; c + 1 < kChain; ++c) succ[1 + kWide + c] = {1 + kWide + c + 1};
+  for (int seed = 1; seed <= 20; ++seed) {
+    const int thrower = 1 + (seed * 37) % kWide;  // a fan task
+    ExecOptions eopt;
+    eopt.kind = ExecutorKind::kWorkStealing;
+    CancelToken token;
+    eopt.cancel = &token;
+    std::vector<std::atomic<int>> runs(n);
+    for (auto& r : runs) r.store(0);
+    bool threw = false;
+    try {
+      execute_dag(succ, indegree, 4, [&](int id) {
+        runs[id].fetch_add(1);
+        if (id == thrower) throw std::runtime_error("boom");
+      }, eopt);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw) << "seed " << seed;
+    EXPECT_TRUE(token.cancelled()) << "seed " << seed;
+    for (int id = 0; id < n; ++id) {
+      EXPECT_LE(runs[id].load(), 1) << "seed " << seed << " task " << id;
+    }
+    // The chain may have been partially run before the throw was observed,
+    // but a prefix property must hold: a chain task can only have run if
+    // its predecessor did.
+    for (int c = 1; c < kChain; ++c) {
+      EXPECT_LE(runs[1 + kWide + c].load(), runs[1 + kWide + c - 1].load())
+          << "seed " << seed << " chain position " << c;
+    }
+  }
 }
 
 TEST(ExecuteSequential, UsesTopologicalOrder) {

@@ -19,6 +19,9 @@
 //     --pivot-threshold T   threshold pivoting with diagonal preference
 //     --threads N           threaded numeric factorization
 //     --lazy                LazyS+ zero-block elision
+//     --perturb             static pivot perturbation (SuperLU_DIST-style):
+//                           tiny pivots are bumped instead of failing; pair
+//                           with --refine to recover accuracy
 //     --refine              iterative refinement on the solution
 //     --simulate P          also print the simulated makespan on P processors
 //     --stats               print extended analysis statistics
@@ -46,7 +49,8 @@ namespace {
                "usage: %s MATRIX [--rhs FILE] [--ordering natural|mindeg|rcm|nd]\n"
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
-               "       [--threads N] [--lazy] [--refine] [--simulate P] [--stats]\n",
+               "       [--threads N] [--lazy] [--perturb] [--refine]\n"
+               "       [--simulate P] [--stats]\n",
                argv0);
   std::exit(2);
 }
@@ -159,6 +163,8 @@ int main(int argc, char** argv) {
       nopt.mode = plu::ExecutionMode::kThreaded;
     } else if (arg == "--lazy") {
       nopt.lazy_updates = true;
+    } else if (arg == "--perturb") {
+      nopt.perturb_pivots = true;
     } else if (arg == "--refine") {
       refine = true;
     } else if (arg == "--simulate") {
@@ -192,9 +198,17 @@ int main(int argc, char** argv) {
                 an.fill_ratio(), an.blocks.num_blocks(), an.graph.size(),
                 an.diag_block_sizes.size(), an.scaled() ? ", MC64-scaled" : "");
     const plu::Factorization& f = lu.factorization();
-    if (f.singular()) {
-      std::printf("WARNING: %d zero pivot(s); results may be invalid\n",
-                  f.zero_pivots());
+    if (!plu::factor_usable(f.status())) {
+      // One line, machine-greppable: what failed and where.  No solution is
+      // printed -- the factors are not usable (core/status.h).
+      std::fprintf(stderr, "error: factorization failed: %s at column %d\n",
+                   plu::to_string(f.status()), f.failed_column());
+      if (f.status() == plu::FactorStatus::kSingular) {
+        std::fprintf(stderr,
+                     "hint: retry with --perturb --refine to factor a nearby "
+                     "nonsingular matrix and recover accuracy\n");
+      }
+      return 3;
     }
     std::printf("numeric: %s driver, %ld row interchanges", f.driver_name(),
                 f.pivot_interchanges());
@@ -205,12 +219,20 @@ int main(int argc, char** argv) {
       std::printf(", min pivot ratio %.1e", f.min_pivot_ratio());
     }
     std::printf("\n");
+    if (f.status() == plu::FactorStatus::kPerturbed) {
+      std::printf("perturbed: %zu pivot(s) bumped to %.3e (growth %.3e); "
+                  "%s\n",
+                  f.perturbed_columns().size(), f.perturbation_magnitude(),
+                  f.growth_factor(),
+                  refine ? "refining" : "consider --refine");
+    }
 
     std::vector<double> x;
     if (refine) {
       plu::RefineResult r = lu.solve_refined(b);
       x = std::move(r.x);
-      std::printf("refinement: %d iteration(s)\n", r.iterations);
+      std::printf("refinement: %d iteration(s), backward error %.3e\n",
+                  r.iterations, r.backward_error);
     } else {
       x = lu.solve(b);
     }

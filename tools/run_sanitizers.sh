@@ -3,23 +3,25 @@
 # and AddressSanitizer (the `sanitize` ctest label: thread pool, DAG
 # executors, fuzzed schedules, race harness, threaded factorization).
 #
-#   tools/run_sanitizers.sh [thread|address|undefined ...]
+#   tools/run_sanitizers.sh [thread|address|undefined|address+undefined ...]
 #
-# With no arguments runs thread and address.  Each sanitizer gets its own
-# build tree (build-tsan, build-asan, build-ubsan) next to the source root.
+# With no arguments runs thread and address+undefined (matching CI).  Each
+# sanitizer gets its own build tree (build-tsan, build-asan, build-ubsan)
+# next to the source root.
 # Exit status is non-zero if any configure, build, or test step fails.
 set -eu
 
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-sanitizers=${*:-"thread address"}
+sanitizers=${*:-"thread address+undefined"}
 jobs=$(nproc 2>/dev/null || echo 2)
 status=0
 
 for san in $sanitizers; do
   case "$san" in
-    thread)    build="$root/build-tsan" ;;
-    address)   build="$root/build-asan" ;;
-    undefined) build="$root/build-ubsan" ;;
+    thread)            build="$root/build-tsan" ;;
+    address)           build="$root/build-asan" ;;
+    undefined)         build="$root/build-ubsan" ;;
+    address+undefined) build="$root/build-asan" ;;
     *) echo "run_sanitizers.sh: unknown sanitizer '$san'" >&2; exit 2 ;;
   esac
 
