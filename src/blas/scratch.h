@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace plu::blas {
@@ -27,8 +28,17 @@ class WorkerScratch {
   /// General temporary (materialized transposes, edge tiles).
   double* temp(std::size_t n) { return t_.grab(n); }
 
-  /// High-water mark across the three buffers, in doubles (introspection
-  /// for tests).
+  /// Bitset-word buffer (>= n words, uninitialized) for the parallel
+  /// symbolic engine's per-lane candidate-row unions
+  /// (symbolic::Engine::kParallelBitset).  Same high-water-mark policy as
+  /// the double buffers: steady-state analysis allocates nothing per step.
+  std::uint64_t* words(std::size_t n) {
+    if (w_.size() < n) w_.resize(n);
+    return w_.data();
+  }
+
+  /// High-water mark across the three double buffers, in doubles
+  /// (introspection for tests).
   std::size_t capacity() const {
     return a_.store.size() + b_.store.size() + t_.store.size();
   }
@@ -40,6 +50,7 @@ class WorkerScratch {
   };
 
   Buffer a_, b_, t_;
+  std::vector<std::uint64_t> w_;
 };
 
 /// The calling thread's scratch arena (created on first use, reused for the

@@ -1,6 +1,8 @@
 #include "core/analysis.h"
 
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 
 #include "graph/eforest.h"
 #include "graph/postorder.h"
@@ -8,6 +10,19 @@
 #include "graph/weighted_matching.h"
 
 namespace plu {
+
+namespace {
+
+/// Seconds elapsed since `last`, which is advanced to now -- the phase
+/// timer threaded through analyze_pattern.
+double lap(std::chrono::steady_clock::time_point& last) {
+  auto now = std::chrono::steady_clock::now();
+  double s = std::chrono::duration<double>(now - last).count();
+  last = now;
+  return s;
+}
+
+}  // namespace
 
 CscMatrix Analysis::permute_input(const CscMatrix& a) const {
   CscMatrix p = a.permuted(row_perm, col_perm);
@@ -36,12 +51,32 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
   an.n = a.cols;
   an.nnz_input = a.nnz();
 
+  // Analysis-phase team.  Sequential runs use a single-lane team (every
+  // parallel_for inlines); the parallel pipeline is bit-identical, so the
+  // knob only ever changes timings.
+  int threads = 1;
+  const bool parallel =
+      opt.analysis.parallel_analyze && an.n >= opt.analysis.min_parallel_n;
+  if (parallel) {
+    threads = opt.analysis.threads > 0
+                  ? opt.analysis.threads
+                  : static_cast<int>(std::thread::hardware_concurrency());
+    if (threads < 1) threads = 1;
+  }
+  rt::Team team(threads, opt.analysis.min_step_work);
+  an.timings.threads = team.lanes();
+  an.timings.parallel = parallel && team.lanes() > 1;
+
+  const auto t_start = std::chrono::steady_clock::now();
+  auto last = t_start;
+
   // (1) Fill-reducing column ordering (minimum degree on A^T A by default);
   // applied to rows as well under symmetric_ordering so an existing
   // diagonal matching survives.
   Permutation q1 = ordering::compute_column_ordering(a, opt.ordering);
   const bool sym_order = opt.symmetric_ordering || opt.scale_and_permute;
   Pattern a1 = a.permuted(sym_order ? q1 : Permutation(a.rows), q1);
+  an.timings.ordering = lap(last);
 
   // (1b) Maximum transversal for a zero-free diagonal (identity when the
   // diagonal is already structurally full -- the transversal prefers it).
@@ -50,10 +85,18 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
     throw std::invalid_argument("analyze: matrix is structurally singular");
   }
   Pattern a2 = a1.permuted(*p1, Permutation(a.cols));
+  an.timings.transversal = lap(last);
 
-  // (2) Static symbolic factorization and the LU eforest.
-  symbolic::SymbolicResult sym = symbolic::static_symbolic_factorization(
-      a2, opt.symbolic_engine);
+  // (2) Static symbolic factorization and the LU eforest.  The team engine
+  // only replaces the default bitset engine; an explicit kRowMerge request
+  // stays sequential (it has no parallel twin).
+  symbolic::Engine engine = opt.symbolic_engine;
+  if (an.timings.parallel && engine == symbolic::Engine::kBitset) {
+    engine = symbolic::Engine::kParallelBitset;
+  }
+  symbolic::SymbolicResult sym =
+      symbolic::static_symbolic_factorization(a2, engine, team);
+  an.timings.symbolic = lap(last);
   graph::Forest ef = graph::lu_eforest(sym.abar);
 
   // (3) Postorder the eforest and permute symmetrically (Theorem 3 makes the
@@ -79,25 +122,36 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
     std::vector<int> sz = an.eforest.subtree_sizes();
     for (int r : an.eforest.roots()) an.diag_block_sizes.push_back(sz[r]);
   }
+  an.timings.eforest_postorder = lap(last);
 
-  // (4) L/U supernode partitioning and amalgamation.
-  an.exact_partition = symbolic::find_supernodes(an.symbolic.abar);
-  an.partition = opt.amalgamate
-                     ? symbolic::amalgamate(an.symbolic.abar, an.eforest,
-                                            an.exact_partition, opt.amalgamation)
-                     : an.exact_partition;
+  // (4) L/U supernode partitioning and amalgamation (forest-parallel: one
+  // greedy scan per root-terminated segment).
+  an.exact_partition = symbolic::find_supernodes(an.symbolic.abar, team);
+  an.partition =
+      opt.amalgamate
+          ? symbolic::amalgamate(an.symbolic.abar, an.eforest,
+                                 an.exact_partition, opt.amalgamation, team)
+          : an.exact_partition;
+  an.timings.supernodes = lap(last);
 
   // (5) Block structure with block-level closure, block eforest.
-  an.blocks = symbolic::build_block_structure(an.symbolic.abar, an.partition);
+  an.blocks = symbolic::build_block_structure(an.symbolic.abar, an.partition,
+                                              /*apply_closure=*/true, team);
+  an.timings.blocks = lap(last);
 
   // (6) Task dependence graph + cost model; the block-granularity graph
   // too when the 2-D numeric layout will run on this analysis.
-  an.graph = taskgraph::build_task_graph(an.blocks, opt.task_graph);
-  an.costs = taskgraph::compute_task_costs(an.blocks, an.graph.tasks);
+  an.graph = taskgraph::build_task_graph(an.blocks, opt.task_graph,
+                                         taskgraph::Granularity::kColumn, team);
+  an.costs = taskgraph::compute_task_costs(an.blocks, an.graph.tasks, team);
   if (opt.layout == Layout::k2D) {
-    an.block_graph = taskgraph::build_task_graph(an.blocks, opt.task_graph,
-                                                 taskgraph::Granularity::kBlock);
+    an.block_graph = taskgraph::build_task_graph(
+        an.blocks, opt.task_graph, taskgraph::Granularity::kBlock, team);
   }
+  an.timings.taskgraph = lap(last);
+  an.timings.total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
   return an;
 }
 

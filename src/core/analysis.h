@@ -19,6 +19,42 @@
 
 namespace plu {
 
+/// Threading knobs for the ANALYSIS pipeline (the numeric phase has its own
+/// NumericOptions::threads).  The parallel pipeline is bit-identical to the
+/// sequential one by construction -- every fanned-out loop is write-disjoint
+/// or commutative, and floating-point totals are summed in sequential order
+/// (DESIGN.md section 11) -- so turning it on changes timings only, never a
+/// single artifact.
+struct AnalysisOptions {
+  /// Run the symbolic pipeline on a worker team.
+  bool parallel_analyze = false;
+  /// Team size; 0 = std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Matrices below this order always analyze sequentially (the per-step
+  /// loops are too small to amortize even a wakeup).
+  int min_parallel_n = 128;
+  /// Per-loop work gate forwarded to rt::Team: loops with less estimated
+  /// work run inline on the caller.  Tests set 0 to force every loop
+  /// through the parallel code paths.
+  long min_step_work = rt::Team::kDefaultMinWork;
+};
+
+/// Wall-clock seconds per analysis phase, filled by analyze_pattern().
+/// The sum of the phases can be slightly under `total` (permutation
+/// composition and bookkeeping between phases are unattributed).
+struct AnalysisTimings {
+  double ordering = 0.0;          // fill-reducing column ordering
+  double transversal = 0.0;       // zero-free diagonal matching
+  double symbolic = 0.0;          // static symbolic factorization
+  double eforest_postorder = 0.0; // LU eforest + postorder + permute
+  double supernodes = 0.0;        // partition + amalgamation
+  double blocks = 0.0;            // block structure + closure + beforest
+  double taskgraph = 0.0;         // task graph + cost model
+  double total = 0.0;
+  int threads = 1;                // team lanes the analysis ran with
+  bool parallel = false;          // whether the parallel pipeline was taken
+};
+
 struct Options {
   ordering::Method ordering = ordering::Method::kMinimumDegreeAtA;
   symbolic::Engine symbolic_engine = symbolic::Engine::kBitset;
@@ -43,6 +79,8 @@ struct Options {
   /// columns only).  Preserves an existing diagonal matching -- which is
   /// the point of scale_and_permute -- at a possible small fill cost.
   bool symmetric_ordering = false;
+  /// Analysis-phase threading (off by default; bit-identical when on).
+  AnalysisOptions analysis;
 };
 
 /// Everything the numeric factorization and the schedulers need, fully
@@ -84,6 +122,10 @@ struct Analysis {
   /// Sizes of the diagonal blocks of the block-upper-triangular form
   /// (tree sizes of the postordered eforest; NoBlks of Table 3 is size()).
   std::vector<int> diag_block_sizes;
+
+  /// Per-phase wall-clock breakdown of the analyze run that produced this
+  /// (excluded from bit-identity comparisons, obviously).
+  AnalysisTimings timings;
 
   double fill_ratio() const { return symbolic.fill_ratio(nnz_input); }
 

@@ -21,6 +21,7 @@ AnalysisReport report(const Analysis& an) {
   r.beforest = graph::forest_stats(an.blocks.beforest);
   r.graph_kind = taskgraph::to_string(an.graph.kind);
   r.graph = taskgraph::graph_stats(an.graph, an.costs);
+  r.timings = an.timings;
   return r;
 }
 
@@ -38,6 +39,7 @@ FactorizationReport report(const Factorization& f) {
   r.pivot_interchanges = f.pivot_interchanges();
   r.lazy_skipped_updates = f.lazy_skipped_updates();
   r.stored_doubles = f.blocks().stored_doubles();
+  r.analysis_timings = f.analysis().timings;
   return r;
 }
 
@@ -84,6 +86,28 @@ std::string to_string(const FactorizationReport& r) {
     os << "; pair with refined_solve to recover accuracy";
   }
   return os.str();
+}
+
+std::string to_string(const AnalysisTimings& t) {
+  std::ostringstream os;
+  auto line = [&](const char* name, double s) {
+    double pct = t.total > 0 ? 100.0 * s / t.total : 0.0;
+    os << "  " << name << std::string(18 - std::string(name).size(), ' ')
+       << s * 1e3 << " ms (" << pct << "%)\n";
+  };
+  os << "analysis:    " << t.total * 1e3 << " ms total, "
+     << (t.parallel ? "parallel" : "sequential") << " pipeline, "
+     << t.threads << " thread(s)\n";
+  line("ordering", t.ordering);
+  line("transversal", t.transversal);
+  line("symbolic", t.symbolic);
+  line("eforest+postorder", t.eforest_postorder);
+  line("supernodes", t.supernodes);
+  line("blocks", t.blocks);
+  line("taskgraph", t.taskgraph);
+  std::string s = os.str();
+  s.pop_back();  // trailing newline
+  return s;
 }
 
 std::ostream& operator<<(std::ostream& os, const AnalysisReport& r) {

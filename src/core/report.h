@@ -33,6 +33,8 @@ struct AnalysisReport {
   // Task graph.
   std::string graph_kind;
   taskgraph::GraphStats graph;
+  // Per-phase wall-clock breakdown of the analyze run.
+  AnalysisTimings timings;
 };
 
 /// Collects the report from an analysis.
@@ -52,6 +54,9 @@ struct FactorizationReport {
   double perturbation_magnitude = 0.0;
   std::vector<int> perturbed_columns;
   std::size_t stored_doubles = 0;
+  /// Analyze-phase breakdown of the analysis this factorization ran on, so
+  /// analyze-vs-factorize cost is visible without a profiler.
+  AnalysisTimings analysis_timings;
 };
 
 FactorizationReport report(const Factorization& f);
@@ -59,6 +64,10 @@ FactorizationReport report(const Factorization& f);
 /// Multi-line human-readable rendering.
 std::string to_string(const AnalysisReport& r);
 std::string to_string(const FactorizationReport& r);
+
+/// One line per analysis phase with percentages of the total -- the
+/// rendering behind plu_solve --verbose.
+std::string to_string(const AnalysisTimings& t);
 
 std::ostream& operator<<(std::ostream& os, const AnalysisReport& r);
 std::ostream& operator<<(std::ostream& os, const FactorizationReport& r);

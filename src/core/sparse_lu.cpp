@@ -15,6 +15,9 @@ SparseLU& SparseLU::operator=(SparseLU&&) noexcept = default;
 void SparseLU::analyze(const CscMatrix& a) {
   analysis_ = std::make_unique<Analysis>(plu::analyze(a, options_));
   analyzed_pattern_ = a.pattern();
+  analyzed_fingerprint_ = structure_fingerprint(a.rows(), a.cols(),
+                                                a.col_ptr(), a.row_ind());
+  ++analyze_count_;
   factorization_.reset();
   parallel_solver_.reset();
   last_matrix_.reset();
@@ -24,9 +27,20 @@ void SparseLU::factorize(const CscMatrix& a) {
   // Reuse the analysis only for the SAME sparsity pattern: a same-size
   // matrix with new structure needs its own symbolic factorization (values
   // may change freely -- that is the point of the static approach).
-  const bool same_pattern = analysis_ && analyzed_pattern_.rows == a.rows() &&
-                            analyzed_pattern_.ptr == a.col_ptr() &&
-                            analyzed_pattern_.idx == a.row_ind();
+  // Tiered guard: dims + fingerprint reject almost every mismatch without
+  // touching the index arrays; the full compare only confirms a hash match
+  // (64-bit collisions exist).
+  bool same_pattern = analysis_ && analyzed_pattern_.rows == a.rows() &&
+                      analyzed_pattern_.cols == a.cols();
+  if (same_pattern) {
+    same_pattern = analyzed_fingerprint_ ==
+                   structure_fingerprint(a.rows(), a.cols(), a.col_ptr(),
+                                         a.row_ind());
+  }
+  if (same_pattern) {
+    same_pattern = analyzed_pattern_.ptr == a.col_ptr() &&
+                   analyzed_pattern_.idx == a.row_ind();
+  }
   if (!same_pattern) {
     analyze(a);
   }

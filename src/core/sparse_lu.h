@@ -43,6 +43,11 @@ class SparseLU {
   bool analyzed() const { return analysis_ != nullptr; }
   bool factorized() const { return factorization_ != nullptr; }
 
+  /// Number of times the symbolic pipeline actually ran on this object --
+  /// the observable for the analysis-reuse guard (factorize() on an
+  /// unchanged pattern must not bump it).
+  long analyze_count() const { return analyze_count_; }
+
   /// Breakdown status of the last factorize() (core/status.h); kOk when no
   /// factorization ran yet.  Check factor_usable(factor_status()) before
   /// solving -- the solve paths throw std::runtime_error otherwise.
@@ -78,6 +83,11 @@ class SparseLU {
   Options options_;
   NumericOptions numeric_options_;
   Pattern analyzed_pattern_;  // guards analysis reuse across factorize calls
+  /// Fingerprint of analyzed_pattern_: the cheap first tier of the reuse
+  /// guard (dims + hash reject mismatches; the full compare only confirms
+  /// hash matches).
+  std::uint64_t analyzed_fingerprint_ = 0;
+  long analyze_count_ = 0;
   std::unique_ptr<Analysis> analysis_;
   std::unique_ptr<Factorization> factorization_;
   mutable std::unique_ptr<class ParallelSolver> parallel_solver_;

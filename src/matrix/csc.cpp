@@ -318,4 +318,22 @@ std::string describe(const CscMatrix& a) {
   return os.str();
 }
 
+std::uint64_t structure_fingerprint(int rows, int cols,
+                                    const std::vector<int>& ptr,
+                                    const std::vector<int>& idx) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ull;  // FNV prime
+    }
+  };
+  mix(static_cast<std::uint64_t>(rows));
+  mix(static_cast<std::uint64_t>(cols));
+  mix(ptr.size());
+  for (int p : ptr) mix(static_cast<std::uint64_t>(p));
+  for (int i : idx) mix(static_cast<std::uint64_t>(i));
+  return h;
+}
+
 }  // namespace plu

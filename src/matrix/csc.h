@@ -6,6 +6,7 @@
 // each column.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -137,5 +138,13 @@ class CscMatrix {
 
 /// Human-readable one-line summary ("rows x cols, nnz=...").
 std::string describe(const CscMatrix& a);
+
+/// FNV-1a fingerprint of a CSC structure (dims, ptr, idx), computed straight
+/// from the arrays -- no Pattern copy.  Collisions are possible (64-bit), so
+/// equal fingerprints must be confirmed by a full compare; different
+/// fingerprints prove the structures differ.
+std::uint64_t structure_fingerprint(int rows, int cols,
+                                    const std::vector<int>& ptr,
+                                    const std::vector<int>& idx);
 
 }  // namespace plu

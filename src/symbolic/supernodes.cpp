@@ -37,25 +37,49 @@ bool SupernodePartition::valid() const {
   return static_cast<int>(sup_of_col_.size()) == first_col_.back();
 }
 
+namespace {
+
+// Same supernode iff struct(L col j) \ {j} == struct(L col j+1).
+// Columns are sorted; the L part of column j starts at the diagonal.
+bool columns_share_supernode(const Pattern& abar, int j) {
+  const int* bj = std::lower_bound(abar.col_begin(j), abar.col_end(j), j);
+  const int* ej = abar.col_end(j);
+  const int* bn = std::lower_bound(abar.col_begin(j + 1), abar.col_end(j + 1), j + 1);
+  const int* en = abar.col_end(j + 1);
+  // Drop the diagonal j from column j's L part (it must be present).
+  if (bj == ej || *bj != j) return false;
+  ++bj;
+  return (ej - bj == en - bn) && std::equal(bj, ej, bn);
+}
+
+}  // namespace
+
 SupernodePartition find_supernodes(const Pattern& abar) {
   const int n = abar.cols;
   std::vector<int> starts;
   if (n == 0) return SupernodePartition({0}, 0);
   starts.push_back(0);
   for (int j = 0; j + 1 < n; ++j) {
-    // Same supernode iff struct(L col j) \ {j} == struct(L col j+1).
-    // Columns are sorted; the L part of column j starts at the diagonal.
-    const int* bj = std::lower_bound(abar.col_begin(j), abar.col_end(j), j);
-    const int* ej = abar.col_end(j);
-    const int* bn = std::lower_bound(abar.col_begin(j + 1), abar.col_end(j + 1), j + 1);
-    const int* en = abar.col_end(j + 1);
-    // Drop the diagonal j from column j's L part (it must be present).
-    bool same = false;
-    if (bj != ej && *bj == j) {
-      ++bj;
-      same = (ej - bj == en - bn) && std::equal(bj, ej, bn);
+    if (!columns_share_supernode(abar, j)) starts.push_back(j + 1);
+  }
+  return SupernodePartition(std::move(starts), n);
+}
+
+SupernodePartition find_supernodes(const Pattern& abar, rt::Team& team) {
+  const int n = abar.cols;
+  if (n == 0) return SupernodePartition({0}, 0);
+  // Each column's boundary flag is an owned slot; the collapse into the
+  // starts vector stays sequential (cheap, order-preserving).
+  std::vector<char> boundary(n, 0);
+  boundary[0] = 1;
+  team.parallel_for(abar.nnz(), n - 1, [&](int jb, int je, int) {
+    for (int j = jb; j < je; ++j) {
+      boundary[j + 1] = !columns_share_supernode(abar, j);
     }
-    if (!same) starts.push_back(j + 1);
+  });
+  std::vector<int> starts;
+  for (int j = 0; j < n; ++j) {
+    if (boundary[j]) starts.push_back(j);
   }
   return SupernodePartition(std::move(starts), n);
 }
@@ -68,20 +92,20 @@ std::pair<const int*, const int*> l_range(const Pattern& abar, int j) {
   return {b, abar.col_end(j)};
 }
 
-}  // namespace
-
-SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
-                              const SupernodePartition& part,
-                              const AmalgamationOptions& opt) {
-  const int n = abar.cols;
-  assert(part.num_cols() == n);
-  std::vector<int> starts;
+/// The greedy merge scan over supernodes [s_begin, s_end), appending group
+/// starts.  The scan state is local to the range: a group started inside it
+/// reads only columns inside it, so disjoint ranges can run concurrently as
+/// long as no merge could cross their boundary.
+void amalgamate_range(const Pattern& abar, const graph::Forest& eforest,
+                      const SupernodePartition& part,
+                      const AmalgamationOptions& opt, int s_begin, int s_end,
+                      std::vector<int>& starts) {
   std::vector<int> cur_union;  // union of L structures of the current group
   std::vector<int> trial;
   long cur_entries = 0;  // true entries in the group's L region
 
-  int s = 0;
-  while (s < part.count()) {
+  int s = s_begin;
+  while (s < s_end) {
     // Start a new group at supernode s.
     int c0 = part.first(s);
     int c1 = part.end(s);
@@ -97,7 +121,7 @@ SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
       cur_union.swap(trial);
     }
     int t = s + 1;
-    while (t < part.count()) {
+    while (t < s_end) {
       int t0 = part.first(t);
       int t1 = part.end(t);
       if (t1 - c0 > opt.max_width) break;
@@ -130,6 +154,55 @@ SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
       ++t;
     }
     s = t;
+  }
+}
+
+}  // namespace
+
+SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
+                              const SupernodePartition& part,
+                              const AmalgamationOptions& opt) {
+  const int n = abar.cols;
+  assert(part.num_cols() == n);
+  std::vector<int> starts;
+  amalgamate_range(abar, eforest, part, opt, 0, part.count(), starts);
+  if (starts.empty()) starts.push_back(0);
+  return SupernodePartition(std::move(starts), n);
+}
+
+SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
+                              const SupernodePartition& part,
+                              const AmalgamationOptions& opt, rt::Team& team) {
+  const int n = abar.cols;
+  assert(part.num_cols() == n);
+  // Without the parent-child requirement a merge could cross a root
+  // boundary, so the segment split below would not be boundary-safe.
+  if (!opt.require_parent_child || team.lanes() == 1) {
+    return amalgamate(abar, eforest, part, opt);
+  }
+  // Segment the supernode sequence after every supernode whose last column
+  // is an eforest root: the sequential greedy cannot merge across such a
+  // point (the test parent(end(s)-1) == first(s+1) fails when the parent is
+  // kNone), so per-segment scans reproduce it exactly.
+  std::vector<int> seg_starts;  // in supernode indices
+  seg_starts.push_back(0);
+  for (int s = 0; s + 1 < part.count(); ++s) {
+    if (eforest.parent(part.end(s) - 1) == graph::kNone) {
+      seg_starts.push_back(s + 1);
+    }
+  }
+  seg_starts.push_back(part.count());
+  const int nseg = static_cast<int>(seg_starts.size()) - 1;
+  std::vector<std::vector<int>> seg_out(nseg);
+  team.parallel_for(abar.nnz(), nseg, [&](int gb, int ge, int) {
+    for (int g = gb; g < ge; ++g) {
+      amalgamate_range(abar, eforest, part, opt, seg_starts[g],
+                       seg_starts[g + 1], seg_out[g]);
+    }
+  });
+  std::vector<int> starts;
+  for (const auto& seg : seg_out) {
+    starts.insert(starts.end(), seg.begin(), seg.end());
   }
   if (starts.empty()) starts.push_back(0);
   return SupernodePartition(std::move(starts), n);

@@ -15,6 +15,7 @@
 
 #include "graph/forest.h"
 #include "matrix/csc.h"
+#include "runtime/parallel_for.h"
 
 namespace plu::symbolic {
 
@@ -49,6 +50,11 @@ class SupernodePartition {
 /// supernode iff struct(Lbar_{*,j}) \ {j} == struct(Lbar_{*,j+1}).
 SupernodePartition find_supernodes(const Pattern& abar);
 
+/// Team-parallel variant: the per-column boundary tests are independent
+/// (each writes its own flag), so this is trivially bit-identical to the
+/// sequential version.
+SupernodePartition find_supernodes(const Pattern& abar, rt::Team& team);
+
 struct AmalgamationOptions {
   /// Maximum number of columns in a merged supernode.
   int max_width = 24;
@@ -64,6 +70,18 @@ struct AmalgamationOptions {
 SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
                               const SupernodePartition& part,
                               const AmalgamationOptions& opt = {});
+
+/// Forest-parallel variant: splits the supernode sequence at every
+/// supernode whose last column is an eforest root and amalgamates the
+/// segments concurrently.  With require_parent_child the sequential greedy
+/// can never merge across such a split (the merge test needs
+/// parent(last col) == next col, and a root has no parent), and each
+/// segment's scan reads only its own columns, so the result is bit-identical
+/// to the sequential greedy.  Without require_parent_child the split is
+/// unsound and this falls back to the sequential path.
+SupernodePartition amalgamate(const Pattern& abar, const graph::Forest& eforest,
+                              const SupernodePartition& part,
+                              const AmalgamationOptions& opt, rt::Team& team);
 
 /// Statistics used by Table 3 and the A1 ablation.
 struct SupernodeStats {

@@ -87,6 +87,16 @@ struct TaskGraph {
 TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind,
                            Granularity granularity = Granularity::kColumn);
 
+/// Team-parallel variant.  Per-stage edge lists are built concurrently
+/// (succ vectors are stage-owned so their ordering is preserved; cross-stage
+/// indegree bumps are commutative atomic increments) and the cost
+/// annotation fans out per task with a sequential in-order total, so the
+/// graph -- edges, ordering, indegrees, flops, total -- is bit-identical to
+/// the sequential build.  The S* chain rule itself stays sequential (a hash
+/// map threaded in id order).
+TaskGraph build_task_graph(const symbolic::BlockStructure& bs, GraphKind kind,
+                           Granularity granularity, rt::Team& team);
+
 /// The paper's third future-work item: "use the extended LU eforest for
 /// more effective task dependence representation".  This builds the SAME
 /// eforest dependence graph as build_task_graph(kEforest), but derives the

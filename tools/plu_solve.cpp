@@ -18,6 +18,9 @@
 //     --scale               MC64 max-product permutation + scaling
 //     --pivot-threshold T   threshold pivoting with diagonal preference
 //     --threads N           threaded numeric factorization
+//     --analyze-threads N   parallel symbolic analysis on N threads
+//                           (bit-identical to the sequential analysis;
+//                           0 = hardware concurrency)
 //     --lazy                LazyS+ zero-block elision
 //     --perturb             static pivot perturbation (SuperLU_DIST-style):
 //                           tiny pivots are bumped instead of failing; pair
@@ -25,6 +28,7 @@
 //     --refine              iterative refinement on the solution
 //     --simulate P          also print the simulated makespan on P processors
 //     --stats               print extended analysis statistics
+//     --verbose             per-phase analysis timing breakdown
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -49,8 +53,9 @@ namespace {
                "usage: %s MATRIX [--rhs FILE] [--ordering natural|mindeg|rcm|nd]\n"
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
-               "       [--threads N] [--lazy] [--perturb] [--refine]\n"
-               "       [--simulate P] [--stats]\n",
+               "       [--threads N] [--analyze-threads N] [--lazy]\n"
+               "       [--perturb] [--refine] [--simulate P] [--stats]\n"
+               "       [--verbose]\n",
                argv0);
   std::exit(2);
 }
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
   plu::NumericOptions nopt;
   bool refine = false;
   bool stats = false;
+  bool verbose = false;
   int simulate_p = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -161,6 +167,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       nopt.threads = std::stoi(next());
       nopt.mode = plu::ExecutionMode::kThreaded;
+    } else if (arg == "--analyze-threads") {
+      opt.analysis.parallel_analyze = true;
+      opt.analysis.threads = std::stoi(next());
     } else if (arg == "--lazy") {
       nopt.lazy_updates = true;
     } else if (arg == "--perturb") {
@@ -171,6 +180,8 @@ int main(int argc, char** argv) {
       simulate_p = std::stoi(next());
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--verbose") {
+      verbose = true;
     } else if (!arg.empty() && arg[0] == '-') {
       usage(argv[0]);
     } else if (matrix_path.empty()) {
@@ -197,6 +208,9 @@ int main(int argc, char** argv) {
                 "blocks%s\n",
                 an.fill_ratio(), an.blocks.num_blocks(), an.graph.size(),
                 an.diag_block_sizes.size(), an.scaled() ? ", MC64-scaled" : "");
+    if (verbose) {
+      std::printf("%s\n", plu::to_string(an.timings).c_str());
+    }
     const plu::Factorization& f = lu.factorization();
     if (!plu::factor_usable(f.status())) {
       // One line, machine-greppable: what failed and where.  No solution is
