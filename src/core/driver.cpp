@@ -27,6 +27,8 @@ const char* to_string(FactorStatus s) {
       return "singular";
     case FactorStatus::kOverflow:
       return "overflow";
+    case FactorStatus::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }
@@ -326,11 +328,24 @@ template <typename Dispatch>
 void execute(NumericRun& run, const NumericOptions& opt,
              rt::CancelToken* token, Dispatch&& dispatch) {
   const int nb = run.an.blocks.num_blocks();
+  // External cancellation (a service deadline or client abort) propagates
+  // into the run token at task granularity: the first task to observe the
+  // tripped external token cancels the run, and from then on every executor
+  // drains the remaining tasks unrun.  The run token stays the single token
+  // the executors watch, so breakdown cancellation is unchanged.
+  rt::CancelToken* const ext = opt.cancel;
+  const auto polled = [&](int id) {
+    if (ext != nullptr && ext->cancelled()) {
+      token->cancel();
+      return;
+    }
+    dispatch(id);
+  };
   // Sequential modes honor the same cancellation contract as the threaded
   // executors: once a factor task reports a breakdown the remaining tasks
   // are skipped, so a later panel never divides by a zero pivot.
   const auto guarded = [&](int id) {
-    if (!token->cancelled()) dispatch(id);
+    if (!token->cancelled()) polled(id);
   };
   const auto stage_loop = [&](int stages) {
     for (int k = 0; k < stages && !token->cancelled(); ++k) {
@@ -366,18 +381,35 @@ void execute(NumericRun& run, const NumericOptions& opt,
         fuzz.max_delay_us = opt.fuzz_max_delay_us;
         fuzz.cancel = token;
         rep = rt::execute_task_graph_fuzzed(run.graph, opt.threads, fuzz,
-                                            dispatch);
+                                            polled);
       } else {
         rt::ExecOptions eopt;
         eopt.kind = opt.executor;
         eopt.cancel = token;
-        rep = rt::execute_task_graph(run.graph, opt.threads, dispatch, eopt);
+        eopt.shared = opt.shared_runtime;
+        eopt.request_priority = opt.request_priority;
+        rep = rt::execute_task_graph(run.graph, opt.threads, polled, eopt);
       }
       if (!rep.completed && !rep.cancelled) {
         throw std::logic_error("Factorization: threaded execution incomplete");
       }
       break;
     }
+  }
+}
+
+/// External-cancellation fold, applied AFTER RunState::finish(): a run
+/// whose token tripped without any recorded breakdown was stopped from
+/// outside (NumericOptions::cancel) and reports kCancelled -- the factors
+/// are incomplete, and leaving kOk would let a solve read them.  The RUN
+/// token is the witness, not the external one: an external cancel that
+/// lands only after every task already ran never propagated into the run,
+/// and the complete factorization stays usable.  A breakdown observed
+/// before the abort wins (more informative; equally unusable factors).
+void fold_external_cancel(NumericRun& run, rt::CancelToken* run_token) {
+  if (run_token->cancelled() && factor_usable(run.status)) {
+    run.status = FactorStatus::kCancelled;
+    run.failed_column = -1;
   }
 }
 
@@ -389,6 +421,7 @@ class Driver1D final : public NumericDriver {
     Run1D state(run, opt);
     execute(run, opt, state.cancel(), [&](int id) { state.run_task(id); });
     state.finish();
+    fold_external_cancel(run, state.cancel());
   }
 };
 
@@ -400,6 +433,7 @@ class Driver2D final : public NumericDriver {
     Run2D state(run, opt);
     execute(run, opt, state.cancel(), [&](int id) { state.run_task(id); });
     state.finish();
+    fold_external_cancel(run, state.cancel());
   }
 };
 

@@ -62,6 +62,23 @@ struct NumericOptions {
   /// with critical-path priorities, or the central mutex/condvar queue kept
   /// as the scheduler-ablation baseline (rt::ExecutorKind).
   rt::ExecutorKind executor = rt::ExecutorKind::kWorkStealing;
+  /// Run the kThreaded task graph on this persistent multi-DAG pool
+  /// (runtime/shared_runtime.h) instead of a private worker team, so
+  /// factorizations of DIFFERENT matrices -- distinct Factorization /
+  /// SparseLU instances, or solver-service requests -- interleave on one
+  /// set of workers.  `threads` and `executor` are then ignored.  The pool
+  /// must outlive the factorize call; non-owning.
+  rt::SharedRuntime* shared_runtime = nullptr;
+  /// Per-request priority fold for the shared pool
+  /// (rt::ExecOptions::request_priority); ignored without shared_runtime.
+  double request_priority = 0.0;
+  /// Optional EXTERNAL cancellation (deadline / client abort): when this
+  /// token trips, in-flight tasks finish, the remaining tasks drain unrun,
+  /// and -- unless a numeric breakdown was already recorded -- the
+  /// factorization reports FactorStatus::kCancelled (unusable factors, but
+  /// a clean, reusable runtime).  Works in every execution mode; checked at
+  /// task granularity.  Non-owning; must outlive the factorize call.
+  rt::CancelToken* cancel = nullptr;
   /// Serialize writers of each block column with a mutex.  Setting this to
   /// false is honored only when the analysis proved the unordered updates'
   /// block footprints disjoint (BlockStructure::lockfree_safe); otherwise

@@ -7,6 +7,17 @@
 //
 // Options select the paper's techniques: eforest postordering on/off,
 // S* vs eforest task graph, ordering, amalgamation, execution mode.
+//
+// Thread safety: one SparseLU instance is NOT safe for concurrent mutation
+// (analyze/factorize are plain member functions over unguarded state), but
+// DISTINCT instances are fully independent -- including when they share one
+// rt::SharedRuntime via NumericOptions::shared_runtime, the intended way to
+// run many factorizations concurrently on a single worker pool (the
+// solver-service path, service/solver_service.h).  Per-instance state such
+// as the analysis-reuse guard and analyze_count() stays exact under pool
+// sharing.  const methods (the solve family) are safe to call concurrently
+// on one instance once factorize() returned, except the first
+// solve_parallel call, which lazily builds the solve DAGs.
 #pragma once
 
 #include <memory>

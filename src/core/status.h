@@ -20,9 +20,13 @@ enum class FactorStatus {
                // cancelled at Factorization::failed_column()
   kOverflow,   // a non-finite value (Inf/NaN) appeared in the factors; the
                // run was cancelled at Factorization::failed_column()
+  kCancelled,  // the run was stopped from OUTSIDE (NumericOptions::cancel --
+               // a deadline or client cancellation, not a numeric event);
+               // the factors are incomplete and unusable, but the runtime
+               // drained cleanly and can be reused
 };
 
-/// "ok" / "perturbed" / "singular" / "overflow".
+/// "ok" / "perturbed" / "singular" / "overflow" / "cancelled".
 const char* to_string(FactorStatus s);
 
 /// True when the factors are safe to solve with (kOk or kPerturbed).

@@ -10,6 +10,7 @@
 #include <random>
 #include <thread>
 
+#include "runtime/shared_runtime.h"
 #include "runtime/thread_pool.h"
 #include "runtime/work_steal_deque.h"
 #include "taskgraph/analysis.h"
@@ -360,6 +361,19 @@ ExecutionReport execute_dag(const std::vector<std::vector<int>>& succ,
                             const std::vector<int>& indegree, int num_threads,
                             const std::function<void(int)>& run,
                             const ExecOptions& opt) {
+  if (opt.shared != nullptr) {
+    // Multi-DAG path: hand the graph to the persistent pool and block.  The
+    // pool owns the worker team; this call keeps succ/indegree/run alive
+    // for the duration, and wait() rethrows any worker exception here.
+    SharedRuntime::GraphSpec spec;
+    spec.succ = &succ;
+    spec.indegree = &indegree;
+    spec.run = run;
+    spec.priorities = opt.priorities;
+    spec.boost = opt.request_priority;
+    spec.cancel = opt.cancel;
+    return opt.shared->run_graph(std::move(spec));
+  }
   if (opt.kind == ExecutorKind::kCentralQueue) {
     return execute_dag_central(succ, indegree, num_threads, run, opt.cancel);
   }
@@ -487,7 +501,8 @@ ExecutionReport execute_task_graph(const taskgraph::TaskGraph& g, int num_thread
   // levels over the flop annotations taskgraph::build attaches at either
   // granularity (a task's priority is the weighted longest path from it to
   // a sink -- the classic list-scheduling priority).
-  if (opt.kind == ExecutorKind::kWorkStealing && opt.priorities == nullptr &&
+  if ((opt.kind == ExecutorKind::kWorkStealing || opt.shared != nullptr) &&
+      opt.priorities == nullptr &&
       g.flops.size() == static_cast<std::size_t>(g.size())) {
     std::vector<double> prio = taskgraph::bottom_levels(g, g.flops);
     ExecOptions with_prio = opt;

@@ -69,9 +69,23 @@ enum class ExecutorKind {
 
 const char* to_string(ExecutorKind k);
 
+class SharedRuntime;  // runtime/shared_runtime.h: persistent multi-DAG pool
+
 /// Tuning and policy knobs for the non-fuzzed executors.
 struct ExecOptions {
   ExecutorKind kind = ExecutorKind::kWorkStealing;
+  /// When set, the graph is NOT run on a private worker team: it is
+  /// submitted to this persistent multi-DAG runtime and the calling thread
+  /// blocks until it completes, so DAGs from concurrent callers interleave
+  /// on one shared pool (the solver-service path).  `num_threads` and
+  /// `kind` are ignored -- the pool's size and work-stealing discipline
+  /// apply; priorities, cancellation and the rethrow-on-caller exception
+  /// contract carry over unchanged.
+  SharedRuntime* shared = nullptr;
+  /// Per-request priority fold for the shared runtime: added to this
+  /// graph's normalized critical-path priorities, so a caller can bias the
+  /// pool toward (or away from) its request.  Ignored without `shared`.
+  double request_priority = 0.0;
   /// Per-task priorities, higher = schedule earlier (size n or empty).
   /// When empty, execute_task_graph derives critical-path bottom levels
   /// from the graph's flop annotations; execute_dag treats all tasks equal.

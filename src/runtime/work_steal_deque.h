@@ -29,27 +29,37 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 namespace plu::rt {
 
-class WorkStealDeque {
- public:
-  static constexpr int kEmpty = -1;  // nothing to take
-  static constexpr int kAbort = -2;  // lost a steal race; caller may retry
+/// The deque is generic over the (signed integral) item type: the single-DAG
+/// executor queues plain task ids (int), while the shared multi-DAG runtime
+/// (runtime/shared_runtime.h) queues 64-bit handles packing (graph slot,
+/// task id).  Valid items must be >= 0 -- the negative range is reserved for
+/// kEmpty / kAbort.
+template <typename T>
+class BasicWorkStealDeque {
+  static_assert(std::is_integral_v<T> && std::is_signed_v<T>,
+                "deque items must be signed integers (negatives are sentinels)");
 
-  explicit WorkStealDeque(std::int64_t capacity_hint = 64) {
+ public:
+  static constexpr T kEmpty = T(-1);  // nothing to take
+  static constexpr T kAbort = T(-2);  // lost a steal race; caller may retry
+
+  explicit BasicWorkStealDeque(std::int64_t capacity_hint = 64) {
     std::int64_t cap = 16;
     while (cap < capacity_hint) cap <<= 1;
     rings_.push_back(std::make_unique<Ring>(cap));
     ring_.store(rings_.back().get(), std::memory_order_relaxed);
   }
 
-  WorkStealDeque(const WorkStealDeque&) = delete;
-  WorkStealDeque& operator=(const WorkStealDeque&) = delete;
+  BasicWorkStealDeque(const BasicWorkStealDeque&) = delete;
+  BasicWorkStealDeque& operator=(const BasicWorkStealDeque&) = delete;
 
   /// Owner only: push a task at the bottom.
-  void push(int v) {
+  void push(T v) {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
     const std::int64_t t = top_.load(std::memory_order_acquire);
     Ring* r = ring_.load(std::memory_order_relaxed);
@@ -59,7 +69,7 @@ class WorkStealDeque {
   }
 
   /// Owner only: pop the most recently pushed task; kEmpty when drained.
-  int pop() {
+  T pop() {
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Ring* r = ring_.load(std::memory_order_relaxed);
     bottom_.store(b, std::memory_order_seq_cst);
@@ -67,7 +77,7 @@ class WorkStealDeque {
     if (t < b) return r->get(b);  // more than one task left: no race possible
     if (t == b) {
       // Exactly one task: race a concurrent thief for it via top_.
-      int v = r->get(b);
+      T v = r->get(b);
       if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         v = kEmpty;  // the thief won
@@ -80,7 +90,7 @@ class WorkStealDeque {
   }
 
   /// Thief: take the oldest task; kEmpty when none, kAbort on a lost race.
-  int steal() {
+  T steal() {
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return kEmpty;
@@ -89,7 +99,7 @@ class WorkStealDeque {
     // and grow retires rather than frees, so the read is safe even if we
     // lose the CAS.
     Ring* r = ring_.load(std::memory_order_acquire);
-    const int v = r->get(t);
+    const T v = r->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return kAbort;
@@ -101,7 +111,7 @@ class WorkStealDeque {
   /// deque looks empty).  Used for two-choice victim selection -- the value
   /// may be stale by the time the steal lands, which only mis-prioritizes,
   /// never mis-executes.
-  int peek_top() const {
+  T peek_top() const {
     const std::int64_t t = top_.load(std::memory_order_acquire);
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return kEmpty;
@@ -117,15 +127,15 @@ class WorkStealDeque {
  private:
   struct Ring {
     explicit Ring(std::int64_t cap)
-        : capacity(cap), mask(cap - 1), cells(new std::atomic<int>[cap]) {}
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
     const std::int64_t capacity;
     const std::int64_t mask;
-    std::unique_ptr<std::atomic<int>[]> cells;
+    std::unique_ptr<std::atomic<T>[]> cells;
 
-    int get(std::int64_t i) const {
+    T get(std::int64_t i) const {
       return cells[i & mask].load(std::memory_order_relaxed);
     }
-    void put(std::int64_t i, int v) {
+    void put(std::int64_t i, T v) {
       cells[i & mask].store(v, std::memory_order_relaxed);
     }
   };
@@ -144,5 +154,10 @@ class WorkStealDeque {
   std::atomic<Ring*> ring_{nullptr};
   std::vector<std::unique_ptr<Ring>> rings_;  // owner-only; keeps retired rings alive
 };
+
+/// Task-id deque of the single-DAG work-stealing executor.
+using WorkStealDeque = BasicWorkStealDeque<int>;
+/// Packed-handle deque of the shared multi-DAG runtime.
+using WorkStealDeque64 = BasicWorkStealDeque<std::int64_t>;
 
 }  // namespace plu::rt

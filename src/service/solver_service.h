@@ -1,0 +1,220 @@
+// Multi-tenant solver service: concurrent batched factorizations over one
+// shared worker pool, with a pattern-keyed analysis cache.
+//
+//   plu::service::SolverService svc({.threads = 8});
+//   auto req = svc.submit(A, b, {.priority = 1.0,
+//                                .deadline = std::chrono::milliseconds(50)});
+//   plu::service::RequestResult r = req->wait();
+//   if (r.state == plu::service::RequestState::kDone) use(r.x);
+//
+// Architecture (DESIGN.md section 12):
+//
+//   submit() --> priority/FIFO admission queue --> orchestrator threads
+//     each orchestrator: analysis cache (service/analysis_cache.h)
+//                        -> Factorization on the SHARED runtime
+//                           (runtime/shared_runtime.h; task graphs of
+//                           different requests interleave on one pool)
+//                        -> triangular solve -> RequestResult
+//
+// Scheduling: admission is by (priority desc, submit order) among queued
+// requests, with at most ServiceOptions::max_concurrent factorizations in
+// flight; once running, a request's DAG tasks compete inside the shared
+// pool, where its priority is folded into the critical-path priorities
+// (normalized bottom level + priority boost), so a high-priority small
+// request is not starved by a large one that got there first.
+//
+// Deadlines and cancellation: each request carries an rt::CancelToken.  A
+// deadline arms the service watchdog, which trips the token at expiry;
+// Request::cancel() trips it directly.  The numeric tier polls the token at
+// task granularity and drains cooperatively (FactorStatus::kCancelled), so
+// an expired or cancelled request releases its workers within one task body
+// -- the pool is never poisoned, subsequent requests run normally.  Expiry
+// maps to RequestState::kExpired, client cancellation to kCancelled.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sparse_lu.h"
+#include "runtime/shared_runtime.h"
+#include "service/analysis_cache.h"
+
+namespace plu::service {
+
+enum class RequestState {
+  kQueued,     // admitted, waiting for an orchestrator slot
+  kRunning,    // analysis / factorization / solve in progress
+  kDone,       // solved; RequestResult::x is valid
+  kFailed,     // numeric breakdown or error (RequestResult::error says why)
+  kCancelled,  // client called Request::cancel()
+  kExpired,    // the deadline tripped the token first
+};
+
+/// "queued" / "running" / "done" / "failed" / "cancelled" / "expired".
+const char* to_string(RequestState s);
+
+inline bool is_terminal(RequestState s) {
+  return s != RequestState::kQueued && s != RequestState::kRunning;
+}
+
+struct RequestOptions {
+  /// Fair-share weight: breaks admission ties ahead of FIFO order and is
+  /// folded into the shared pool's task priorities while running.
+  double priority = 0.0;
+  /// Numeric layout override for this request (service default otherwise).
+  std::optional<Layout> layout;
+  /// Relative deadline from submit(); zero means none.
+  std::chrono::steady_clock::duration deadline{};
+  /// When false the request stops after factorization (pattern warm-up,
+  /// factor-only pipelines); RequestResult::x stays empty.
+  bool want_solve = true;
+};
+
+struct RequestResult {
+  RequestState state = RequestState::kQueued;
+  /// Status of the factorization run (core/status.h); kOk when the request
+  /// never reached the numeric phase.
+  FactorStatus factor_status = FactorStatus::kOk;
+  std::vector<double> x;  // solution, when state == kDone and want_solve
+  bool cache_hit = false;
+  double queue_seconds = 0.0;    // submit -> orchestrator pickup
+  double analyze_seconds = 0.0;  // cache lookup included (near 0 on a hit)
+  double factor_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::string error;  // non-empty when state == kFailed
+};
+
+class SolverService;
+
+/// Client-side handle; thread-safe.  Obtained from SolverService::submit and
+/// shared with the service, so it outlives both sides.
+class Request {
+ public:
+  long id() const { return id_; }
+  RequestState state() const;
+  bool done() const { return is_terminal(state()); }
+
+  /// Blocks until the request reaches a terminal state.
+  RequestResult wait();
+
+  /// Client cancellation: trips the token; a queued request terminates at
+  /// pickup, a running one drains at the next task boundary.  Idempotent;
+  /// a no-op once the request is terminal.
+  void cancel();
+
+ private:
+  friend class SolverService;
+  Request(long id, CscMatrix a, std::vector<double> b, RequestOptions opt);
+
+  const long id_;
+  CscMatrix a_;
+  std::vector<double> b_;
+  RequestOptions opt_;
+  std::chrono::steady_clock::time_point submitted_;
+
+  rt::CancelToken token_;
+  std::atomic<bool> client_cancelled_{false};
+  std::atomic<bool> expired_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  RequestState state_ = RequestState::kQueued;
+  RequestResult result_;
+};
+
+struct ServiceOptions {
+  /// Worker threads of the shared factorization pool.
+  int threads = 4;
+  /// Factorizations admitted concurrently (orchestrator threads).  Their
+  /// DAGs interleave on the `threads` workers; more in-flight requests
+  /// means better pool utilization but more memory in flight.
+  int max_concurrent = 2;
+  int cache_capacity = 32;
+  /// Disable to force a fresh analysis per request (ablation baseline).
+  bool enable_cache = true;
+  /// Base symbolic options; RequestOptions::layout can override the layout.
+  Options analyze;
+  /// Base numeric options.  mode/shared_runtime/cancel/request_priority are
+  /// owned by the service and overwritten per request.
+  NumericOptions numeric;
+};
+
+struct ServiceStats {
+  long submitted = 0;
+  long completed = 0;  // reached kDone
+  long failed = 0;
+  long cancelled = 0;
+  long expired = 0;
+  CacheStats cache;
+};
+
+class SolverService {
+ public:
+  explicit SolverService(const ServiceOptions& opt = {});
+  /// Drains every queued and in-flight request (they run to their terminal
+  /// state; cancelled/expired ones drain fast), then stops the pool.
+  ~SolverService();
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Admits a solve request for A x = b.  Throws std::invalid_argument for
+  /// a non-square/empty matrix or a right-hand side of the wrong size, and
+  /// std::runtime_error after shutdown began.  The matrix and RHS are taken
+  /// by value and owned by the request.
+  std::shared_ptr<Request> submit(CscMatrix a, std::vector<double> b,
+                                  RequestOptions opt = {});
+
+  ServiceStats stats() const;
+  const ServiceOptions& options() const { return opt_; }
+  rt::SharedRuntime& runtime() { return runtime_; }
+  AnalysisCache& cache() { return cache_; }
+
+ private:
+  void orchestrate();
+  void watchdog();
+  void process(const std::shared_ptr<Request>& req);
+  void finalize(const std::shared_ptr<Request>& req, RequestState state,
+                RequestResult result);
+
+  const ServiceOptions opt_;
+  AnalysisCache cache_;
+  rt::SharedRuntime runtime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  bool stopping_ = false;
+  long next_id_ = 0;
+  /// Admission queue ordered by (-priority, submit seq): highest priority
+  /// first, FIFO within a priority level.
+  std::map<std::pair<double, long>, std::shared_ptr<Request>> queue_;
+  ServiceStats stats_;
+
+  std::mutex dl_mu_;
+  std::condition_variable dl_cv_;
+  bool dl_stop_ = false;
+  using DeadlineItem =
+      std::pair<std::chrono::steady_clock::time_point, std::weak_ptr<Request>>;
+  struct DeadlineLater {
+    bool operator()(const DeadlineItem& a, const DeadlineItem& b) const {
+      return a.first > b.first;
+    }
+  };
+  std::priority_queue<DeadlineItem, std::vector<DeadlineItem>, DeadlineLater>
+      deadlines_;
+
+  std::vector<std::thread> orchestrators_;
+  std::thread watchdog_;
+};
+
+}  // namespace plu::service

@@ -14,6 +14,7 @@
 
 #include "core/analysis.h"
 #include "runtime/dag_executor.h"
+#include "runtime/shared_runtime.h"
 #include "runtime/thread_pool.h"
 #include "runtime/work_steal_deque.h"
 #include "test_helpers.h"
@@ -554,6 +555,183 @@ TEST(DagExecutor, WorkStealingCancellationTwentySeedGate) {
           << "seed " << seed << " chain position " << c;
     }
   }
+}
+
+TEST(DagExecutor, ExternalCancelRacingFinalReleaseFortySeedFuzz) {
+  // Drain-vs-release window: an EXTERNAL canceller fires while the last few
+  // tasks are releasing their dependences, so the token trip races the
+  // final fetch_sub/park-wake sequence of both executors.  The trigger
+  // point is seed-derived (anywhere from "before the root" to "after the
+  // last task"), which sweeps the trip across the whole run.  Contract
+  // under every trip point: every task runs at most once, a task only ran
+  // if its predecessor did, completed == (tasks_run == n), and the run
+  // terminates (a lost wakeup here would hang the join).
+  const int kWide = 48, kChain = 16;
+  const int n = 1 + kWide + kChain;
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indegree(n, 1);
+  indegree[0] = 0;
+  for (int w = 0; w < kWide; ++w) succ[0].push_back(1 + w);
+  succ[0].push_back(1 + kWide);  // chain head
+  for (int c = 0; c + 1 < kChain; ++c) succ[1 + kWide + c] = {1 + kWide + c + 1};
+  for (ExecutorKind kind : kBothKinds) {
+    for (int seed = 1; seed <= 40; ++seed) {
+      const long trigger = (seed * 7919L) % (n + 2);  // 0 .. n+1
+      ExecOptions eopt;
+      eopt.kind = kind;
+      CancelToken token;
+      eopt.cancel = &token;
+      std::vector<std::atomic<int>> runs(n);
+      for (auto& r : runs) r.store(0);
+      std::atomic<long> done_count{0};
+      std::atomic<bool> stop_canceller{false};
+      std::thread canceller([&] {
+        while (!stop_canceller.load(std::memory_order_acquire)) {
+          if (done_count.load(std::memory_order_acquire) >= trigger) {
+            token.cancel();
+            return;
+          }
+          std::this_thread::yield();
+        }
+      });
+      ExecutionReport rep = execute_dag(succ, indegree, 4, [&](int id) {
+        runs[id].fetch_add(1);
+        done_count.fetch_add(1, std::memory_order_release);
+      }, eopt);
+      stop_canceller.store(true, std::memory_order_release);
+      canceller.join();
+      EXPECT_EQ(rep.completed, rep.tasks_run == n)
+          << to_string(kind) << " seed " << seed;
+      long total = 0;
+      for (int id = 0; id < n; ++id) {
+        EXPECT_LE(runs[id].load(), 1)
+            << to_string(kind) << " seed " << seed << " task " << id;
+        total += runs[id].load();
+      }
+      EXPECT_EQ(total, rep.tasks_run) << to_string(kind) << " seed " << seed;
+      for (int w = 0; w < kWide; ++w) {
+        EXPECT_LE(runs[1 + w].load(), runs[0].load())
+            << to_string(kind) << " seed " << seed << " fan " << w;
+      }
+      for (int c = 1; c < kChain; ++c) {
+        EXPECT_LE(runs[1 + kWide + c].load(), runs[1 + kWide + c - 1].load())
+            << to_string(kind) << " seed " << seed << " chain " << c;
+      }
+    }
+  }
+}
+
+TEST(SharedRuntime, EightGraphsSubmittedFromEightThreadsInterleave) {
+  // The multi-DAG pool: eight submitter threads each run their own task
+  // graph through execute_task_graph with ExecOptions::shared set, so all
+  // eight DAGs interleave on the same four workers.  Per graph: every task
+  // exactly once, dependence order respected.
+  SharedRuntime pool(4);
+  const std::vector<CscMatrix> mats = test::small_matrices();
+  const int kGraphs = 8;
+  std::vector<taskgraph::TaskGraph> graphs(kGraphs);
+  for (int i = 0; i < kGraphs; ++i) {
+    graphs[i] = small_graph(mats[i % mats.size()],
+                            i % 2 == 0 ? taskgraph::GraphKind::kEforest
+                                       : taskgraph::GraphKind::kSStar);
+  }
+  std::vector<std::thread> submitters;
+  std::vector<ExecutionReport> reps(kGraphs);
+  std::vector<std::vector<std::atomic<int>>> runs(kGraphs);
+  std::vector<std::vector<long>> start(kGraphs), finish(kGraphs);
+  std::atomic<long> clock{0};
+  for (int i = 0; i < kGraphs; ++i) {
+    runs[i] = std::vector<std::atomic<int>>(graphs[i].size());
+    for (auto& r : runs[i]) r.store(0);
+    start[i].assign(graphs[i].size(), 0);
+    finish[i].assign(graphs[i].size(), 0);
+  }
+  for (int i = 0; i < kGraphs; ++i) {
+    submitters.emplace_back([&, i] {
+      ExecOptions eopt;
+      eopt.shared = &pool;
+      eopt.request_priority = double(i % 3);
+      reps[i] = execute_task_graph(graphs[i], /*num_threads=*/0, [&, i](int id) {
+        start[i][id] = clock.fetch_add(1);
+        runs[i][id].fetch_add(1);
+        finish[i][id] = clock.fetch_add(1);
+      }, eopt);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int i = 0; i < kGraphs; ++i) {
+    EXPECT_TRUE(reps[i].completed) << "graph " << i;
+    EXPECT_EQ(reps[i].tasks_run, graphs[i].size()) << "graph " << i;
+    for (int id = 0; id < graphs[i].size(); ++id) {
+      EXPECT_EQ(runs[i][id].load(), 1) << "graph " << i << " task " << id;
+    }
+    for (int u = 0; u < graphs[i].size(); ++u) {
+      for (int v : graphs[i].succ[u]) {
+        EXPECT_LT(finish[i][u], start[i][v])
+            << "graph " << i << " edge " << u << "->" << v;
+      }
+    }
+  }
+  EXPECT_EQ(pool.graphs_completed(), kGraphs);
+}
+
+TEST(SharedRuntime, ThrowingGraphRethrowsOnItsSubmitterOnly) {
+  // One graph's task throws; the exception must surface on THAT submitter,
+  // while an innocent graph running concurrently on the same pool completes
+  // untouched -- per-graph error isolation is the whole point of per-run
+  // cancel tokens.
+  SharedRuntime pool(3);
+  taskgraph::TaskGraph good =
+      small_graph(test::small_matrices()[0], taskgraph::GraphKind::kEforest);
+  std::vector<std::vector<int>> bad_succ = {{1}, {2}, {}};
+  std::vector<int> bad_indeg = {0, 1, 1};
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> good_runs{0};
+    bool threw = false;
+    std::thread bad_submitter([&] {
+      ExecOptions eopt;
+      eopt.shared = &pool;
+      try {
+        execute_dag(bad_succ, bad_indeg, 0, [&](int id) {
+          if (id == 1) throw std::runtime_error("boom");
+        }, eopt);
+      } catch (const std::runtime_error&) {
+        threw = true;
+      }
+    });
+    ExecOptions eopt;
+    eopt.shared = &pool;
+    ExecutionReport rep = execute_task_graph(
+        good, 0, [&](int) { good_runs.fetch_add(1); }, eopt);
+    bad_submitter.join();
+    EXPECT_TRUE(threw) << "round " << round;
+    EXPECT_TRUE(rep.completed) << "round " << round;
+    EXPECT_EQ(good_runs.load(), good.size()) << "round " << round;
+  }
+}
+
+TEST(SharedRuntime, PreCancelledTokenDrainsAndPoolStaysUsable) {
+  SharedRuntime pool(2);
+  std::vector<std::vector<int>> succ = {{1}, {2}, {}};
+  std::vector<int> indeg = {0, 1, 1};
+  CancelToken token;
+  token.cancel();
+  ExecOptions eopt;
+  eopt.shared = &pool;
+  eopt.cancel = &token;
+  std::atomic<int> ran{0};
+  ExecutionReport rep =
+      execute_dag(succ, indeg, 0, [&](int) { ran.fetch_add(1); }, eopt);
+  EXPECT_FALSE(rep.completed);
+  EXPECT_TRUE(rep.cancelled);
+  EXPECT_EQ(ran.load(), 0);
+  // The pool must not be poisoned: a fresh graph completes normally.
+  ExecOptions clean;
+  clean.shared = &pool;
+  ExecutionReport rep2 =
+      execute_dag(succ, indeg, 0, [&](int) { ran.fetch_add(1); }, clean);
+  EXPECT_TRUE(rep2.completed);
+  EXPECT_EQ(ran.load(), 3);
 }
 
 TEST(ExecuteSequential, UsesTopologicalOrder) {

@@ -1,0 +1,140 @@
+// Concurrency stress for the solver service, built to run under
+// -DPLU_SANITIZE=thread|address (`ctest -L sanitize`): many client threads
+// hammering one service with mixed patterns, random client cancellations
+// and tiny deadlines, so admission, the analysis cache's pending-entry
+// dedup, multi-DAG interleaving on the shared pool, the deadline watchdog
+// and cooperative cancellation all race for real.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/solver_service.h"
+#include "test_helpers.h"
+
+namespace plu::service {
+namespace {
+
+TEST(SolverServiceStress, ManyClientsMixedTrafficWithCancelsAndDeadlines) {
+  ServiceOptions sopt;
+  sopt.threads = 4;
+  sopt.max_concurrent = 3;
+  sopt.cache_capacity = 4;  // small: force evictions under contention
+  SolverService svc(sopt);
+
+  const std::vector<CscMatrix> mats = test::small_matrices();
+  const int kClients = 6, kRequestsPerClient = 10;
+  std::atomic<long> done{0}, cancelled{0}, expired{0}, other{0};
+  std::vector<std::string> failures(kClients);
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::mt19937_64 rng(1000 + c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        const CscMatrix& a = mats[rng() % mats.size()];
+        std::vector<double> b =
+            test::random_vector(a.rows(), rng());
+        RequestOptions ropt;
+        ropt.priority = double(rng() % 4);
+        ropt.layout = rng() % 2 == 0 ? Layout::k1D : Layout::k2D;
+        const int fate = int(rng() % 10);
+        if (fate == 0) ropt.deadline = std::chrono::microseconds(50);
+        auto req = svc.submit(a, b, ropt);
+        if (fate == 1) req->cancel();
+        RequestResult r = req->wait();
+        if (!is_terminal(r.state)) {
+          failures[c] = "non-terminal state after wait";
+          return;
+        }
+        switch (r.state) {
+          case RequestState::kDone:
+            done.fetch_add(1);
+            if (relative_residual(a, r.x, b) > 1e-9) {
+              failures[c] = "bad residual";
+              return;
+            }
+            break;
+          case RequestState::kCancelled:
+            cancelled.fetch_add(1);
+            break;
+          case RequestState::kExpired:
+            expired.fetch_add(1);
+            break;
+          default:
+            other.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  EXPECT_EQ(other.load(), 0);  // no kFailed: all matrices are well-posed
+  EXPECT_EQ(done.load() + cancelled.load() + expired.load(),
+            long(kClients) * kRequestsPerClient);
+  EXPECT_GT(done.load(), 0);
+
+  ServiceStats st = svc.stats();
+  EXPECT_EQ(st.submitted, long(kClients) * kRequestsPerClient);
+  EXPECT_EQ(st.completed, done.load());
+  EXPECT_EQ(st.cancelled, cancelled.load());
+  EXPECT_EQ(st.expired, expired.load());
+  EXPECT_EQ(st.failed, 0);
+  // Cancelled/expired requests reach the cache only when the token tripped
+  // after pickup, so only bounds are exact: every completed request did one
+  // lookup, and no request did more than one.
+  EXPECT_GE(st.cache.hits + st.cache.misses, st.completed);
+  EXPECT_LE(st.cache.hits + st.cache.misses, st.submitted);
+  EXPECT_LE(st.cache.entries, 4);
+
+  // The pool survives the storm: a final request on a fresh pattern.
+  CscMatrix last = gen::random_sparse(40, 3.0, 0.5, 0.7, 99);
+  std::vector<double> b = test::random_vector(40, 7);
+  RequestResult r = svc.submit(last, b)->wait();
+  ASSERT_EQ(r.state, RequestState::kDone);
+  EXPECT_LT(relative_residual(last, r.x, b), 1e-9);
+}
+
+TEST(SolverServiceStress, SamePatternFloodDedupsPendingAnalysis) {
+  // Every client submits the SAME pattern simultaneously: the cache's
+  // pending-entry dedup must collapse the analysis to one run while all
+  // requests still complete correctly.
+  ServiceOptions sopt;
+  sopt.threads = 4;
+  sopt.max_concurrent = 4;
+  SolverService svc(sopt);
+  const CscMatrix a = test::small_matrices()[0];
+  const int kClients = 8;
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<double> b = test::random_vector(a.rows(), 300 + c);
+      RequestResult r = svc.submit(a, b)->wait();
+      if (r.state != RequestState::kDone) {
+        failures[c] = "state: " + std::string(to_string(r.state));
+        return;
+      }
+      if (relative_residual(a, r.x, b) > 1e-10) failures[c] = "bad residual";
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], "") << "client " << c;
+  }
+  CacheStats cs = svc.stats().cache;
+  EXPECT_EQ(cs.analyze_runs, 1);
+  EXPECT_EQ(cs.misses, 1);
+  EXPECT_EQ(cs.hits, kClients - 1);
+}
+
+}  // namespace
+}  // namespace plu::service

@@ -2,8 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "core/sparse_lu.h"
+#include "runtime/shared_runtime.h"
 #include "test_helpers.h"
 
 namespace plu {
@@ -184,6 +188,48 @@ TEST(SparseLU, TwoDimensionalLayoutRaceCheckedThroughFacade) {
   lu.factorize(a);
   EXPECT_TRUE(lu.factorization().race_checked());
   EXPECT_TRUE(lu.factorization().races().empty());
+}
+
+TEST(SparseLU, ConcurrentInstancesSharingOneRuntimeAreSafe) {
+  // The documented thread-safety contract: one SparseLU per thread, all
+  // factorizing over the SAME rt::SharedRuntime.  Every solve must be
+  // correct and every instance's analyze_count() exact -- the reuse guard
+  // is per-instance state and must not be perturbed by pool sharing.
+  rt::SharedRuntime pool(4);
+  const std::vector<CscMatrix> mats = test::small_matrices();
+  const int kThreads = 6, kRounds = 3;
+  std::vector<std::thread> threads;
+  std::vector<std::string> failures(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const CscMatrix& a = mats[t % mats.size()];
+      SparseLU lu;
+      lu.options().layout = t % 2 == 0 ? Layout::k1D : Layout::k2D;
+      lu.numeric_options().mode = ExecutionMode::kThreaded;
+      lu.numeric_options().shared_runtime = &pool;
+      lu.numeric_options().request_priority = double(t);
+      for (int round = 0; round < kRounds; ++round) {
+        CscMatrix av = a;
+        for (double& v : av.values()) v *= 1.0 + 0.01 * (round + 1);
+        lu.factorize(av);  // same pattern every round: one analysis total
+        if (!factor_usable(lu.factor_status())) {
+          failures[t] = "unusable factorization";
+          return;
+        }
+        std::vector<double> b = test::random_vector(a.rows(), 70 + t);
+        std::vector<double> x = lu.solve(b);
+        if (relative_residual(av, x, b) > 1e-9) {
+          failures[t] = "bad residual";
+          return;
+        }
+      }
+      if (lu.analyze_count() != 1) failures[t] = "analyze_count drifted";
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
 }
 
 TEST(SparseLU, AnalysisStatsExposed) {
