@@ -20,47 +20,13 @@
 
 namespace plu::bench {
 
-// ---------------------------------------------------------------------------
 // Machine-readable results: every bench binary accepts `--json out.json` (or
 // `--json=out.json`) and then APPENDS one JSON object per measurement as a
-// JSON-lines record, so several binaries can share one artifact file (CI
-// collects BENCH_pr3.json from the scheduler and kernels ablations).  The
-// flag is stripped before google-benchmark sees argv, which would otherwise
-// reject it as unrecognized.
-// ---------------------------------------------------------------------------
-
-/// Path set by --json; empty = JSON output disabled.
-inline std::string& json_output_path() {
-  static std::string path;
-  return path;
-}
-
-/// Removes `--json <path>` / `--json=<path>` from argv and records the path.
-inline void strip_json_flag(int* argc, char** argv) {
-  int out = 1;
-  for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
-      json_output_path() = argv[++i];
-    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
-      json_output_path() = argv[i] + 7;
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  *argc = out;
-}
-
-// JsonRecord lives in bench_json.h (unit-tested: escapes control characters
-// and emits non-finite doubles as null, so the artifact stays parseable).
-
-/// Appends one record to the --json file (no-op when the flag was not given).
-inline void json_append(const JsonRecord& rec) {
-  if (json_output_path().empty()) return;
-  if (FILE* f = std::fopen(json_output_path().c_str(), "a")) {
-    std::fprintf(f, "%s\n", rec.str().c_str());
-    std::fclose(f);
-  }
-}
+// JSON-lines record, so several binaries can share one artifact file.  The
+// whole emitter -- JsonRecord, json_output_path, strip_json_flag (run before
+// google-benchmark sees argv, which would otherwise reject the flag) and
+// json_append -- lives in bench_json.h, shared with the binaries that do not
+// link google-benchmark; there is exactly ONE escaping/NaN policy.
 
 /// Analysis + simulated makespan for one matrix/options/processor-count.
 inline double simulated_seconds(const Analysis& an, int processors,

@@ -6,10 +6,15 @@
 // containing quotes or backslashes, control characters from a mangled
 // title line, and non-finite measurements (a failed run's NaN residual),
 // which JSON has no literal for and are emitted as null.
+// The --json plumbing (flag stripping, appending records to the artifact
+// file) lives here too, so binaries that do NOT link google-benchmark (the
+// pipeline bench) share the exact same writer as the bench_common.h suite
+// -- one escaping/NaN policy for every artifact CI parses.
 #pragma once
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 namespace plu::bench {
@@ -89,5 +94,35 @@ class JsonRecord {
   }
   std::string body_;
 };
+
+/// Path set by --json; empty = JSON output disabled.
+inline std::string& json_output_path() {
+  static std::string path;
+  return path;
+}
+
+/// Removes `--json <path>` / `--json=<path>` from argv and records the path.
+inline void strip_json_flag(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
+      json_output_path() = argv[++i];
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_output_path() = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Appends one record to the --json file (no-op when the flag was not given).
+inline void json_append(const JsonRecord& rec) {
+  if (json_output_path().empty()) return;
+  if (FILE* f = std::fopen(json_output_path().c_str(), "a")) {
+    std::fprintf(f, "%s\n", rec.str().c_str());
+    std::fclose(f);
+  }
+}
 
 }  // namespace plu::bench

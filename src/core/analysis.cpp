@@ -42,11 +42,12 @@ CscMatrix Analysis::permute_input(const CscMatrix& a) const {
                    std::move(val));
 }
 
-Analysis analyze_pattern(const Pattern& a, const Options& opt) {
+AnalysisPrefix analyze_prefix(const Pattern& a, const Options& opt) {
   if (a.rows != a.cols) {
     throw std::invalid_argument("analyze: matrix must be square");
   }
-  Analysis an;
+  AnalysisPrefix pre;
+  Analysis& an = pre.an;
   an.options = opt;
   an.n = a.cols;
   an.nnz_input = a.nnz();
@@ -63,12 +64,14 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
                   : static_cast<int>(std::thread::hardware_concurrency());
     if (threads < 1) threads = 1;
   }
-  rt::Team team(threads, opt.analysis.min_step_work);
+  pre.team = std::make_unique<rt::Team>(threads, opt.analysis.min_step_work);
+  rt::Team& team = *pre.team;
   an.timings.threads = team.lanes();
   an.timings.parallel = parallel && team.lanes() > 1;
 
-  const auto t_start = std::chrono::steady_clock::now();
-  auto last = t_start;
+  pre.t_start = std::chrono::steady_clock::now();
+  auto& last = pre.last;
+  last = pre.t_start;
 
   // (1) Fill-reducing column ordering (minimum degree on A^T A by default);
   // applied to rows as well under symmetric_ordering so an existing
@@ -123,6 +126,14 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
     for (int r : an.eforest.roots()) an.diag_block_sizes.push_back(sz[r]);
   }
   an.timings.eforest_postorder = lap(last);
+  return pre;
+}
+
+Analysis analyze_suffix(AnalysisPrefix pre) {
+  Analysis an = std::move(pre.an);
+  rt::Team& team = *pre.team;
+  const Options& opt = an.options;
+  auto& last = pre.last;
 
   // (4) L/U supernode partitioning and amalgamation (forest-parallel: one
   // greedy scan per root-terminated segment).
@@ -149,10 +160,14 @@ Analysis analyze_pattern(const Pattern& a, const Options& opt) {
         an.blocks, opt.task_graph, taskgraph::Granularity::kBlock, team);
   }
   an.timings.taskgraph = lap(last);
-  an.timings.total =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
-          .count();
+  an.timings.total = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - pre.t_start)
+                         .count();
   return an;
+}
+
+Analysis analyze_pattern(const Pattern& a, const Options& opt) {
+  return analyze_suffix(analyze_prefix(a, opt));
 }
 
 Analysis analyze(const CscMatrix& a, const Options& opt) {

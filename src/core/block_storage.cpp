@@ -31,6 +31,50 @@ BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs) : bs_(&bs) {
   }
 }
 
+BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns)
+    : bs_(&bs) {
+  const int nb = bs.part.count();
+  data_.resize(nb);
+  blocks_.resize(nb);
+  offsets_.resize(nb);
+  diag_pos_.assign(nb, -1);
+}
+
+void BlockMatrix::init_column(int j, const std::vector<int>& row_blocks) {
+  const symbolic::BlockStructure& bs = *bs_;
+  blocks_[j] = row_blocks;
+  offsets_[j].resize(blocks_[j].size() + 1);
+  int off = 0;
+  for (std::size_t t = 0; t < blocks_[j].size(); ++t) {
+    offsets_[j][t] = off;
+    if (blocks_[j][t] == j) diag_pos_[j] = static_cast<int>(t);
+    off += bs.part.width(blocks_[j][t]);
+  }
+  offsets_[j].back() = off;
+  if (diag_pos_[j] == -1) {
+    throw std::invalid_argument("BlockMatrix: diagonal block missing");
+  }
+  data_[j].assign(static_cast<std::size_t>(off) * bs.part.width(j), 0.0);
+}
+
+void BlockMatrix::load_column(int j, const CscMatrix& a) {
+  assert(a.rows() == bs_->part.num_cols() && a.cols() == bs_->part.num_cols());
+  const int height = column_height(j);
+  for (int col = bs_->part.first(j); col < bs_->part.end(j); ++col) {
+    const int jc = col - bs_->part.first(j);
+    double* buf = data_[j].data() + static_cast<std::size_t>(jc) * height;
+    for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
+      const int row = a.row_index(k);
+      const int bi = bs_->part.supernode_of(row);
+      const int off = block_offset(bi, j);
+      if (off < 0) {
+        throw std::invalid_argument("BlockMatrix::load: entry outside pattern");
+      }
+      buf[off + (row - bs_->part.first(bi))] = a.value(k);
+    }
+  }
+}
+
 void BlockMatrix::load(const CscMatrix& a) {
   assert(a.rows() == bs_->part.num_cols() && a.cols() == bs_->part.num_cols());
   set_zero();

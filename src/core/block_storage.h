@@ -21,9 +21,27 @@ namespace plu {
 
 class BlockMatrix {
  public:
+  /// Tag for the deferred constructor below.
+  struct DeferredColumns {};
+
   /// Allocates zeroed storage for the block structure.  `bs` must outlive
   /// the BlockMatrix.
   explicit BlockMatrix(const symbolic::BlockStructure& bs);
+
+  /// Deferred construction for the analyze->factor pipeline: `bs.part` must
+  /// be final but `bs.bpattern` may still be empty -- every accessor reads
+  /// only `bs.part`, so columns can be materialized one at a time with
+  /// init_column()/load_column() as their block lists are discovered.
+  BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns);
+
+  /// Materializes block column j from its sorted structurally-nonzero row
+  /// block list (must include the diagonal).  One-shot per column.
+  void init_column(int j, const std::vector<int>& row_blocks);
+
+  /// Scatters the CSC columns of block column j (matrix already permuted to
+  /// the analysis ordering) into the freshly init'ed -- thus zeroed --
+  /// column buffer.  Per-column twin of load().
+  void load_column(int j, const CscMatrix& a);
 
   const symbolic::BlockStructure& structure() const { return *bs_; }
   int num_block_columns() const { return bs_->num_blocks(); }

@@ -1,0 +1,1017 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "blas/dense.h"
+#include "blas/factor.h"
+#include "blas/level2.h"
+#include "core/driver.h"
+#include "core/kernels.h"
+#include "graph/eforest.h"
+#include "graph/weighted_matching.h"
+#include "runtime/shared_runtime.h"
+#include "symbolic/supernodes.h"
+#include "taskgraph/build.h"
+#include "taskgraph/costs.h"
+
+namespace plu {
+
+namespace {
+
+/// Numeric/solve task descriptor inside one appended unit batch.
+enum class NKind : std::int8_t {
+  kFactor,      // 1-D Factor(k)
+  kUpdate,      // 1-D Update(k, j)
+  kFactorDiag,  // 2-D FactorDiag(k)
+  kComputeU,    // 2-D ComputeU(k, j)
+  kFactorL,     // 2-D FactorL(i, k)
+  kUpdateBlock, // 2-D UpdateBlock(i, k, j)
+  kForward,     // forward-solve panel k
+};
+
+struct NTask {
+  NKind kind;
+  int k = -1;
+  int j = -1;
+  int i = -1;
+};
+
+/// Everything the tasks share.  Lives on PipelineDriver::run's stack frame
+/// (run() blocks on the dynamic run before returning), referenced by raw
+/// pointer from the task lambdas.
+struct PipeState {
+  // --- immutable after setup ---
+  Analysis* an = nullptr;          // heap Analysis under construction
+  const std::vector<double>* b = nullptr;
+  CscMatrix apre;                  // permuted + scaled input
+  double matrix_scale = 1.0;
+  double perturb_magnitude = 0.0;
+  double threshold = 1.0;
+  bool lazy = false;
+  bool two_d = false;
+  rt::CancelToken* ext = nullptr;  // external cancel (polled by numeric tasks)
+  rt::SharedRuntime* rtm = nullptr;
+
+  // --- unit decomposition (columns) ---
+  int n = 0;
+  int units = 0;
+  std::vector<int> unit_col_begin;          // units + 1
+  std::vector<int> unit_of_col;             // n
+  std::vector<std::vector<int>> coupling;   // per unit: earlier units read
+
+  // --- supernode assembly (written by batch-0 analysis tasks) ---
+  std::vector<char> boundary;               // n, Super(u) output
+  std::vector<int> unit_s_begin, unit_s_end;  // exact-supernode range per unit
+  std::vector<std::vector<int>> unit_starts;  // amalgamated starts per unit
+  int nb = 0;                               // block columns (after PartMerge)
+  int words = 0;                            // (nb + 63) / 64
+  std::vector<int> ub_begin;                // units + 1, block-column ranges
+
+  // --- per-block-column structure (written by Struct(u)) ---
+  std::vector<std::vector<std::uint64_t>> closed_bits;  // nb x words
+  std::vector<std::vector<int>> closed;     // closed row-block lists
+  std::vector<std::vector<int>> lblocks;    // closed entries > j
+  std::vector<long> extra_add;              // closure additions per column
+
+  std::optional<BlockMatrix> bm;
+  std::vector<std::vector<int>> ipiv;
+
+  // --- cross-batch gid maps (written by Mat(u), read by Mat(v > u); the
+  // Mat chain orders the accesses) ---
+  std::vector<long> factor_gid;                          // F / FD per column
+  std::vector<std::vector<std::pair<int, long>>> fl_gid; // 2-D FL per column
+
+  // --- run handle hand-off (Mat tasks may start before submit returns) ---
+  std::mutex run_mu;
+  std::condition_variable run_cv;
+  std::shared_ptr<rt::SharedRuntime::Run> run;
+  bool run_set = false;
+
+  // --- solve ---
+  std::vector<double> y;                    // Pr-scattered rhs / work vector
+
+  // --- status folds (RunState equivalents) ---
+  std::atomic<bool> break_abort{false};     // numeric breakdown: drain
+  std::atomic<bool> ext_numeric{false};     // ext cancel seen by numeric task
+  std::atomic<bool> solve_drained{false};   // a forward task skipped
+  std::atomic<int> zero_pivots{0};
+  std::atomic<long> lazy_skipped{0};
+  std::mutex min_mu;
+  double min_pivot = std::numeric_limits<double>::infinity();
+  std::mutex fail_mu;
+  int fail_col = -1;
+  FactorStatus fail_status = FactorStatus::kOk;
+  std::vector<int> perturbed;
+
+  // --- phase stamps: 0 = analysis, 1 = factor, 2 = solve ---
+  std::chrono::steady_clock::time_point t0;
+  std::atomic<long long> phase_min[3];
+  std::atomic<long long> phase_max[3];
+
+  PipeState() {
+    for (int p = 0; p < 3; ++p) {
+      phase_min[p].store(std::numeric_limits<long long>::max(),
+                         std::memory_order_relaxed);
+      phase_max[p].store(-1, std::memory_order_relaxed);
+    }
+  }
+};
+
+long long now_ns(const PipeState& st) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - st.t0)
+      .count();
+}
+
+void atomic_min(std::atomic<long long>& m, long long v) {
+  long long cur = m.load(std::memory_order_relaxed);
+  while (v < cur && !m.compare_exchange_weak(cur, v)) {
+  }
+}
+
+void atomic_max(std::atomic<long long>& m, long long v) {
+  long long cur = m.load(std::memory_order_relaxed);
+  while (v > cur && !m.compare_exchange_weak(cur, v)) {
+  }
+}
+
+/// RAII min/max wall-clock span fold for one phase.
+struct PhaseSpan {
+  PipeState& st;
+  int phase;
+  PhaseSpan(PipeState& s, int p) : st(s), phase(p) {
+    atomic_min(st.phase_min[p], now_ns(st));
+  }
+  ~PhaseSpan() { atomic_max(st.phase_max[phase], now_ns(st)); }
+};
+
+/// Breakdown fold: smallest column wins, then every later numeric task
+/// drains.  Unlike the phased drivers this does NOT cancel the run token --
+/// the analysis tasks of the same graph must still complete.
+void fail(PipeState& st, int col, FactorStatus status) {
+  {
+    std::lock_guard<std::mutex> lock(st.fail_mu);
+    if (st.fail_col < 0 || col < st.fail_col) {
+      st.fail_col = col;
+      st.fail_status = status;
+    }
+  }
+  st.break_abort.store(true, std::memory_order_release);
+}
+
+void count_factor(PipeState& st, const kernels::FactorResult& r, int col0,
+                  double min_diag) {
+  {
+    std::lock_guard<std::mutex> lock(st.min_mu);
+    st.min_pivot = std::min(st.min_pivot, min_diag);
+  }
+  if (!r.perturbed.empty()) {
+    std::lock_guard<std::mutex> lock(st.fail_mu);
+    for (int c : r.perturbed) st.perturbed.push_back(col0 + c);
+  }
+  if (r.info != 0) {
+    st.zero_pivots.fetch_add(1, std::memory_order_relaxed);
+    fail(st, col0 + r.info - 1, FactorStatus::kSingular);
+  }
+  if (r.first_nonfinite >= 0) {
+    fail(st, col0 + r.first_nonfinite, FactorStatus::kOverflow);
+  }
+}
+
+/// True when a numeric task must drain (breakdown or external cancel).
+bool numeric_drained(PipeState& st) {
+  if (st.break_abort.load(std::memory_order_acquire)) return true;
+  if (st.ext_numeric.load(std::memory_order_relaxed)) return true;
+  if (st.ext != nullptr && st.ext->cancelled()) {
+    st.ext_numeric.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+/// Forward tasks drain on the same conditions; any drained forward marks
+/// the overlapped solve incomplete (the caller then solves phased).
+bool forward_drained(PipeState& st) {
+  const bool g = st.break_abort.load(std::memory_order_acquire) ||
+                 st.ext_numeric.load(std::memory_order_relaxed) ||
+                 (st.ext != nullptr && st.ext->cancelled());
+  if (g) st.solve_drained.store(true, std::memory_order_relaxed);
+  return g;
+}
+
+std::shared_ptr<rt::SharedRuntime::Run> get_run(PipeState& st) {
+  std::unique_lock<std::mutex> lock(st.run_mu);
+  st.run_cv.wait(lock, [&] { return st.run_set; });
+  return st.run;
+}
+
+// ---------------------------------------------------------------------------
+// Numeric / forward task bodies.  Byte-for-byte the arithmetic of the
+// phased drivers (core/driver.cpp Run1D/Run2D) and of Factorization::solve's
+// forward pass, minus locks and race recording: every writer of a block
+// (column) is totally ordered by the batch edges, so no serialization is
+// needed and the sequential-order results are reproduced exactly.
+// ---------------------------------------------------------------------------
+
+void forward_panel(PipeState& st, int k) {
+  const symbolic::SupernodePartition& part = st.an->blocks.part;
+  const int wk = part.width(k);
+  std::vector<int> grows;  // global rows of panel k, packed order
+  for (int r = part.first(k); r < part.end(k); ++r) grows.push_back(r);
+  for (int t : st.lblocks[k]) {
+    for (int r = part.first(t); r < part.end(t); ++r) grows.push_back(r);
+  }
+  std::vector<double> seg(grows.size());
+  std::vector<double>& y = st.y;
+  for (std::size_t p = 0; p < grows.size(); ++p) seg[p] = y[grows[p]];
+  const std::vector<int>& piv = st.ipiv[k];
+  for (std::size_t c = 0; c < piv.size(); ++c) {
+    if (piv[c] != static_cast<int>(c)) std::swap(seg[c], seg[piv[c]]);
+  }
+  blas::ConstMatrixView panel = st.bm->panel(k);
+  blas::ConstMatrixView lkk = panel.block(0, 0, wk, wk);
+  blas::trsv(blas::UpLo::Lower, blas::Trans::No, blas::Diag::Unit, lkk,
+             seg.data(), 1);
+  const int below = static_cast<int>(grows.size()) - wk;
+  if (below > 0) {
+    blas::ConstMatrixView lbelow = panel.block(wk, 0, below, wk);
+    blas::gemv(blas::Trans::No, -1.0, lbelow, seg.data(), 1, 1.0,
+               seg.data() + wk, 1);
+  }
+  for (std::size_t p = 0; p < grows.size(); ++p) y[grows[p]] = seg[p];
+}
+
+void run_numeric_task(PipeState& st, const NTask& t) {
+  const symbolic::SupernodePartition& part = st.an->blocks.part;
+  switch (t.kind) {
+    case NKind::kFactor: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      blas::MatrixView p = st.bm->panel(t.k);
+      kernels::FactorResult r = kernels::factor_block(
+          p, st.ipiv[t.k], st.threshold, st.perturb_magnitude);
+      const int wk = part.width(t.k);
+      count_factor(st, r, part.first(t.k),
+                   kernels::min_diag_abs(p.block(0, 0, wk, wk)));
+      break;
+    }
+    case NKind::kUpdate: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      kernels::apply_panel_pivots(*st.bm, st.ipiv[t.k], t.k, t.j);
+      if (st.lazy && blas::max_abs(st.bm->block(t.k, t.j)) == 0.0) {
+        st.lazy_skipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      const int wk = part.width(t.k);
+      blas::ConstMatrixView panel_k = st.bm->panel(t.k);
+      blas::MatrixView ukj = st.bm->block(t.k, t.j);
+      kernels::solve_with_l(panel_k.block(0, 0, wk, wk), ukj);
+      blas::ConstMatrixView ukj_c = ukj;
+      int off = wk;
+      for (int tb : st.lblocks[t.k]) {
+        const int wt = part.width(tb);
+        kernels::schur_update(panel_k.block(off, 0, wt, wk), ukj_c,
+                              st.bm->block(tb, t.j));
+        off += wt;
+      }
+      break;
+    }
+    case NKind::kFactorDiag: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      blas::MatrixView d = st.bm->block(t.k, t.k);
+      kernels::FactorResult r = kernels::factor_block(
+          d, st.ipiv[t.k], st.threshold, st.perturb_magnitude);
+      count_factor(st, r, part.first(t.k), kernels::min_diag_abs(d));
+      break;
+    }
+    case NKind::kComputeU: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      blas::MatrixView ukj = st.bm->block(t.k, t.j);
+      kernels::apply_local_pivots(ukj, st.ipiv[t.k]);
+      if (st.lazy && blas::max_abs(ukj) == 0.0) {
+        st.lazy_skipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      kernels::solve_with_l(st.bm->block(t.k, t.k), ukj);
+      break;
+    }
+    case NKind::kFactorL: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      kernels::solve_with_u(st.bm->block(t.k, t.k), st.bm->block(t.i, t.k));
+      break;
+    }
+    case NKind::kUpdateBlock: {
+      if (numeric_drained(st)) return;
+      PhaseSpan span(st, 1);
+      blas::ConstMatrixView lik = st.bm->block(t.i, t.k);
+      blas::ConstMatrixView ukj = st.bm->block(t.k, t.j);
+      if (st.lazy &&
+          (blas::max_abs(lik) == 0.0 || blas::max_abs(ukj) == 0.0)) {
+        st.lazy_skipped.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      kernels::schur_update(lik, ukj, st.bm->block(t.i, t.j));
+      break;
+    }
+    case NKind::kForward: {
+      if (forward_drained(st)) return;
+      PhaseSpan span(st, 2);
+      forward_panel(st, t.k);
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric batch builders.  One batch per unit, appended by Mat(u) while the
+// graph runs.  Within a batch every writer of a target (block column in
+// 1-D, block in 2-D) is chained in ascending source order -- exactly the
+// order ExecutionMode::kSequential's stage loop applies the writes -- so
+// the numeric results are bitwise identical to the phased sequential
+// reference; updates to DIFFERENT targets stay unordered (the
+// parallelism).  Cross-batch edges name the exported Factor/FactorDiag/
+// FactorL producers of earlier units.
+// ---------------------------------------------------------------------------
+
+struct BatchBuild {
+  rt::SharedRuntime::BatchSpec spec;
+  std::shared_ptr<std::vector<NTask>> tasks =
+      std::make_shared<std::vector<NTask>>();
+
+  int add(NKind kind, int k, int j, int i, double prio) {
+    const int id = static_cast<int>(tasks->size());
+    tasks->push_back(NTask{kind, k, j, i});
+    spec.priorities.push_back(prio);
+    spec.indegree.push_back(0);
+    spec.succ.emplace_back();
+    spec.cross_preds.emplace_back();
+    spec.exported.push_back(0);
+    return id;
+  }
+  void edge(int from, int to) {
+    spec.succ[from].push_back(to);
+    ++spec.indegree[to];
+  }
+  void cross_edge(long from_gid, int to) {
+    spec.cross_preds[to].push_back(from_gid);
+    ++spec.indegree[to];
+  }
+  void finish(PipeState* ps) {
+    spec.n = static_cast<int>(tasks->size());
+    spec.run = [ps, t = tasks](int lid) { run_numeric_task(*ps, (*t)[lid]); };
+  }
+};
+
+/// Count of U-part entries (< j) of closed[j].
+int u_count(const std::vector<int>& closed, int j) {
+  return static_cast<int>(
+      std::lower_bound(closed.begin(), closed.end(), j) - closed.begin());
+}
+
+void build_unit_batch_1d(PipeState& st, int u) {
+  const int b0 = st.ub_begin[u], b1 = st.ub_begin[u + 1];
+  const int nb = st.nb;
+  BatchBuild bb;
+  std::vector<int> local_f(b1 - b0, -1);
+  for (int j = b0; j < b1; ++j) {
+    int prev = -1;
+    const std::vector<int>& cl = st.closed[j];
+    const int nu = u_count(cl, j);
+    for (int t = 0; t < nu; ++t) {
+      const int k = cl[t];
+      const int id =
+          bb.add(NKind::kUpdate, k, j, -1, 1e6 + static_cast<double>(nb - k));
+      if (k >= b0) {
+        bb.edge(local_f[k - b0], id);
+      } else {
+        bb.cross_edge(st.factor_gid[k], id);
+      }
+      if (prev >= 0) bb.edge(prev, id);
+      prev = id;
+    }
+    const int fid =
+        bb.add(NKind::kFactor, j, -1, -1, 1e6 + static_cast<double>(nb - j));
+    bb.spec.exported[fid] = 1;
+    if (prev >= 0) bb.edge(prev, fid);
+    local_f[j - b0] = fid;
+  }
+  if (st.b != nullptr) {
+    int prevf = -1;
+    for (int j = b0; j < b1; ++j) {
+      const int id =
+          bb.add(NKind::kForward, j, -1, -1, static_cast<double>(nb - j));
+      bb.edge(local_f[j - b0], id);
+      if (prevf >= 0) bb.edge(prevf, id);
+      prevf = id;
+    }
+  }
+  bb.finish(&st);
+  const long base = st.rtm->append_batch(get_run(st), std::move(bb.spec));
+  for (int j = b0; j < b1; ++j) st.factor_gid[j] = base + local_f[j - b0];
+}
+
+void build_unit_batch_2d(PipeState& st, int u) {
+  const int b0 = st.ub_begin[u], b1 = st.ub_begin[u + 1];
+  const int nb = st.nb;
+  BatchBuild bb;
+  std::vector<int> local_fd(b1 - b0, -1);
+  std::vector<std::vector<int>> local_fl(b1 - b0);
+  std::vector<int> last_ub(nb, -1);  // last writer of block (i, j), per j
+  for (int j = b0; j < b1; ++j) {
+    const std::vector<int>& cl = st.closed[j];
+    const int nu = u_count(cl, j);
+    for (int t = 0; t < nu; ++t) {
+      const int k = cl[t];
+      const double prio = 1e6 + static_cast<double>(nb - k);
+      const int cu = bb.add(NKind::kComputeU, k, j, -1, prio);
+      if (k >= b0) {
+        bb.edge(local_fd[k - b0], cu);
+      } else {
+        bb.cross_edge(st.factor_gid[k], cu);
+      }
+      if (last_ub[k] >= 0) bb.edge(last_ub[k], cu);
+      for (std::size_t p = 0; p < st.lblocks[k].size(); ++p) {
+        const int i = st.lblocks[k][p];
+        const int ub = bb.add(NKind::kUpdateBlock, k, j, i, prio);
+        if (k >= b0) {
+          bb.edge(local_fl[k - b0][p], ub);
+        } else {
+          bb.cross_edge(st.fl_gid[k][p].second, ub);
+        }
+        bb.edge(cu, ub);
+        if (last_ub[i] >= 0) bb.edge(last_ub[i], ub);
+        last_ub[i] = ub;
+      }
+    }
+    const double priod = 1e6 + static_cast<double>(nb - j);
+    const int fd = bb.add(NKind::kFactorDiag, j, -1, -1, priod);
+    bb.spec.exported[fd] = 1;
+    if (last_ub[j] >= 0) bb.edge(last_ub[j], fd);
+    local_fd[j - b0] = fd;
+    local_fl[j - b0].reserve(st.lblocks[j].size());
+    for (int i : st.lblocks[j]) {
+      const int fl = bb.add(NKind::kFactorL, j, -1, i, priod);
+      bb.spec.exported[fl] = 1;
+      bb.edge(fd, fl);
+      if (last_ub[i] >= 0) bb.edge(last_ub[i], fl);
+      local_fl[j - b0].push_back(fl);
+    }
+    for (int i : cl) last_ub[i] = -1;  // reset for the next column
+  }
+  if (st.b != nullptr) {
+    int prevf = -1;
+    for (int j = b0; j < b1; ++j) {
+      const int id =
+          bb.add(NKind::kForward, j, -1, -1, static_cast<double>(nb - j));
+      bb.edge(local_fd[j - b0], id);
+      for (int fl : local_fl[j - b0]) bb.edge(fl, id);
+      if (prevf >= 0) bb.edge(prevf, id);
+      prevf = id;
+    }
+  }
+  bb.finish(&st);
+  const long base = st.rtm->append_batch(get_run(st), std::move(bb.spec));
+  for (int j = b0; j < b1; ++j) {
+    st.factor_gid[j] = base + local_fd[j - b0];
+    auto& fg = st.fl_gid[j];
+    fg.clear();
+    fg.reserve(st.lblocks[j].size());
+    for (std::size_t p = 0; p < st.lblocks[j].size(); ++p) {
+      fg.emplace_back(st.lblocks[j][p], base + local_fl[j - b0][p]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Analysis task bodies (batch 0).  Ids: Super(u) = u, SuperMerge = U,
+// Amalg(u) = U+1+u, PartMerge = 2U+1, Struct(u) = 2U+2+u, Mat(u) = 3U+2+u,
+// Finish = 4U+2.  Each body is the per-unit restriction of the
+// corresponding analyze_suffix step; DESIGN.md section 13 gives the
+// equivalence arguments.
+// ---------------------------------------------------------------------------
+
+void task_super(PipeState& st, int u) {
+  PhaseSpan span(st, 0);
+  const Pattern& abar = st.an->symbolic.abar;
+  const int c0 = st.unit_col_begin[u], c1 = st.unit_col_begin[u + 1];
+  // The unit starts at a tree boundary, which is always a supernode
+  // boundary (the previous column is an eforest root whose L part is bare).
+  st.boundary[c0] = 1;
+  for (int c = c0 + 1; c < c1; ++c) {
+    st.boundary[c] = symbolic::columns_share_supernode(abar, c - 1) ? 0 : 1;
+  }
+}
+
+void task_super_merge(PipeState& st) {
+  PhaseSpan span(st, 0);
+  Analysis& an = *st.an;
+  std::vector<int> starts;
+  for (int c = 0; c < st.n; ++c) {
+    if (st.boundary[c]) starts.push_back(c);
+  }
+  an.exact_partition = symbolic::SupernodePartition(std::move(starts), st.n);
+  for (int u = 0; u < st.units; ++u) {
+    st.unit_s_begin[u] = an.exact_partition.supernode_of(st.unit_col_begin[u]);
+  }
+  for (int u = 0; u + 1 < st.units; ++u) {
+    st.unit_s_end[u] = st.unit_s_begin[u + 1];
+  }
+  st.unit_s_end[st.units - 1] = an.exact_partition.count();
+}
+
+void task_amalg(PipeState& st, int u) {
+  PhaseSpan span(st, 0);
+  const Analysis& an = *st.an;
+  std::vector<int>& starts = st.unit_starts[u];
+  starts.clear();
+  if (an.options.amalgamate) {
+    symbolic::amalgamate_range(an.symbolic.abar, an.eforest,
+                               an.exact_partition, an.options.amalgamation,
+                               st.unit_s_begin[u], st.unit_s_end[u], starts);
+  } else {
+    for (int s = st.unit_s_begin[u]; s < st.unit_s_end[u]; ++s) {
+      starts.push_back(an.exact_partition.first(s));
+    }
+  }
+}
+
+void task_part_merge(PipeState& st) {
+  PhaseSpan span(st, 0);
+  Analysis& an = *st.an;
+  std::vector<int> starts;
+  for (int u = 0; u < st.units; ++u) {
+    starts.insert(starts.end(), st.unit_starts[u].begin(),
+                  st.unit_starts[u].end());
+  }
+  an.partition = symbolic::SupernodePartition(std::move(starts), st.n);
+  an.blocks.part = an.partition;
+  st.nb = an.partition.count();
+  st.words = (st.nb + 63) / 64;
+  st.closed_bits.assign(st.nb, std::vector<std::uint64_t>(st.words, 0));
+  st.closed.resize(st.nb);
+  st.lblocks.resize(st.nb);
+  st.extra_add.assign(st.nb, 0);
+  st.bm.emplace(an.blocks, BlockMatrix::DeferredColumns{});
+  st.ipiv.assign(st.nb, {});
+  st.factor_gid.assign(st.nb, -1);
+  if (st.two_d) st.fl_gid.resize(st.nb);
+  // Amalgamation never merges across a unit boundary (the boundary column's
+  // predecessor is a root and require_parent_child gates the pipeline), so
+  // every unit's first column starts a block column.
+  for (int u = 0; u < st.units; ++u) {
+    st.ub_begin[u] = an.partition.supernode_of(st.unit_col_begin[u]);
+  }
+  st.ub_begin[st.units] = st.nb;
+}
+
+void task_struct(PipeState& st, int u) {
+  PhaseSpan span(st, 0);
+  const Analysis& an = *st.an;
+  const Pattern& abar = an.symbolic.abar;
+  const symbolic::SupernodePartition& part = an.blocks.part;
+  const int w = st.words;
+  std::vector<int> mark(st.nb, -1);
+  std::vector<int> raw;
+  for (int j = st.ub_begin[u]; j < st.ub_begin[u + 1]; ++j) {
+    // Raw block list of block column j (the per-column restriction of
+    // symbolic::block_pattern's mark-scan).
+    raw.clear();
+    for (int col = part.first(j); col < part.end(j); ++col) {
+      for (const int* e = abar.col_begin(col); e != abar.col_end(col); ++e) {
+        const int bi = part.supernode_of(*e);
+        if (mark[bi] != j) {
+          mark[bi] = j;
+          raw.push_back(bi);
+        }
+      }
+    }
+    // Left-looking closure fold: B |= closed(k) >> for every U-part source
+    // k of the working set, ascending.  Equals the right-looking global
+    // sweep of symbolic::pairwise_closure because insertions are always
+    // above the scan point and closed(k) is final once k's unit finished
+    // (the coupling edges below order that).
+    std::vector<std::uint64_t>& bits = st.closed_bits[j];
+    for (int bi : raw) bits[bi >> 6] |= 1ull << (bi & 63);
+    bool stop = false;
+    for (int wd = 0; wd < w && !stop; ++wd) {
+      std::uint64_t done = 0;
+      for (;;) {
+        const std::uint64_t word = bits[wd] & ~done;
+        if (word == 0) break;
+        const int k = (wd << 6) + std::countr_zero(word);
+        if (k >= j) {
+          stop = true;
+          break;
+        }
+        done |= 1ull << (k & 63);
+        const std::uint64_t* ck = st.closed_bits[k].data();
+        const std::uint64_t gt =
+            (k & 63) == 63 ? 0ull : (~0ull << ((k & 63) + 1));
+        bits[wd] |= ck[wd] & gt;
+        for (int v = wd + 1; v < w; ++v) bits[v] |= ck[v];
+      }
+    }
+    std::vector<int>& cl = st.closed[j];
+    cl.clear();
+    for (int wd = 0; wd < w; ++wd) {
+      std::uint64_t word = bits[wd];
+      while (word != 0) {
+        cl.push_back((wd << 6) + std::countr_zero(word));
+        word &= word - 1;
+      }
+    }
+    st.extra_add[j] =
+        static_cast<long>(cl.size()) - static_cast<long>(raw.size());
+    st.lblocks[j].assign(std::upper_bound(cl.begin(), cl.end(), j), cl.end());
+    st.bm->init_column(j, cl);
+    st.bm->load_column(j, st.apre);
+  }
+}
+
+void task_mat(PipeState& st, int u) {
+  PhaseSpan span(st, 0);
+  if (st.two_d) {
+    build_unit_batch_2d(st, u);
+  } else {
+    build_unit_batch_1d(st, u);
+  }
+}
+
+void task_finish(PipeState& st) {
+  PhaseSpan span(st, 0);
+  Analysis& an = *st.an;
+  const int nb = st.nb;
+  // Assemble the closed block pattern from the per-column lists, then the
+  // remaining global artifacts, all with the SEQUENTIAL builders (their
+  // team variants are documented bit-identical, so this matches
+  // analyze_suffix exactly).  This task runs concurrently with the numeric
+  // batches -- the overlap the phased barrier forbids.
+  Pattern bp(nb, nb);
+  for (int j = 0; j < nb; ++j) {
+    bp.ptr[j + 1] = bp.ptr[j] + static_cast<int>(st.closed[j].size());
+  }
+  bp.idx.resize(bp.ptr[nb]);
+  for (int j = 0; j < nb; ++j) {
+    std::copy(st.closed[j].begin(), st.closed[j].end(),
+              bp.idx.begin() + bp.ptr[j]);
+  }
+  an.blocks.bpattern = std::move(bp);
+  long extra = 0;
+  for (long e : st.extra_add) extra += e;
+  an.blocks.extra_blocks_from_closure = extra;
+  an.blocks.bpattern_rows = an.blocks.bpattern.transpose();
+  an.blocks.beforest = graph::lu_eforest(an.blocks.bpattern);
+  an.blocks.lockfree_safe = graph::verify_candidate_disjointness(
+      an.blocks.bpattern, an.blocks.beforest);
+  an.graph = taskgraph::build_task_graph(an.blocks, an.options.task_graph,
+                                         taskgraph::Granularity::kColumn);
+  an.costs = taskgraph::compute_task_costs(an.blocks, an.graph.tasks);
+  if (an.options.layout == Layout::k2D) {
+    an.block_graph = taskgraph::build_task_graph(
+        an.blocks, an.options.task_graph, taskgraph::Granularity::kBlock);
+  }
+  an.timings.total = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - st.t0)
+                         .count();
+}
+
+void run_analysis_task(PipeState& st, int id) {
+  const int u = st.units;
+  if (id < u) {
+    task_super(st, id);
+  } else if (id == u) {
+    task_super_merge(st);
+  } else if (id <= 2 * u) {
+    task_amalg(st, id - u - 1);
+  } else if (id == 2 * u + 1) {
+    task_part_merge(st);
+  } else if (id <= 3 * u + 1) {
+    task_struct(st, id - 2 * u - 2);
+  } else if (id <= 4 * u + 1) {
+    task_mat(st, id - 3 * u - 2);
+  } else {
+    task_finish(st);
+  }
+}
+
+}  // namespace
+
+PipelineDriver::Result PipelineDriver::run(const CscMatrix& a,
+                                           const Options& aopt,
+                                           const NumericOptions& nopt,
+                                           const std::vector<double>* b) {
+  PipeState st;
+  st.t0 = std::chrono::steady_clock::now();
+  atomic_min(st.phase_min[0], 0);
+
+  // --- inline prefix: MC64 (replicating analyze()'s composition), then
+  // analysis steps 1-3.  After the prefix the postordered Abar, the eforest
+  // and the permutations are final; everything later is per-unit tasks. ---
+  AnalysisPrefix pre;
+  if (aopt.scale_and_permute) {
+    auto wm = graph::max_product_transversal(a);
+    if (!wm) {
+      throw std::invalid_argument("analyze: matrix is structurally singular");
+    }
+    Pattern prepat = a.pattern().permuted(wm->row_perm, Permutation(a.cols()));
+    pre = analyze_prefix(prepat, aopt);
+    pre.an.row_perm = Permutation::compose(wm->row_perm, pre.an.row_perm);
+    pre.an.row_scale = std::move(wm->row_scale);
+    pre.an.col_scale = std::move(wm->col_scale);
+  } else {
+    pre = analyze_prefix(a.pattern(), aopt);
+  }
+
+  if (pre.an.n == 0) {
+    // Degenerate: nothing to pipeline; finish phased (still bit-identical).
+    Result res;
+    res.analysis = std::make_unique<Analysis>(analyze_suffix(std::move(pre)));
+    res.factorization =
+        std::make_unique<Factorization>(*res.analysis, a, nopt);
+    if (b != nullptr) {
+      res.x = res.factorization->solve(*b);
+      res.solve_done = true;
+    }
+    return res;
+  }
+
+  std::unique_ptr<rt::Team> team = std::move(pre.team);  // keep lanes alive
+  auto anp = std::make_unique<Analysis>(std::move(pre.an));
+  st.an = anp.get();
+  st.b = b;
+  st.n = anp->n;
+  st.two_d = aopt.layout == Layout::k2D;
+  st.lazy = nopt.lazy_updates;
+  st.threshold = nopt.pivot_threshold;
+  st.ext = nopt.cancel;
+
+  // Permuted + scaled input and the matrix-magnitude reference.  The phased
+  // constructor scans the loaded block columns; scanning apre's values sees
+  // exactly the same set (block storage is apre scattered over zeros).
+  st.apre = anp->permute_input(a);
+  {
+    // Max |apre| with 0 -> 1: the same value the phased constructor folds
+    // from the loaded block columns (block storage is apre over zeros).
+    double ms = 0.0;
+    for (double v : st.apre.values()) ms = std::max(ms, std::abs(v));
+    st.matrix_scale = ms == 0.0 ? 1.0 : ms;
+  }
+  if (nopt.perturb_pivots) {
+    st.perturb_magnitude =
+        std::sqrt(std::numeric_limits<double>::epsilon()) * st.matrix_scale;
+  }
+
+  if (b != nullptr) {
+    if (static_cast<int>(b->size()) != st.n) {
+      throw std::invalid_argument("solve: rhs size mismatch");
+    }
+    st.y.resize(st.n);
+    for (int i = 0; i < st.n; ++i) {
+      const int old = anp->row_perm.old_of(i);
+      st.y[i] = anp->scaled() ? anp->row_scale[old] * (*b)[old] : (*b)[old];
+    }
+  }
+
+  // --- unit decomposition: coalesce consecutive eforest trees (postorder
+  // makes each tree a contiguous column range ending at its root) until a
+  // unit holds at least pipeline_min_unit_cols columns. ---
+  const std::vector<int> roots = anp->eforest.roots();
+  const int need = std::max(1, nopt.pipeline_min_unit_cols);
+  st.unit_col_begin.push_back(0);
+  {
+    int begin = 0;
+    for (std::size_t t = 0; t < roots.size(); ++t) {
+      const int end = roots[t] + 1;
+      if (end - begin >= need || t + 1 == roots.size()) {
+        st.unit_col_begin.push_back(end);
+        begin = end;
+      }
+    }
+  }
+  st.units = static_cast<int>(st.unit_col_begin.size()) - 1;
+  const int nunits = st.units;
+  st.unit_of_col.resize(st.n);
+  for (int u = 0; u < nunits; ++u) {
+    for (int c = st.unit_col_begin[u]; c < st.unit_col_begin[u + 1]; ++c) {
+      st.unit_of_col[c] = u;
+    }
+  }
+
+  // Unit coupling: unit u reads the closed structure of every unit owning a
+  // U-part entry of u's Abar columns.  Closure adds no new source units
+  // (an added block's source chain bottoms out in a raw entry of the same
+  // column), so these DIRECT edges order all cross-unit Struct reads.
+  st.coupling.resize(nunits);
+  {
+    const Pattern& abar = anp->symbolic.abar;
+    std::vector<int> marku(nunits, -1);
+    for (int u = 0; u < nunits; ++u) {
+      const int c0 = st.unit_col_begin[u], c1 = st.unit_col_begin[u + 1];
+      for (int j = c0; j < c1; ++j) {
+        for (const int* e = abar.col_begin(j); e != abar.col_end(j); ++e) {
+          if (*e < c0) {
+            const int v = st.unit_of_col[*e];
+            if (marku[v] != u) {
+              marku[v] = u;
+              st.coupling[u].push_back(v);
+            }
+          }
+        }
+      }
+      std::sort(st.coupling[u].begin(), st.coupling[u].end());
+    }
+  }
+
+  st.boundary.assign(st.n, 0);
+  st.unit_s_begin.assign(nunits, 0);
+  st.unit_s_end.assign(nunits, 0);
+  st.unit_starts.resize(nunits);
+  st.ub_begin.assign(nunits + 1, 0);
+
+  // --- the pool ---
+  std::unique_ptr<rt::SharedRuntime> own_pool;
+  st.rtm = nopt.shared_runtime;
+  if (st.rtm == nullptr) {
+    own_pool = std::make_unique<rt::SharedRuntime>(
+        nopt.threads > 0 ? nopt.threads : 1);
+    st.rtm = own_pool.get();
+  }
+
+  // --- batch 0: the analysis graph. ---
+  const int n0 = 4 * nunits + 3;
+  rt::SharedRuntime::BatchSpec first;
+  first.n = n0;
+  first.indegree.assign(n0, 0);
+  first.succ.assign(n0, {});
+  first.priorities.resize(n0);
+  for (int id = 0; id < n0; ++id) {
+    first.priorities[id] = 1e12 + static_cast<double>(n0 - id);
+  }
+  const int id_super_merge = nunits;
+  const int id_part_merge = 2 * nunits + 1;
+  const int id_finish = 4 * nunits + 2;
+  auto id_amalg = [&](int u) { return nunits + 1 + u; };
+  auto id_struct = [&](int u) { return 2 * nunits + 2 + u; };
+  auto id_mat = [&](int u) { return 3 * nunits + 2 + u; };
+  auto link = [&](int from, int to) {
+    first.succ[from].push_back(to);
+    ++first.indegree[to];
+  };
+  for (int u = 0; u < nunits; ++u) link(u, id_super_merge);
+  for (int u = 0; u < nunits; ++u) link(id_super_merge, id_amalg(u));
+  for (int u = 0; u < nunits; ++u) link(id_amalg(u), id_part_merge);
+  for (int u = 0; u < nunits; ++u) link(id_part_merge, id_struct(u));
+  for (int u = 0; u < nunits; ++u) {
+    for (int v : st.coupling[u]) link(id_struct(v), id_struct(u));
+    link(id_struct(u), id_mat(u));
+    if (u > 0) link(id_mat(u - 1), id_mat(u));
+    link(id_struct(u), id_finish);
+  }
+  first.run = [ps = &st](int id) { run_analysis_task(*ps, id); };
+
+  std::shared_ptr<rt::SharedRuntime::Run> run =
+      st.rtm->submit_dynamic(std::move(first), 1 + nunits);
+  {
+    std::lock_guard<std::mutex> lock(st.run_mu);
+    st.run = run;
+    st.run_set = true;
+  }
+  st.run_cv.notify_all();
+
+  rt::ExecutionReport rep = run->wait();
+  if (!rep.completed && !rep.cancelled) {
+    throw std::logic_error("pipeline: dynamic execution incomplete");
+  }
+
+  // --- status fold (RunState::finish + fold_external_cancel). ---
+  std::sort(st.perturbed.begin(), st.perturbed.end());
+  FactorStatus status;
+  int failed_column;
+  if (st.fail_col >= 0) {
+    status = st.fail_status;
+    failed_column = st.fail_col;
+  } else {
+    status = st.perturbed.empty() ? FactorStatus::kOk : FactorStatus::kPerturbed;
+    failed_column = -1;
+  }
+  if (st.ext_numeric.load(std::memory_order_relaxed) &&
+      factor_usable(status)) {
+    status = FactorStatus::kCancelled;
+    failed_column = -1;
+  }
+
+  // Final factor scan: pivot growth + overflow the factor tasks could not
+  // see (same loop as the phased constructor).
+  double factor_max = 0.0;
+  for (int j = 0; j < st.nb; ++j) {
+    blas::ConstMatrixView col = st.bm->column(j);
+    factor_max = std::max(factor_max, blas::max_abs(col));
+    int bad = -1;
+    if (factor_usable(status) && !blas::all_finite(col, &bad)) {
+      status = FactorStatus::kOverflow;
+      failed_column = anp->blocks.part.first(j) + bad;
+    }
+  }
+
+  // --- phase accounting. ---
+  PipelineStats stats;
+  stats.ran = true;
+  stats.analysis_complete = true;  // analysis tasks never drain
+  const double total = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - st.t0)
+                           .count();
+  auto wall = [&](int p) {
+    const long long lo = st.phase_min[p].load(std::memory_order_relaxed);
+    const long long hi = st.phase_max[p].load(std::memory_order_relaxed);
+    return hi >= lo ? static_cast<double>(hi - lo) * 1e-9 : 0.0;
+  };
+  stats.analyze_seconds = wall(0);
+  stats.factor_seconds = wall(1);
+  stats.solve_seconds = wall(2);
+  stats.total_seconds = total;
+
+  Result res;
+  const bool usable = factor_usable(status);
+  const bool overlapped_solve =
+      b != nullptr && usable &&
+      !st.solve_drained.load(std::memory_order_relaxed);
+
+  if (overlapped_solve) {
+    // Backward pass + unpermute on the caller thread, exactly the phased
+    // solve()'s loops over the forward-solved y.
+    const long long bw0 = now_ns(st);
+    const symbolic::SupernodePartition& part = anp->blocks.part;
+    std::vector<double>& y = st.y;
+    for (int k = st.nb - 1; k >= 0; --k) {
+      const int wk = part.width(k);
+      double* yk = y.data() + part.first(k);
+      blas::ConstMatrixView panel = st.bm->panel(k);
+      blas::ConstMatrixView ukk = panel.block(0, 0, wk, wk);
+      blas::trsv(blas::UpLo::Upper, blas::Trans::No, blas::Diag::NonUnit, ukk,
+                 yk, 1);
+      const std::vector<int>& cl = st.closed[k];
+      const int nu = u_count(cl, k);
+      for (int t = 0; t < nu; ++t) {
+        blas::ConstMatrixView uik = st.bm->block(cl[t], k);
+        blas::gemv(blas::Trans::No, -1.0, uik, yk, 1, 1.0,
+                   y.data() + part.first(cl[t]), 1);
+      }
+    }
+    res.x.resize(st.n);
+    for (int j = 0; j < st.n; ++j) {
+      const int old = anp->col_perm.old_of(j);
+      res.x[old] = anp->scaled() ? anp->col_scale[old] * y[j] : y[j];
+    }
+    res.solve_done = true;
+    atomic_min(st.phase_min[2], bw0);
+    atomic_max(st.phase_max[2], now_ns(st));
+    stats.solve_seconds = wall(2);
+    stats.total_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - st.t0)
+                              .count();
+  }
+  stats.overlap_seconds =
+      std::max(0.0, stats.analyze_seconds + stats.factor_seconds +
+                        stats.solve_seconds - stats.total_seconds);
+
+  Factorization::PipelineState pstate{
+      std::move(*st.bm),
+      std::move(st.ipiv),
+      std::isfinite(st.min_pivot) ? st.min_pivot / st.matrix_scale : 0.0,
+      st.zero_pivots.load(std::memory_order_relaxed),
+      st.lazy_skipped.load(std::memory_order_relaxed),
+      status,
+      failed_column,
+      std::move(st.perturbed),
+      st.perturb_magnitude,
+      factor_max / st.matrix_scale,
+      stats};
+  res.factorization = std::unique_ptr<Factorization>(
+      new Factorization(*anp, std::move(pstate)));
+  res.analysis = std::move(anp);
+
+  if (b != nullptr && usable && !res.solve_done) {
+    // A drained forward (external cancel landing mid-solve) leaves the
+    // factors whole; recompute the solve phased.
+    res.x = res.factorization->solve(*b);
+    res.solve_done = true;
+  }
+  return res;
+}
+
+}  // namespace plu

@@ -1,0 +1,68 @@
+// The phase-spanning analyze->factor->solve pipeline (DESIGN.md section 13).
+//
+// The phased path runs three barriers: analyze() finishes every symbolic
+// artifact before the first numeric flop, factorize() finishes every panel
+// before the first solve step.  The pipeline replaces the barriers with ONE
+// dynamic task graph on the shared multi-DAG runtime
+// (runtime/shared_runtime.h):
+//
+//   * the symbolic suffix (supernodes -> amalgamation -> block layout ->
+//     compact storage) is decomposed into per-UNIT tasks, a unit being a
+//     run of consecutive eforest trees (>= NumericOptions::
+//     pipeline_min_unit_cols columns).  Postordering makes every unit a
+//     contiguous column range and keeps L tree-local, so supernode
+//     boundaries, amalgamation scans and block closure decompose exactly
+//     along unit boundaries;
+//   * when a unit's structure is final, its materialization task appends
+//     that unit's numeric Factor/Update (or 2-D FactorDiag/FactorL/
+//     ComputeU/UpdateBlock) tasks -- and, when a right-hand side was given,
+//     its forward-solve tasks -- into the RUNNING graph via
+//     SharedRuntime::append_batch;
+//   * the remaining global analysis artifacts (block pattern, block
+//     eforest, task graph, cost model) are built by a single Finish task
+//     that runs CONCURRENTLY with the numeric tasks -- the overlap the
+//     barrier used to forbid.
+//
+// Bit-identity.  The numeric batches chain every writer of a block column
+// (or, 2-D, of a block) in ascending source order -- exactly the order the
+// sequential right-looking stage loop applies them -- so the factors, pivot
+// sequences, status folds and solve vectors are bitwise identical to the
+// phased ExecutionMode::kSequential reference, at any thread count.
+//
+// Cancellation.  Numeric breakdown and external cancellation both drain
+// cooperatively through flags the task bodies poll; the ANALYSIS tasks
+// never drain, so the Analysis is always complete and reusable (cacheable)
+// even when the numeric phase was cancelled -- mirroring the phased path,
+// where analyze() has no cancellation either.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/numeric.h"
+
+namespace plu {
+
+class PipelineDriver {
+ public:
+  struct Result {
+    std::unique_ptr<Analysis> analysis;
+    std::unique_ptr<Factorization> factorization;
+    /// Solution of a x = b when `b` was given and the factors are usable
+    /// (empty otherwise).  Bitwise equal to factorization->solve(*b).
+    std::vector<double> x;
+    bool solve_done = false;
+  };
+
+  /// Runs symbolic analysis, numeric factorization and (when b != nullptr)
+  /// the solve of a x = b as one phase-spanning dynamic task graph.  The
+  /// caller must have checked pipeline_supported(aopt, nopt); runs on
+  /// nopt.shared_runtime when set, else on a transient pool of
+  /// nopt.threads workers.  Throws like analyze() on structural errors.
+  static Result run(const CscMatrix& a, const Options& aopt,
+                    const NumericOptions& nopt,
+                    const std::vector<double>* b = nullptr);
+};
+
+}  // namespace plu

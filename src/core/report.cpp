@@ -40,6 +40,8 @@ FactorizationReport report(const Factorization& f) {
   r.lazy_skipped_updates = f.lazy_skipped_updates();
   r.stored_doubles = f.blocks().stored_doubles();
   r.analysis_timings = f.analysis().timings;
+  r.pipeline = f.pipeline_stats();
+  r.pipeline_overlap_seconds = r.pipeline.overlap_seconds;
   return r;
 }
 
@@ -84,6 +86,17 @@ std::string to_string(const FactorizationReport& r) {
       os << " ... (+" << r.perturbed_columns.size() - shown << " more)";
     }
     os << "; pair with refined_solve to recover accuracy";
+  }
+  if (r.pipeline.ran) {
+    // Pipelined phases overlap: print per-phase WALL SPANS plus the overlap
+    // instead of a sequential-looking breakdown that sums past the total.
+    os << "\npipeline:    " << r.pipeline.total_seconds * 1e3
+       << " ms end-to-end; phase walls analyze "
+       << r.pipeline.analyze_seconds * 1e3 << " ms, factor "
+       << r.pipeline.factor_seconds * 1e3 << " ms, solve "
+       << r.pipeline.solve_seconds * 1e3 << " ms; overlap "
+       << r.pipeline_overlap_seconds * 1e3 << " ms"
+       << (r.pipeline.analysis_complete ? "" : " (analysis incomplete)");
   }
   return os.str();
 }

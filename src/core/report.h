@@ -57,6 +57,15 @@ struct FactorizationReport {
   /// Analyze-phase breakdown of the analysis this factorization ran on, so
   /// analyze-vs-factorize cost is visible without a profiler.
   AnalysisTimings analysis_timings;
+  /// Pipelined-run phase accounting (PipelineStats::ran set when the
+  /// phase-spanning pipeline produced this factorization).  The per-phase
+  /// numbers are WALL SPANS of each phase's task activity -- phases overlap,
+  /// so they can sum to more than total_seconds; pipeline_overlap_seconds
+  /// is exactly that excess, reported instead of pretending the phases were
+  /// sequential.
+  PipelineStats pipeline;
+  /// Alias of pipeline.overlap_seconds, the headline honesty number.
+  double pipeline_overlap_seconds = 0.0;
 };
 
 FactorizationReport report(const Factorization& f);

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "core/driver.h"
 #include "core/parallel_solve.h"
+#include "core/pipeline.h"
 
 namespace plu {
 
@@ -23,7 +25,7 @@ void SparseLU::analyze(const CscMatrix& a) {
   last_matrix_.reset();
 }
 
-void SparseLU::factorize(const CscMatrix& a) {
+bool SparseLU::pattern_matches(const CscMatrix& a) const {
   // Reuse the analysis only for the SAME sparsity pattern: a same-size
   // matrix with new structure needs its own symbolic factorization (values
   // may change freely -- that is the point of the static approach).
@@ -41,12 +43,50 @@ void SparseLU::factorize(const CscMatrix& a) {
     same_pattern = analyzed_pattern_.ptr == a.col_ptr() &&
                    analyzed_pattern_.idx == a.row_ind();
   }
-  if (!same_pattern) {
+  return same_pattern;
+}
+
+std::vector<double> SparseLU::run_pipeline(const CscMatrix& a,
+                                           const std::vector<double>* b) {
+  PipelineDriver::Result res =
+      PipelineDriver::run(a, options_, numeric_options_, b);
+  analysis_ = std::move(res.analysis);
+  analyzed_pattern_ = a.pattern();
+  analyzed_fingerprint_ = structure_fingerprint(a.rows(), a.cols(),
+                                                a.col_ptr(), a.row_ind());
+  ++analyze_count_;
+  parallel_solver_.reset();
+  factorization_ = std::move(res.factorization);
+  last_matrix_ = a;
+  if (b != nullptr && !res.solve_done) {
+    return factorization_->solve(*b);  // throws when the factors are unusable
+  }
+  return std::move(res.x);
+}
+
+void SparseLU::factorize(const CscMatrix& a) {
+  if (!pattern_matches(a)) {
+    // A cold pattern is the pipeline's case: analysis and numeric tasks run
+    // as one graph.  With a cached analysis there is nothing to overlap and
+    // the phased constructor below is already optimal.
+    if (pipeline_supported(options_, numeric_options_)) {
+      run_pipeline(a, nullptr);
+      return;
+    }
     analyze(a);
   }
   parallel_solver_.reset();  // bound to the factorization it was built from
   factorization_ = std::make_unique<Factorization>(*analysis_, a, numeric_options_);
   last_matrix_ = a;
+}
+
+std::vector<double> SparseLU::factorize_and_solve(const CscMatrix& a,
+                                                  const std::vector<double>& b) {
+  if (!pattern_matches(a) && pipeline_supported(options_, numeric_options_)) {
+    return run_pipeline(a, &b);
+  }
+  factorize(a);
+  return solve(b);
 }
 
 const Analysis& SparseLU::analysis() const {

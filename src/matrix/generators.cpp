@@ -246,6 +246,25 @@ CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
   return finish_with_diagonal(coo, n, diag_dominance, rng);
 }
 
+CscMatrix block_diag(const std::vector<CscMatrix>& blocks) {
+  int n = 0;
+  for (const CscMatrix& b : blocks) {
+    assert(b.rows() == b.cols());
+    n += b.rows();
+  }
+  CooMatrix coo(n, n);
+  int off = 0;
+  for (const CscMatrix& b : blocks) {
+    for (int j = 0; j < b.cols(); ++j) {
+      for (int k = b.col_begin(j); k < b.col_end(j); ++k) {
+        coo.add(off + b.row_index(k), off + j, b.value(k));
+      }
+    }
+    off += b.rows();
+  }
+  return coo.to_csc();
+}
+
 CscMatrix random_symmetric_permutation(const CscMatrix& a, std::uint64_t seed) {
   assert(a.rows() == a.cols());
   Rng rng(seed);

@@ -65,6 +65,13 @@ CscMatrix circuit(int n, int num_rails, double avg_fanout, std::uint64_t seed);
 CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
                         double diag_dominance, std::uint64_t seed);
 
+/// Block-diagonal union: the given matrices placed on the diagonal with no
+/// coupling between them.  The LU eforest then has (at least) one tree per
+/// block, making this the stress shape for anything that parallelizes over
+/// independent subtrees -- each block analyzes, factorizes and solves
+/// independently of the others.
+CscMatrix block_diag(const std::vector<CscMatrix>& blocks);
+
 /// Applies a random symmetric permutation (same on rows and columns).
 CscMatrix random_symmetric_permutation(const CscMatrix& a, std::uint64_t seed);
 

@@ -18,6 +18,9 @@
 //     --scale               MC64 max-product permutation + scaling
 //     --pivot-threshold T   threshold pivoting with diagonal preference
 //     --threads N           threaded numeric factorization
+//     --pipeline            phase-spanning pipeline: analysis, factorization
+//                           and the forward solve run as ONE dynamic task
+//                           graph (implies --threads; bit-identical results)
 //     --analyze-threads N   parallel symbolic analysis on N threads
 //                           (bit-identical to the sequential analysis;
 //                           0 = hardware concurrency)
@@ -53,7 +56,7 @@ namespace {
                "usage: %s MATRIX [--rhs FILE] [--ordering natural|mindeg|rcm|nd]\n"
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
-               "       [--threads N] [--analyze-threads N] [--lazy]\n"
+               "       [--threads N] [--pipeline] [--analyze-threads N] [--lazy]\n"
                "       [--perturb] [--refine] [--simulate P] [--stats]\n"
                "       [--verbose]\n",
                argv0);
@@ -167,6 +170,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       nopt.threads = std::stoi(next());
       nopt.mode = plu::ExecutionMode::kThreaded;
+    } else if (arg == "--pipeline") {
+      nopt.pipeline = true;
+      nopt.mode = plu::ExecutionMode::kThreaded;
     } else if (arg == "--analyze-threads") {
       opt.analysis.parallel_analyze = true;
       opt.analysis.threads = std::stoi(next());
@@ -201,7 +207,14 @@ int main(int argc, char** argv) {
 
     plu::SparseLU lu(opt);
     lu.numeric_options() = nopt;
-    lu.factorize(a);
+    // The pipelined path overlaps the forward solve with factorization, so
+    // factor and solve together when it might run; x is bitwise the same.
+    std::vector<double> pipelined_x;
+    if (nopt.pipeline && !refine) {
+      pipelined_x = lu.factorize_and_solve(a, b);
+    } else {
+      lu.factorize(a);
+    }
     const plu::Analysis& an = lu.analysis();
 
     std::printf("analysis: fill=%.2fx, %d supernodes, %d tasks, %zu diagonal "
@@ -233,6 +246,13 @@ int main(int argc, char** argv) {
       std::printf(", min pivot ratio %.1e", f.min_pivot_ratio());
     }
     std::printf("\n");
+    if (f.pipeline_stats().ran) {
+      const plu::PipelineStats& ps = f.pipeline_stats();
+      std::printf("pipeline: total %.3fs, walls analyze %.3fs + factor %.3fs "
+                  "+ solve %.3fs, overlap %.3fs\n",
+                  ps.total_seconds, ps.analyze_seconds, ps.factor_seconds,
+                  ps.solve_seconds, ps.overlap_seconds);
+    }
     if (f.status() == plu::FactorStatus::kPerturbed) {
       std::printf("perturbed: %zu pivot(s) bumped to %.3e (growth %.3e); "
                   "%s\n",
@@ -247,6 +267,8 @@ int main(int argc, char** argv) {
       x = std::move(r.x);
       std::printf("refinement: %d iteration(s), backward error %.3e\n",
                   r.iterations, r.backward_error);
+    } else if (!pipelined_x.empty()) {
+      x = std::move(pipelined_x);
     } else {
       x = lu.solve(b);
     }
