@@ -8,8 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,28 @@ namespace plu::bench {
 // google-benchmark sees argv, which would otherwise reject the flag) and
 // json_append -- lives in bench_json.h, shared with the binaries that do not
 // link google-benchmark; there is exactly ONE escaping/NaN policy.
+
+/// Warmup + min-of-N timing protocol: one untimed warmup run (faults the
+/// pages in, fills caches and allocator pools), then `reps` timed runs,
+/// returning the MINIMUM wall-clock seconds.  The minimum is the standard
+/// noise-resistant statistic for short deterministic kernels on a shared
+/// host: every perturbation (scheduler preemption, page fault, turbo
+/// transition) only ever ADDS time, so the min is the best estimate of the
+/// undisturbed cost.  reps < 1 is clamped to 1.
+template <class Fn>
+inline double min_of_n_seconds(int reps, Fn&& fn) {
+  fn();  // warmup, untimed
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < std::max(1, reps); ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
+  }
+  return best;
+}
 
 /// Analysis + simulated makespan for one matrix/options/processor-count.
 inline double simulated_seconds(const Analysis& an, int processors,

@@ -2,45 +2,43 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
 #include <stdexcept>
+#include <thread>
 
 #include "blas/level1.h"
 
 namespace plu {
 
-BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs) : bs_(&bs) {
-  const int nb = bs.num_blocks();
-  data_.resize(nb);
-  blocks_.resize(nb);
-  offsets_.resize(nb);
-  diag_pos_.assign(nb, -1);
-  for (int j = 0; j < nb; ++j) {
-    blocks_[j].assign(bs.bpattern.col_begin(j), bs.bpattern.col_end(j));
-    offsets_[j].resize(blocks_[j].size() + 1);
-    int off = 0;
-    for (std::size_t t = 0; t < blocks_[j].size(); ++t) {
-      offsets_[j][t] = off;
-      if (blocks_[j][t] == j) diag_pos_[j] = static_cast<int>(t);
-      off += bs.part.width(blocks_[j][t]);
-    }
-    offsets_[j].back() = off;
-    if (diag_pos_[j] == -1) {
-      throw std::invalid_argument("BlockMatrix: diagonal block missing");
-    }
-    data_[j].assign(static_cast<std::size_t>(off) * bs.part.width(j), 0.0);
-  }
+namespace {
+
+constexpr std::size_t kAlignBytes = 64;
+constexpr std::size_t kAlignDoubles = kAlignBytes / sizeof(double);
+// Deferred-mode segment granularity: 1 MiB of doubles per slab keeps the
+// allocation count low without over-reserving for small pipelines.
+constexpr std::size_t kSegmentDoubles = std::size_t(1) << 17;
+
+std::size_t align_up(std::size_t doubles) {
+  return (doubles + kAlignDoubles - 1) & ~(kAlignDoubles - 1);
 }
 
-BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns)
-    : bs_(&bs) {
-  const int nb = bs.part.count();
-  data_.resize(nb);
-  blocks_.resize(nb);
-  offsets_.resize(nb);
-  diag_pos_.assign(nb, -1);
+}  // namespace
+
+const char* to_string(StorageMode m) {
+  return m == StorageMode::kVectors ? "vectors" : "arena";
 }
 
-void BlockMatrix::init_column(int j, const std::vector<int>& row_blocks) {
+void BlockMatrix::AlignedDelete::operator()(double* p) const {
+  ::operator delete[](p, std::align_val_t(kAlignBytes));
+}
+
+BlockMatrix::Slab BlockMatrix::allocate_slab(std::size_t doubles) {
+  return Slab(static_cast<double*>(::operator new[](
+      doubles * sizeof(double), std::align_val_t(kAlignBytes))));
+}
+
+std::size_t BlockMatrix::describe_column(int j,
+                                         const std::vector<int>& row_blocks) {
   const symbolic::BlockStructure& bs = *bs_;
   blocks_[j] = row_blocks;
   offsets_[j].resize(blocks_[j].size() + 1);
@@ -54,7 +52,111 @@ void BlockMatrix::init_column(int j, const std::vector<int>& row_blocks) {
   if (diag_pos_[j] == -1) {
     throw std::invalid_argument("BlockMatrix: diagonal block missing");
   }
-  data_[j].assign(static_cast<std::size_t>(off) * bs.part.width(j), 0.0);
+  return static_cast<std::size_t>(off) * bs.part.width(j);
+}
+
+BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs, StorageMode mode,
+                         int init_threads)
+    : bs_(&bs), mode_(mode) {
+  const int nb = bs.num_blocks();
+  blocks_.resize(nb);
+  offsets_.resize(nb);
+  diag_pos_.assign(nb, -1);
+  col_ptr_.assign(nb, nullptr);
+  col_doubles_.assign(nb, 0);
+
+  if (mode_ == StorageMode::kVectors) {
+    data_.resize(nb);
+    for (int j = 0; j < nb; ++j) {
+      const std::size_t len = describe_column(
+          j, {bs.bpattern.col_begin(j), bs.bpattern.col_end(j)});
+      data_[j].assign(len, 0.0);
+      col_ptr_[j] = data_[j].data();
+      col_doubles_[j] = len;
+    }
+    return;
+  }
+
+  // One sizing pass over the symbolic structure, then one aligned slab with
+  // every column base on a 64-byte boundary.
+  std::vector<std::size_t> base(nb);
+  std::size_t total = 0;
+  for (int j = 0; j < nb; ++j) {
+    const std::size_t len = describe_column(
+        j, {bs.bpattern.col_begin(j), bs.bpattern.col_end(j)});
+    base[j] = total;
+    col_doubles_[j] = len;
+    total += align_up(len);
+  }
+  arena_doubles_ = total;
+  arena_ = allocate_slab(std::max<std::size_t>(total, 1));
+  for (int j = 0; j < nb; ++j) col_ptr_[j] = arena_.get() + base[j];
+
+  // First-touch initialization: each worker zeroes one contiguous range of
+  // columns (padding included), so the pages it faults in are the pages its
+  // column range lives on.  Below ~8 MiB the thread spawn costs more than
+  // the placement is worth.
+  const std::size_t min_parallel = std::size_t(1) << 20;
+  int workers = std::min(init_threads, nb);
+  if (workers <= 1 || total < min_parallel) {
+    std::fill(arena_.get(), arena_.get() + total, 0.0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  const std::size_t chunk = (total + workers - 1) / workers;
+  int begin_col = 0;
+  for (int w = 0; w < workers && begin_col < nb; ++w) {
+    // Advance to the first column past this worker's share of doubles.
+    int end_col = begin_col;
+    const std::size_t limit = std::min(total, (w + 1) * chunk);
+    while (end_col < nb && base[end_col] < limit) ++end_col;
+    if (w == workers - 1) end_col = nb;
+    const std::size_t lo = base[begin_col];
+    const std::size_t hi = end_col < nb ? base[end_col] : total;
+    threads.emplace_back([p = arena_.get(), lo, hi] {
+      std::fill(p + lo, p + hi, 0.0);
+    });
+    begin_col = end_col;
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+BlockMatrix::BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns,
+                         StorageMode mode)
+    : bs_(&bs), mode_(mode), deferred_(true) {
+  const int nb = bs.part.count();
+  blocks_.resize(nb);
+  offsets_.resize(nb);
+  diag_pos_.assign(nb, -1);
+  col_ptr_.assign(nb, nullptr);
+  col_doubles_.assign(nb, 0);
+  if (mode_ == StorageMode::kVectors) data_.resize(nb);
+}
+
+void BlockMatrix::place_deferred_column(int j, std::size_t doubles) {
+  if (mode_ == StorageMode::kVectors) {
+    data_[j].assign(doubles, 0.0);
+    col_ptr_[j] = data_[j].data();
+    return;
+  }
+  const std::size_t need = align_up(doubles);
+  if (segments_.empty() || segment_used_ + need > segment_doubles_.back()) {
+    const std::size_t cap = std::max(need, kSegmentDoubles);
+    segments_.push_back(allocate_slab(cap));
+    segment_doubles_.push_back(cap);
+    segment_used_ = 0;
+  }
+  double* p = segments_.back().get() + segment_used_;
+  segment_used_ += need;
+  std::fill(p, p + doubles, 0.0);
+  col_ptr_[j] = p;
+}
+
+void BlockMatrix::init_column(int j, const std::vector<int>& row_blocks) {
+  const std::size_t len = describe_column(j, row_blocks);
+  col_doubles_[j] = len;
+  place_deferred_column(j, len);
 }
 
 void BlockMatrix::load_column(int j, const CscMatrix& a) {
@@ -62,7 +164,7 @@ void BlockMatrix::load_column(int j, const CscMatrix& a) {
   const int height = column_height(j);
   for (int col = bs_->part.first(j); col < bs_->part.end(j); ++col) {
     const int jc = col - bs_->part.first(j);
-    double* buf = data_[j].data() + static_cast<std::size_t>(jc) * height;
+    double* buf = col_ptr_[j] + static_cast<std::size_t>(jc) * height;
     for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
       const int row = a.row_index(k);
       const int bi = bs_->part.supernode_of(row);
@@ -82,7 +184,7 @@ void BlockMatrix::load(const CscMatrix& a) {
     const int j = bs_->part.supernode_of(col);
     const int jc = col - bs_->part.first(j);  // column within the block column
     const int height = column_height(j);
-    double* buf = data_[j].data() + static_cast<std::size_t>(jc) * height;
+    double* buf = col_ptr_[j] + static_cast<std::size_t>(jc) * height;
     for (int k = a.col_begin(col); k < a.col_end(col); ++k) {
       const int row = a.row_index(k);
       const int bi = bs_->part.supernode_of(row);
@@ -96,7 +198,27 @@ void BlockMatrix::load(const CscMatrix& a) {
 }
 
 void BlockMatrix::set_zero() {
-  for (auto& d : data_) std::fill(d.begin(), d.end(), 0.0);
+  if (mode_ == StorageMode::kArena && !deferred_) {
+    std::fill(arena_.get(), arena_.get() + arena_doubles_, 0.0);
+    return;
+  }
+  for (std::size_t j = 0; j < col_ptr_.size(); ++j) {
+    if (col_ptr_[j] != nullptr) {
+      std::fill(col_ptr_[j], col_ptr_[j] + col_doubles_[j], 0.0);
+    }
+  }
+}
+
+std::size_t BlockMatrix::storage_bytes() const {
+  if (mode_ == StorageMode::kVectors || (deferred_ && segments_.empty())) {
+    return stored_doubles() * sizeof(double);
+  }
+  if (deferred_) {
+    std::size_t total = 0;
+    for (std::size_t cap : segment_doubles_) total += cap;
+    return total * sizeof(double);
+  }
+  return arena_doubles_ * sizeof(double);
 }
 
 int BlockMatrix::block_pos(int i, int j) const {
@@ -115,26 +237,26 @@ blas::MatrixView BlockMatrix::block(int i, int j) {
   int off = block_offset(i, j);
   assert(off >= 0);
   const int height = column_height(j);
-  return {data_[j].data() + off, bs_->part.width(i), bs_->part.width(j), height};
+  return {col_ptr_[j] + off, bs_->part.width(i), bs_->part.width(j), height};
 }
 
 blas::ConstMatrixView BlockMatrix::block(int i, int j) const {
   int off = block_offset(i, j);
   assert(off >= 0);
   const int height = column_height(j);
-  return {data_[j].data() + off, bs_->part.width(i), bs_->part.width(j), height};
+  return {col_ptr_[j] + off, bs_->part.width(i), bs_->part.width(j), height};
 }
 
 blas::MatrixView BlockMatrix::panel(int k) {
   const int height = column_height(k);
   const int off = offsets_[k][diag_pos_[k]];
-  return {data_[k].data() + off, height - off, bs_->part.width(k), height};
+  return {col_ptr_[k] + off, height - off, bs_->part.width(k), height};
 }
 
 blas::ConstMatrixView BlockMatrix::panel(int k) const {
   const int height = column_height(k);
   const int off = offsets_[k][diag_pos_[k]];
-  return {data_[k].data() + off, height - off, bs_->part.width(k), height};
+  return {col_ptr_[k] + off, height - off, bs_->part.width(k), height};
 }
 
 int BlockMatrix::panel_height(int k) const {
@@ -162,18 +284,18 @@ std::vector<int> BlockMatrix::panel_rows_in_column(int k, int j) const {
 void BlockMatrix::swap_rows(int j, int r1, int r2) {
   if (r1 == r2) return;
   const int height = column_height(j);
-  blas::swap(bs_->part.width(j), data_[j].data() + r1, height,
-             data_[j].data() + r2, height);
+  blas::swap(bs_->part.width(j), col_ptr_[j] + r1, height, col_ptr_[j] + r2,
+             height);
 }
 
 blas::MatrixView BlockMatrix::column(int j) {
   const int height = column_height(j);
-  return {data_[j].data(), height, bs_->part.width(j), height};
+  return {col_ptr_[j], height, bs_->part.width(j), height};
 }
 
 blas::ConstMatrixView BlockMatrix::column(int j) const {
   const int height = column_height(j);
-  return {data_[j].data(), height, bs_->part.width(j), height};
+  return {col_ptr_[j], height, bs_->part.width(j), height};
 }
 
 blas::DenseMatrix BlockMatrix::to_dense() const {
@@ -195,7 +317,7 @@ blas::DenseMatrix BlockMatrix::to_dense() const {
 
 std::size_t BlockMatrix::stored_doubles() const {
   std::size_t total = 0;
-  for (const auto& d : data_) total += d.size();
+  for (std::size_t len : col_doubles_) total += len;
   return total;
 }
 

@@ -7,10 +7,31 @@
 // L blocks -- is a contiguous tail of block column k's buffer, directly
 // usable as a getrf operand.
 //
+// Storage backing (StorageMode):
+//
+//   kArena (default): ONE contiguous 64-byte-aligned slab sized exactly
+//   from the symbolic block structure, with every column buffer starting
+//   on a 64-byte boundary inside it.  One allocation instead of one per
+//   block column, set_zero() as a single contiguous fill (the
+//   refactorization fast path), and pages first-touched by the worker
+//   threads that will own each column range (`init_threads`), so on NUMA
+//   machines the column data lands near its consumers.  The deferred
+//   (pipeline) constructor cannot know the total size up front and uses a
+//   segmented bump allocator over the same aligned slabs instead.
+//
+//   kVectors: the original per-column std::vector<std::vector<double>>
+//   layout, kept as the storage-ablation baseline
+//   (bench_scaling_modern.cpp measures one against the other).
+//
+// Values are identical under both modes -- only placement differs -- so
+// factorizations are bitwise equal across modes.
+//
 // Explicit zeros inside blocks are stored and computed on, exactly as in
 // S*/S+ ("even if some operations will involve zero elements").
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "blas/dense.h"
@@ -19,23 +40,42 @@
 
 namespace plu {
 
+enum class StorageMode {
+  kArena,    // one contiguous 64-byte-aligned arena (default)
+  kVectors,  // per-column vectors (ablation baseline)
+};
+
+const char* to_string(StorageMode m);
+
 class BlockMatrix {
  public:
   /// Tag for the deferred constructor below.
   struct DeferredColumns {};
 
   /// Allocates zeroed storage for the block structure.  `bs` must outlive
-  /// the BlockMatrix.
-  explicit BlockMatrix(const symbolic::BlockStructure& bs);
+  /// the BlockMatrix.  With `init_threads` > 1 under kArena, the initial
+  /// zeroing fans out over that many threads, each touching a contiguous
+  /// range of columns first (NUMA first-touch placement).
+  explicit BlockMatrix(const symbolic::BlockStructure& bs,
+                       StorageMode mode = StorageMode::kArena,
+                       int init_threads = 1);
 
   /// Deferred construction for the analyze->factor pipeline: `bs.part` must
   /// be final but `bs.bpattern` may still be empty -- every accessor reads
   /// only `bs.part`, so columns can be materialized one at a time with
   /// init_column()/load_column() as their block lists are discovered.
-  BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns);
+  /// Under kArena, columns are carved out of growing aligned segments.
+  BlockMatrix(const symbolic::BlockStructure& bs, DeferredColumns,
+              StorageMode mode = StorageMode::kArena);
+
+  BlockMatrix(BlockMatrix&&) noexcept = default;
+  BlockMatrix& operator=(BlockMatrix&&) noexcept = default;
+  BlockMatrix(const BlockMatrix&) = delete;
+  BlockMatrix& operator=(const BlockMatrix&) = delete;
 
   /// Materializes block column j from its sorted structurally-nonzero row
-  /// block list (must include the diagonal).  One-shot per column.
+  /// block list (must include the diagonal).  One-shot per column; NOT
+  /// thread-safe (the pipeline's Mat chain serializes these calls).
   void init_column(int j, const std::vector<int>& row_blocks);
 
   /// Scatters the CSC columns of block column j (matrix already permuted to
@@ -46,11 +86,19 @@ class BlockMatrix {
   const symbolic::BlockStructure& structure() const { return *bs_; }
   int num_block_columns() const { return bs_->num_blocks(); }
 
+  StorageMode storage_mode() const { return mode_; }
+
+  /// Bytes of block storage held (arena/segment capacity incl. alignment
+  /// padding, or the summed vector sizes) -- the peak numeric footprint
+  /// surfaced in FactorizationReport.
+  std::size_t storage_bytes() const;
+
   /// Scatters a CSC matrix (already permuted to the analysis ordering) into
   /// the blocks.  Throws if an entry falls outside the block pattern.
   void load(const CscMatrix& a);
 
   /// Resets all values to zero (for refactorization on the same structure).
+  /// Under kArena this is one contiguous fill of the slab.
   void set_zero();
 
   /// Dense view of block (i, j); block must be structurally present.
@@ -89,17 +137,46 @@ class BlockMatrix {
   /// small problems only).
   blas::DenseMatrix to_dense() const;
 
-  /// Sum of all buffer sizes, in doubles (memory diagnostics).
+  /// Sum of all buffer sizes, in doubles (memory diagnostics; excludes
+  /// alignment padding).
   std::size_t stored_doubles() const;
 
  private:
+  struct AlignedDelete {
+    void operator()(double* p) const;
+  };
+  using Slab = std::unique_ptr<double[], AlignedDelete>;
+
+  static Slab allocate_slab(std::size_t doubles);
+
   int block_pos(int i, int j) const;  // index of block i in blocks_[j]; -1 absent
 
+  /// Computes blocks_/offsets_/diag_pos_ for column j and returns its
+  /// buffer length in doubles.
+  std::size_t describe_column(int j, const std::vector<int>& row_blocks);
+
+  /// Assigns column j's base pointer: a zeroed buffer of `doubles` doubles
+  /// from the current segment (kArena deferred) or data_[j] (kVectors).
+  void place_deferred_column(int j, std::size_t doubles);
+
   const symbolic::BlockStructure* bs_;
-  std::vector<std::vector<double>> data_;    // per block column
-  std::vector<std::vector<int>> blocks_;     // sorted row-block ids
-  std::vector<std::vector<int>> offsets_;    // per column: offset per block + total
-  std::vector<int> diag_pos_;                // position of diagonal block in blocks_[j]
+  StorageMode mode_ = StorageMode::kArena;
+  bool deferred_ = false;
+
+  // kArena, full construction: one slab.
+  Slab arena_;
+  std::size_t arena_doubles_ = 0;
+  // kArena, deferred construction: bump-allocated segments.
+  std::vector<Slab> segments_;
+  std::vector<std::size_t> segment_doubles_;  // capacity per segment
+  std::size_t segment_used_ = 0;              // doubles used in segments_.back()
+
+  std::vector<double*> col_ptr_;            // base pointer per block column
+  std::vector<std::size_t> col_doubles_;    // buffer length per block column
+  std::vector<std::vector<double>> data_;   // kVectors backing
+  std::vector<std::vector<int>> blocks_;    // sorted row-block ids
+  std::vector<std::vector<int>> offsets_;   // per column: offset per block + total
+  std::vector<int> diag_pos_;               // position of diagonal block in blocks_[j]
 };
 
 }  // namespace plu

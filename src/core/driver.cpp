@@ -375,7 +375,40 @@ void execute(NumericRun& run, const NumericOptions& opt,
     }
     case ExecutionMode::kThreaded: {
       rt::ExecutionReport rep;
-      if (opt.fuzz_schedule) {
+      taskgraph::CoarseGraph cg;
+      if (opt.coarsen) {
+        taskgraph::CoarsenOptions copt;
+        copt.threads = opt.threads;
+        copt.threshold_flops = opt.coarsen_threshold_flops;
+        cg = taskgraph::coarsen_task_graph(run.graph, run.an.blocks, copt);
+        run.coarsen = cg.stats(run.graph);
+      }
+      if (cg.coarsened) {
+        // A fused group runs its member tasks in sequential right-looking
+        // order; `guarded` keeps the per-task cancellation drain, so a
+        // breakdown inside a group skips the group's remaining members just
+        // as the executor skips the remaining groups.
+        const auto run_group = [&](int gid) {
+          for (int id : cg.members[gid]) guarded(id);
+        };
+        if (opt.fuzz_schedule) {
+          rt::FuzzOptions fuzz;
+          fuzz.seed = opt.fuzz_seed;
+          fuzz.max_delay_us = opt.fuzz_max_delay_us;
+          fuzz.cancel = token;
+          rep = rt::execute_dag_fuzzed(cg.succ, cg.indegree, opt.threads, fuzz,
+                                       run_group);
+        } else {
+          rt::ExecOptions eopt;
+          eopt.kind = opt.executor;
+          eopt.cancel = token;
+          eopt.shared = opt.shared_runtime;
+          eopt.request_priority = opt.request_priority;
+          eopt.priorities = &cg.priorities;
+          rep = rt::execute_dag(cg.succ, cg.indegree, opt.threads, run_group,
+                                eopt);
+        }
+      } else if (opt.fuzz_schedule) {
         rt::FuzzOptions fuzz;
         fuzz.seed = opt.fuzz_seed;
         fuzz.max_delay_us = opt.fuzz_max_delay_us;

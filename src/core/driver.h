@@ -17,6 +17,7 @@
 #include "core/block_storage.h"
 #include "core/status.h"
 #include "runtime/race_checker.h"
+#include "taskgraph/coarsen.h"
 
 namespace plu {
 
@@ -55,6 +56,9 @@ struct NumericRun {
   int failed_column = -1;
   /// Perturbation log: global columns whose pivot was bumped (sorted).
   std::vector<int> perturbed_columns{};
+  /// Task-graph coarsening summary (ran == false when coarsening was off,
+  /// not applicable, or the mode was not threaded).
+  taskgraph::CoarsenStats coarsen{};
 };
 
 /// The phase-spanning analyze->factor->solve driver (core/pipeline.h); a

@@ -25,7 +25,9 @@ const taskgraph::TaskGraph& Factorization::task_graph() const {
 
 Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
                              const NumericOptions& opt)
-    : analysis_(&analysis), blocks_(analysis.blocks),
+    : analysis_(&analysis),
+      blocks_(analysis.blocks, opt.storage,
+              opt.mode == ExecutionMode::kThreaded ? opt.threads : 1),
       layout_(analysis.options.layout) {
   if (a.rows() != analysis.n || a.cols() != analysis.n) {
     throw std::invalid_argument("Factorization: matrix/analysis size mismatch");
@@ -71,6 +73,7 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   status_ = run.status;
   failed_column_ = run.failed_column;
   perturbed_columns_ = std::move(run.perturbed_columns);
+  coarsen_stats_ = run.coarsen;
   // Final factor scan: pivot growth, plus overflow the factor tasks could
   // not see (in the 1-D layout the U blocks above a panel are only written
   // by Update tasks, which perform no scan of their own).
@@ -107,7 +110,8 @@ Factorization::Factorization(const Analysis& analysis, PipelineState&& st)
       perturbed_columns_(std::move(st.perturbed_columns)),
       perturb_magnitude_(st.perturb_magnitude),
       growth_factor_(st.growth_factor),
-      pipeline_stats_(st.stats) {}
+      pipeline_stats_(st.stats),
+      coarsen_stats_(st.coarsen) {}
 
 void Factorization::require_usable(const char* what) const {
   if (factor_usable(status_)) return;

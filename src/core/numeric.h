@@ -45,6 +45,7 @@
 #include "core/status.h"
 #include "runtime/dag_executor.h"
 #include "runtime/race_checker.h"
+#include "taskgraph/coarsen.h"
 
 namespace plu {
 
@@ -129,6 +130,26 @@ struct NumericOptions {
   /// are coalesced until a unit reaches this many columns, bounding
   /// per-task overhead on forests with many tiny trees.
   int pipeline_min_unit_cols = 64;
+  /// DAG task coarsening (taskgraph/coarsen.h): before threaded execution,
+  /// collapse whole low-weight eforest subtrees into single fused tasks
+  /// running the sequential kernel loop for that subtree, so scheduling
+  /// overhead is paid per subtree instead of per kernel call.  Honored by
+  /// kThreaded (including the fuzzed and shared-runtime paths) and by the
+  /// pipeline (which fuses whole analysis units); silently falls back to
+  /// the uncoarsened graph when not applicable (non-eforest graph kind,
+  /// unordered labels, no flop annotations) -- check
+  /// Factorization::coarsen_stats().ran.  When coarsening ran, the
+  /// threaded result is additionally BITWISE identical to
+  /// ExecutionMode::kSequential at any thread count (the coarse graph
+  /// chains same-target writers in sequential order).
+  bool coarsen = false;
+  /// Explicit fusion threshold in flops; <= 0 selects the adaptive one
+  /// (min(total/(threads * 48), half the critical path)).
+  double coarsen_threshold_flops = 0.0;
+  /// Block storage backing (core/block_storage.h): one contiguous 64-byte
+  /// aligned arena (default) or the per-column vector layout kept as the
+  /// storage-ablation baseline.  Values are bitwise identical either way.
+  StorageMode storage = StorageMode::kArena;
   /// Static pivot perturbation (the SuperLU_DIST recovery for the static
   /// symbolic factorization): a pivot with |p| < sqrt(eps) * max|A| is
   /// bumped to that magnitude (sign preserved) instead of stopping the run
@@ -253,6 +274,12 @@ class Factorization {
   /// (PipelineStats::ran is false when the phased path ran).
   const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
 
+  /// Task-graph coarsening summary of the run (CoarsenStats::ran is false
+  /// when NumericOptions::coarsen was off or not applicable).
+  const taskgraph::CoarsenStats& coarsen_stats() const {
+    return coarsen_stats_;
+  }
+
  private:
   friend class NumericDriver;
   friend class PipelineDriver;
@@ -272,6 +299,7 @@ class Factorization {
     double perturb_magnitude = 0.0;
     double growth_factor = 0.0;
     PipelineStats stats{};
+    taskgraph::CoarsenStats coarsen{};
   };
   Factorization(const Analysis& analysis, PipelineState&& st);
 
@@ -294,6 +322,7 @@ class Factorization {
   double perturb_magnitude_ = 0.0;
   double growth_factor_ = 0.0;
   PipelineStats pipeline_stats_;
+  taskgraph::CoarsenStats coarsen_stats_;
 };
 
 /// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).

@@ -47,6 +47,13 @@ struct NTask {
   int i = -1;
 };
 
+/// Default fusion threshold for unit batches when NumericOptions::coarsen is
+/// on but no explicit threshold was given.  The pipeline streams units, so
+/// the adaptive total-flops rule of coarsen_task_graph is unavailable; ~4
+/// Mflop is a few hundred microseconds of kernel work -- comfortably above
+/// the per-task scheduling cost the fusion amortizes.
+constexpr double kDefaultUnitFuseFlops = static_cast<double>(1 << 22);
+
 /// Everything the tasks share.  Lives on PipelineDriver::run's stack frame
 /// (run() blocks on the dynamic run before returning), referenced by raw
 /// pointer from the task lambdas.
@@ -62,6 +69,9 @@ struct PipeState {
   bool two_d = false;
   rt::CancelToken* ext = nullptr;  // external cancel (polled by numeric tasks)
   rt::SharedRuntime* rtm = nullptr;
+  StorageMode storage = StorageMode::kArena;
+  bool coarsen = false;            // fuse low-weight unit batches
+  double coarsen_threshold = 0.0;  // flops; units at or below run as one task
 
   // --- unit decomposition (columns) ---
   int n = 0;
@@ -82,6 +92,7 @@ struct PipeState {
   std::vector<std::vector<std::uint64_t>> closed_bits;  // nb x words
   std::vector<std::vector<int>> closed;     // closed row-block lists
   std::vector<std::vector<int>> lblocks;    // closed entries > j
+  std::vector<long> lheight;                // summed L-part widths per column
   std::vector<long> extra_add;              // closure additions per column
 
   std::optional<BlockMatrix> bm;
@@ -113,6 +124,12 @@ struct PipeState {
   int fail_col = -1;
   FactorStatus fail_status = FactorStatus::kOk;
   std::vector<int> perturbed;
+
+  // --- unit-batch fusion counters (Mat tasks are chained, so no atomics) ---
+  long c_tasks_before = 0, c_tasks_after = 0;
+  long c_edges_before = 0, c_edges_after = 0;
+  int c_fused_groups = 0;
+  long c_fused_tasks = 0;
 
   // --- phase stamps: 0 = analysis, 1 = factor, 2 = solve ---
   std::chrono::steady_clock::time_point t0;
@@ -375,12 +392,66 @@ struct BatchBuild {
     spec.n = static_cast<int>(tasks->size());
     spec.run = [ps, t = tasks](int lid) { run_numeric_task(*ps, (*t)[lid]); };
   }
+  long edge_count() const {
+    long e = 0;
+    for (int d : spec.indegree) e += d;
+    return e;
+  }
+  /// Collapse the whole batch into ONE task running the members in creation
+  /// order.  Creation order is topological within a batch (both builders
+  /// only add edges from earlier-created tasks to later ones), and every
+  /// per-target writer chain is a subsequence of it, so the fused task
+  /// applies the writes in exactly the chained -- i.e. sequential -- order:
+  /// results stay bitwise identical.  The fused task carries the deduped
+  /// union of the members' cross-batch predecessors and is exported as the
+  /// unit's sole producer gid.
+  void fuse_all(PipeState* ps) {
+    rt::SharedRuntime::BatchSpec f;
+    f.n = 1;
+    double prio = 0.0;
+    for (double p : spec.priorities) prio = std::max(prio, p);
+    f.priorities = {prio};
+    std::vector<long> preds;
+    for (const auto& cp : spec.cross_preds) {
+      preds.insert(preds.end(), cp.begin(), cp.end());
+    }
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    f.indegree = {static_cast<int>(preds.size())};
+    f.succ = {{}};
+    f.cross_preds = {std::move(preds)};
+    f.exported = {1};
+    f.run = [ps, t = tasks](int) {
+      for (const NTask& nt : *t) run_numeric_task(*ps, nt);
+    };
+    spec = std::move(f);
+  }
 };
 
 /// Count of U-part entries (< j) of closed[j].
 int u_count(const std::vector<int>& closed, int j) {
   return static_cast<int>(
       std::lower_bound(closed.begin(), closed.end(), j) - closed.begin());
+}
+
+/// Structure-derived flop estimate of one unit's numeric work (factor +
+/// update kernels over the closed pattern) -- the fusion test input.  Every
+/// source column k it reads belongs to this unit or one Struct-coupled
+/// before it, so lheight[k] is final when Mat(u) runs.
+double unit_flops(const PipeState& st, int u) {
+  const symbolic::SupernodePartition& part = st.an->blocks.part;
+  double fl = 0.0;
+  for (int j = st.ub_begin[u]; j < st.ub_begin[u + 1]; ++j) {
+    const double wj = part.width(j);
+    fl += wj * wj * (wj + static_cast<double>(st.lheight[j]));
+    const std::vector<int>& cl = st.closed[j];
+    const int nu = u_count(cl, j);
+    for (int t = 0; t < nu; ++t) {
+      const double wk = part.width(cl[t]);
+      fl += 2.0 * wk * wj * (wk + static_cast<double>(st.lheight[cl[t]]));
+    }
+  }
+  return fl;
 }
 
 void build_unit_batch_1d(PipeState& st, int u) {
@@ -421,8 +492,21 @@ void build_unit_batch_1d(PipeState& st, int u) {
     }
   }
   bb.finish(&st);
+  st.c_tasks_before += bb.spec.n;
+  st.c_edges_before += bb.edge_count();
+  const bool fuse =
+      st.coarsen && bb.spec.n > 1 && unit_flops(st, u) <= st.coarsen_threshold;
+  if (fuse) {
+    st.c_fused_groups += 1;
+    st.c_fused_tasks += bb.spec.n;
+    bb.fuse_all(&st);
+  }
+  st.c_tasks_after += bb.spec.n;
+  st.c_edges_after += bb.edge_count();
   const long base = st.rtm->append_batch(get_run(st), std::move(bb.spec));
-  for (int j = b0; j < b1; ++j) st.factor_gid[j] = base + local_f[j - b0];
+  for (int j = b0; j < b1; ++j) {
+    st.factor_gid[j] = fuse ? base : base + local_f[j - b0];
+  }
 }
 
 void build_unit_batch_2d(PipeState& st, int u) {
@@ -485,14 +569,26 @@ void build_unit_batch_2d(PipeState& st, int u) {
     }
   }
   bb.finish(&st);
+  st.c_tasks_before += bb.spec.n;
+  st.c_edges_before += bb.edge_count();
+  const bool fuse =
+      st.coarsen && bb.spec.n > 1 && unit_flops(st, u) <= st.coarsen_threshold;
+  if (fuse) {
+    st.c_fused_groups += 1;
+    st.c_fused_tasks += bb.spec.n;
+    bb.fuse_all(&st);
+  }
+  st.c_tasks_after += bb.spec.n;
+  st.c_edges_after += bb.edge_count();
   const long base = st.rtm->append_batch(get_run(st), std::move(bb.spec));
   for (int j = b0; j < b1; ++j) {
-    st.factor_gid[j] = base + local_fd[j - b0];
+    st.factor_gid[j] = fuse ? base : base + local_fd[j - b0];
     auto& fg = st.fl_gid[j];
     fg.clear();
     fg.reserve(st.lblocks[j].size());
     for (std::size_t p = 0; p < st.lblocks[j].size(); ++p) {
-      fg.emplace_back(st.lblocks[j][p], base + local_fl[j - b0][p]);
+      fg.emplace_back(st.lblocks[j][p],
+                      fuse ? base : base + local_fl[j - b0][p]);
     }
   }
 }
@@ -565,8 +661,9 @@ void task_part_merge(PipeState& st) {
   st.closed_bits.assign(st.nb, std::vector<std::uint64_t>(st.words, 0));
   st.closed.resize(st.nb);
   st.lblocks.resize(st.nb);
+  st.lheight.assign(st.nb, 0);
   st.extra_add.assign(st.nb, 0);
-  st.bm.emplace(an.blocks, BlockMatrix::DeferredColumns{});
+  st.bm.emplace(an.blocks, BlockMatrix::DeferredColumns{}, st.storage);
   st.ipiv.assign(st.nb, {});
   st.factor_gid.assign(st.nb, -1);
   if (st.two_d) st.fl_gid.resize(st.nb);
@@ -638,6 +735,9 @@ void task_struct(PipeState& st, int u) {
     st.extra_add[j] =
         static_cast<long>(cl.size()) - static_cast<long>(raw.size());
     st.lblocks[j].assign(std::upper_bound(cl.begin(), cl.end(), j), cl.end());
+    long lh = 0;
+    for (int t : st.lblocks[j]) lh += part.width(t);
+    st.lheight[j] = lh;
     st.bm->init_column(j, cl);
     st.bm->load_column(j, st.apre);
   }
@@ -759,6 +859,11 @@ PipelineDriver::Result PipelineDriver::run(const CscMatrix& a,
   st.lazy = nopt.lazy_updates;
   st.threshold = nopt.pivot_threshold;
   st.ext = nopt.cancel;
+  st.storage = nopt.storage;
+  st.coarsen = nopt.coarsen;
+  st.coarsen_threshold = nopt.coarsen_threshold_flops > 0.0
+                             ? nopt.coarsen_threshold_flops
+                             : kDefaultUnitFuseFlops;
 
   // Permuted + scaled input and the matrix-magnitude reference.  The phased
   // constructor scans the loaded block columns; scanning apre's values sees
@@ -989,6 +1094,16 @@ PipelineDriver::Result PipelineDriver::run(const CscMatrix& a,
       std::max(0.0, stats.analyze_seconds + stats.factor_seconds +
                         stats.solve_seconds - stats.total_seconds);
 
+  taskgraph::CoarsenStats cst;
+  cst.ran = st.coarsen;
+  cst.tasks_before = static_cast<int>(st.c_tasks_before);
+  cst.edges_before = st.c_edges_before;
+  cst.tasks_after = static_cast<int>(st.c_tasks_after);
+  cst.edges_after = st.c_edges_after;
+  cst.fused_groups = st.c_fused_groups;
+  cst.fused_tasks = st.c_fused_tasks;
+  cst.threshold_flops = st.coarsen ? st.coarsen_threshold : 0.0;
+
   Factorization::PipelineState pstate{
       std::move(*st.bm),
       std::move(st.ipiv),
@@ -1000,7 +1115,8 @@ PipelineDriver::Result PipelineDriver::run(const CscMatrix& a,
       std::move(st.perturbed),
       st.perturb_magnitude,
       factor_max / st.matrix_scale,
-      stats};
+      stats,
+      cst};
   res.factorization = std::unique_ptr<Factorization>(
       new Factorization(*anp, std::move(pstate)));
   res.analysis = std::move(anp);

@@ -39,6 +39,9 @@ FactorizationReport report(const Factorization& f) {
   r.pivot_interchanges = f.pivot_interchanges();
   r.lazy_skipped_updates = f.lazy_skipped_updates();
   r.stored_doubles = f.blocks().stored_doubles();
+  r.storage_bytes = f.blocks().storage_bytes();
+  r.storage_mode = to_string(f.blocks().storage_mode());
+  r.coarsen = f.coarsen_stats();
   r.analysis_timings = f.analysis().timings;
   r.pipeline = f.pipeline_stats();
   r.pipeline_overlap_seconds = r.pipeline.overlap_seconds;
@@ -76,7 +79,16 @@ std::string to_string(const FactorizationReport& r) {
      << " zero pivot(s), " << r.lazy_skipped_updates
      << " lazy-skipped update(s), min pivot ratio " << r.min_pivot_ratio
      << ", growth factor " << r.growth_factor << ", "
-     << 8.0 * r.stored_doubles / 1e6 << " MB factor storage";
+     << 8.0 * r.stored_doubles / 1e6 << " MB factor values ("
+     << r.storage_bytes / 1e6 << " MB peak " << r.storage_mode << " storage)";
+  if (r.coarsen.ran) {
+    os << "\ncoarsening:  " << r.coarsen.tasks_before << " -> "
+       << r.coarsen.tasks_after << " task(s), " << r.coarsen.edges_before
+       << " -> " << r.coarsen.edges_after << " edge(s); "
+       << r.coarsen.fused_groups << " fused group(s) absorbing "
+       << r.coarsen.fused_tasks << " task(s), threshold "
+       << r.coarsen.threshold_flops / 1e6 << " Mflop";
+  }
   if (!r.perturbed_columns.empty()) {
     os << "\nperturbed:   " << r.perturbed_columns.size()
        << " pivot(s) bumped to " << r.perturbation_magnitude << " at column(s)";

@@ -246,6 +246,76 @@ CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
   return finish_with_diagonal(coo, n, diag_dominance, rng);
 }
 
+CscMatrix multiphysics3d(int nx, int ny, int nz, int dofs,
+                         const StencilOptions& opt) {
+  assert(nx > 0 && ny > 0 && nz > 0 && dofs > 0);
+  const long nodes = static_cast<long>(nx) * ny * nz;
+  const int n = static_cast<int>(nodes * dofs);
+  Rng rng(opt.seed);
+  CooMatrix coo(n, n);
+  coo.reserve(static_cast<std::size_t>(nodes) *
+              (static_cast<std::size_t>(dofs) * dofs + 6 * dofs));
+  auto id = [nx, ny](int x, int y, int z) { return (z * ny + y) * nx + x; };
+  std::bernoulli_distribution drop(opt.drop_probability);
+  // Per-field convective coupling along each grid edge; the drop decision
+  // is shared by the whole edge so the structure stays symmetric.
+  auto couple = [&](int p, int q) {
+    for (int f = 0; f < dofs; ++f) {
+      auto [a, b] = offdiag_pair(rng, opt.convection);
+      coo.add(p * dofs + f, q * dofs + f, a);
+      coo.add(q * dofs + f, p * dofs + f, b);
+    }
+  };
+  for (int z = 0; z < nz; ++z) {
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        const int me = id(x, y, z);
+        // Dense intra-point field coupling (off-diagonal part; the diagonal
+        // is sized against the assembled row below).
+        for (int r = 0; r < dofs; ++r) {
+          for (int c = 0; c < dofs; ++c) {
+            if (r == c) continue;
+            coo.add(me * dofs + r, me * dofs + c, uniform(rng, -0.5, 0.5));
+          }
+        }
+        if (x + 1 < nx && !drop(rng)) couple(me, id(x + 1, y, z));
+        if (y + 1 < ny && !drop(rng)) couple(me, id(x, y + 1, z));
+        if (z + 1 < nz && !drop(rng)) couple(me, id(x, y, z + 1));
+      }
+    }
+  }
+  return finish_with_diagonal(coo, n, opt.diag_dominance, rng);
+}
+
+CscMatrix power_law(int n, double avg_degree, double exponent,
+                    double structural_symmetry, double diag_dominance,
+                    std::uint64_t seed) {
+  assert(n > 0 && avg_degree >= 0.0 && exponent >= 1.0);
+  Rng rng(seed);
+  CooMatrix coo(n, n);
+  std::uniform_int_distribution<int> row(0, n - 1);
+  std::bernoulli_distribution mirror(structural_symmetry);
+  const long targets = std::lround(avg_degree * n);
+  coo.reserve(static_cast<std::size_t>(targets));
+  for (long k = 0; k < targets; ++k) {
+    const int i = row(rng);
+    const int j = std::min(
+        n - 1, static_cast<int>(n * std::pow(uniform(rng, 0.0, 1.0), exponent)));
+    if (i == j) continue;
+    coo.add(i, j, uniform(rng, -1.0, 1.0));
+    if (mirror(rng)) coo.add(j, i, uniform(rng, -1.0, 1.0));
+  }
+  return finish_with_diagonal(coo, n, diag_dominance, rng);
+}
+
+CscMatrix perturb_values(const CscMatrix& a, double rel, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> vals = a.values();
+  for (double& v : vals) v *= 1.0 + rel * uniform(rng, -1.0, 1.0);
+  return CscMatrix(a.rows(), a.cols(), a.col_ptr(), a.row_ind(),
+                   std::move(vals));
+}
+
 CscMatrix block_diag(const std::vector<CscMatrix>& blocks) {
   int n = 0;
   for (const CscMatrix& b : blocks) {

@@ -65,6 +65,40 @@ CscMatrix circuit(int n, int num_rails, double avg_fanout, std::uint64_t seed);
 CscMatrix random_sparse(int n, double nnz_per_row, double structural_symmetry,
                         double diag_dominance, std::uint64_t seed);
 
+/// 3-D multi-physics stencil: a 7-point grid graph where every grid point
+/// carries `dofs` coupled unknowns -- a dense dofs x dofs intra-point block
+/// (field coupling, e.g. pressure/saturation/temperature) plus per-field
+/// convective coupling along each grid edge.  The production shape of
+/// reservoir / CFD multi-species operators; at nx*ny*nz*dofs in the
+/// 1e5..1e6 row range this is the scaling-bench workload.  With
+/// drop_probability == 0 the nnz is exactly
+///   n + nodes * dofs * (dofs - 1) + 2 * dofs * num_grid_edges
+/// and the structure is symmetric.  Unknowns of one grid point are
+/// consecutive, so supernodes of width >= dofs emerge naturally.
+/// The scaling bench reaches >= 1e5 rows with a block_diag FOREST of these
+/// domains; a single coupled domain is size-bounded by static symbolic
+/// fill (it factors for every possible pivot sequence, so coupled-3-D
+/// factor storage grows superlinearly -- DESIGN.md section 14).
+CscMatrix multiphysics3d(int nx, int ny, int nz, int dofs,
+                         const StencilOptions& opt = {});
+
+/// Power-law column-degree mix: ~avg_degree off-diagonals per row, column
+/// targets drawn as floor(n * u^exponent) for uniform u -- exponent 1 is
+/// uniform, larger exponents concentrate entries into hub columns near
+/// index 0 (degree density ~ j^(1/exponent - 1)).  Each entry is mirrored
+/// with probability structural_symmetry.  Models irregular network /
+/// circuit-adjacent operators where a few columns dominate the fill.
+CscMatrix power_law(int n, double avg_degree, double exponent,
+                    double structural_symmetry, double diag_dominance,
+                    std::uint64_t seed);
+
+/// Same sparsity pattern as `a`, values re-drawn: every stored value is
+/// scaled by (1 + rel * u) with u uniform in [-1, 1).  The pattern arrays
+/// are copied verbatim, so pattern-keyed analysis reuse (AnalysisCache)
+/// hits on the result.  Models the repeated-factorization workload of
+/// Newton / time-stepping loops (same structure, new values).
+CscMatrix perturb_values(const CscMatrix& a, double rel, std::uint64_t seed);
+
 /// Block-diagonal union: the given matrices placed on the diagonal with no
 /// coupling between them.  The LU eforest then has (at least) one tree per
 /// block, making this the stress shape for anything that parallelizes over

@@ -1,0 +1,207 @@
+#include "taskgraph/coarsen.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "taskgraph/analysis.h"
+
+namespace plu::taskgraph {
+
+long CoarseGraph::num_edges() const {
+  long total = 0;
+  for (const auto& s : succ) total += static_cast<long>(s.size());
+  return total;
+}
+
+CoarsenStats CoarseGraph::stats(const TaskGraph& g) const {
+  CoarsenStats st;
+  st.ran = coarsened;
+  st.tasks_before = g.size();
+  st.edges_before = g.num_edges();
+  st.tasks_after = num_groups;
+  st.edges_after = num_edges();
+  st.fused_groups = fused_groups;
+  st.fused_tasks = fused_tasks;
+  st.threshold_flops = threshold_flops;
+  return st;
+}
+
+CoarseGraph coarsen_task_graph(const TaskGraph& g,
+                               const symbolic::BlockStructure& bs,
+                               const CoarsenOptions& opt) {
+  CoarseGraph cg;
+  const int nb = g.tasks.num_columns();
+  const int nt = g.size();
+  // Applicability gate (see the header's acyclicity argument): the eforest
+  // rules make every cross-stage edge an ancestor edge, and postordered
+  // labels make every subtree a contiguous stage interval.  Both are load
+  // bearing; without either, contraction could close a cycle.
+  if (g.kind != GraphKind::kEforest || nt == 0 ||
+      static_cast<int>(g.flops.size()) != nt || bs.beforest.size() != nb ||
+      !bs.beforest.is_postordered()) {
+    return cg;
+  }
+
+  // Stage weights and subtree sums (children precede parents, so one
+  // ascending pass accumulates complete subtrees before adding them up).
+  std::vector<double> subtree(nb, 0.0);
+  for (int s = 0; s < nb; ++s) {
+    double w = g.flops[g.tasks.factor_id(s)];
+    const auto [b, e] = g.tasks.stage_range(s);
+    for (int id = b; id < e; ++id) w += g.flops[id];
+    subtree[s] += w;
+    const int p = bs.beforest.parent(s);
+    if (p != graph::kNone) subtree[p] += subtree[s];
+  }
+
+  double threshold = opt.threshold_flops;
+  if (threshold <= 0.0) {
+    const std::vector<double> bl = bottom_levels(g, g.flops);
+    double cp = 0.0;
+    for (double v : bl) cp = std::max(cp, v);
+    const double p = std::max(1, opt.threads);
+    const double tpt = std::max(1, opt.target_tasks_per_thread);
+    threshold = std::min(g.total_flops / (p * tpt), 0.5 * cp);
+  }
+  cg.threshold_flops = threshold;
+
+  // Fused roots: maximal subtrees under the threshold.  Descending scan so
+  // fr[parent] is final before its children inherit it.
+  std::vector<int> fr(nb, -1);
+  for (int s = nb - 1; s >= 0; --s) {
+    const int p = bs.beforest.parent(s);
+    if (subtree[s] <= threshold &&
+        (p == graph::kNone || subtree[p] > threshold)) {
+      fr[s] = s;
+    } else if (p != graph::kNone) {
+      fr[s] = fr[p];
+    }
+  }
+
+  // Group assignment, scanning stages ascending: a fused subtree (one
+  // contiguous stage interval) becomes one group running its tasks in
+  // right-looking order; every other task is its own group.  Group ids are
+  // therefore monotone in (stage, within-stage task id) -- the coarse
+  // topological order.
+  cg.group_of.assign(nt, -1);
+  int cur_root = graph::kNone;
+  int cur_gid = -1;
+  for (int s = 0; s < nb; ++s) {
+    const int fid = g.tasks.factor_id(s);
+    const auto [b, e] = g.tasks.stage_range(s);
+    if (fr[s] != graph::kNone) {
+      if (fr[s] != cur_root) {  // interval start: open the fused group
+        cur_root = fr[s];
+        cur_gid = static_cast<int>(cg.members.size());
+        cg.members.emplace_back();
+      }
+      cg.group_of[fid] = cur_gid;
+      cg.members[cur_gid].push_back(fid);
+      for (int id = b; id < e; ++id) {
+        cg.group_of[id] = cur_gid;
+        cg.members[cur_gid].push_back(id);
+      }
+    } else {
+      cg.group_of[fid] = static_cast<int>(cg.members.size());
+      cg.members.push_back({fid});
+      for (int id = b; id < e; ++id) {
+        cg.group_of[id] = static_cast<int>(cg.members.size());
+        cg.members.push_back({id});
+      }
+    }
+  }
+  const int ng = static_cast<int>(cg.members.size());
+  cg.num_groups = ng;
+
+  // Coarse edges: the original edges under contraction, plus the
+  // determinism chains.  All must run forward in group id (acyclicity).
+  std::vector<long> edges;
+  edges.reserve(static_cast<std::size_t>(g.num_edges()) / 2 + 16);
+  const auto add_edge = [&](int a, int b) {
+    if (a == b) return;
+    if (a > b) {
+      throw std::logic_error("coarsen_task_graph: non-monotone coarse edge");
+    }
+    edges.push_back(static_cast<long>(a) * ng + b);
+  };
+  for (int u = 0; u < nt; ++u) {
+    for (int v : g.succ[u]) add_edge(cg.group_of[u], cg.group_of[v]);
+  }
+
+  // Writer chains in ascending source-stage order, so the coarse schedule
+  // reproduces the sequential summation/interchange order exactly.  Group
+  // ids are monotone in stage, so consecutive-distinct-group chaining per
+  // target is enough (a target's writer groups form a monotone sequence).
+  if (g.granularity() == Granularity::kColumn) {
+    if (!bs.lockfree_safe) {
+      // Update(k, j) writes only column j; Factor(j) is the column's final
+      // writer in sequential order (every update source k < j).
+      std::vector<int> last(nb, -1);
+      for (int k = 0; k < nb; ++k) {
+        const auto [b, e] = g.tasks.update_range(k);
+        for (int id = b; id < e; ++id) {
+          const int gid = cg.group_of[id];
+          int& lw = last[g.tasks.task(id).j];
+          if (lw != -1 && lw != gid) add_edge(lw, gid);
+          lw = gid;
+        }
+      }
+      for (int j = 0; j < nb; ++j) {
+        const int gf = cg.group_of[g.tasks.factor_id(j)];
+        if (last[j] != -1 && last[j] != gf) add_edge(last[j], gf);
+      }
+    }
+  } else {
+    // UpdateBlock(i, k, j) writes block (i, j); its consumer (the block's
+    // final writer) already carries a structural edge from every updater,
+    // so only the updaters themselves need chaining.
+    std::unordered_map<long, int> last;
+    for (int k = 0; k < nb; ++k) {
+      const auto [b, e] = g.tasks.update_range(k);
+      for (int id = b; id < e; ++id) {
+        const Task& t = g.tasks.task(id);
+        const int gid = cg.group_of[id];
+        const auto [it, fresh] =
+            last.try_emplace(static_cast<long>(t.i) * nb + t.j, gid);
+        if (!fresh) {
+          if (it->second != gid) add_edge(it->second, gid);
+          it->second = gid;
+        }
+      }
+    }
+  }
+
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  cg.succ.assign(ng, {});
+  cg.indegree.assign(ng, 0);
+  for (long pe : edges) {
+    const int a = static_cast<int>(pe / ng);
+    const int b = static_cast<int>(pe % ng);
+    cg.succ[a].push_back(b);
+    ++cg.indegree[b];
+  }
+
+  cg.flops.assign(ng, 0.0);
+  for (int id = 0; id < nt; ++id) cg.flops[cg.group_of[id]] += g.flops[id];
+  // Bottom levels over the coarse flops; ids are topological, so one
+  // descending sweep suffices.
+  cg.priorities.assign(ng, 0.0);
+  for (int v = ng - 1; v >= 0; --v) {
+    double best = 0.0;
+    for (int s : cg.succ[v]) best = std::max(best, cg.priorities[s]);
+    cg.priorities[v] = best + cg.flops[v];
+  }
+
+  for (const auto& m : cg.members) {
+    if (m.size() >= 2) {
+      ++cg.fused_groups;
+      cg.fused_tasks += static_cast<long>(m.size());
+    }
+  }
+  cg.coarsened = true;
+  return cg;
+}
+
+}  // namespace plu::taskgraph

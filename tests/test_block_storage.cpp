@@ -1,6 +1,9 @@
 // Dense-block storage: allocation, scatter/gather, views, row swaps.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
+
 #include "core/analysis.h"
 #include "core/block_storage.h"
 #include "test_helpers.h"
@@ -132,6 +135,108 @@ TEST(BlockMatrix, SetZeroClearsEverything) {
   bm.set_zero();
   EXPECT_DOUBLE_EQ(blas::max_abs(bm.to_dense().view()), 0.0);
   EXPECT_GT(bm.stored_doubles(), static_cast<std::size_t>(a.nnz()));
+}
+
+// ---------------------------------------------------------------------------
+// Arena storage (StorageMode::kArena) vs the per-column-vector baseline.
+
+TEST(ArenaStorage, ValuesIdenticalToVectorsMode) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Fixture f(a);
+    BlockMatrix arena(f.an.blocks, StorageMode::kArena);
+    BlockMatrix vectors(f.an.blocks, StorageMode::kVectors);
+    arena.load(f.permuted);
+    vectors.load(f.permuted);
+    // Bitwise: placement is the ONLY thing the mode changes.
+    EXPECT_LT(blas::max_abs_diff(arena.to_dense().view(),
+                                 vectors.to_dense().view()),
+              1e-300);
+    EXPECT_EQ(arena.stored_doubles(), vectors.stored_doubles());
+  }
+}
+
+TEST(ArenaStorage, ColumnBasesAre64ByteAligned) {
+  CscMatrix a = test::small_matrices()[2];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks, StorageMode::kArena);
+  for (int j = 0; j < bm.num_block_columns(); ++j) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(bm.column(j).data) % 64, 0u)
+        << "column " << j;
+  }
+}
+
+TEST(ArenaStorage, StorageBytesCoversStoredDoubles) {
+  CscMatrix a = test::small_matrices()[1];
+  Fixture f(a);
+  BlockMatrix arena(f.an.blocks, StorageMode::kArena);
+  BlockMatrix vectors(f.an.blocks, StorageMode::kVectors);
+  // Capacity (incl. alignment padding) can only exceed the payload.
+  EXPECT_GE(arena.storage_bytes(), 8 * arena.stored_doubles());
+  EXPECT_GE(vectors.storage_bytes(), 8 * vectors.stored_doubles());
+  // Padding is bounded: < 64 bytes per block column.
+  EXPECT_LT(arena.storage_bytes(),
+            8 * arena.stored_doubles() +
+                64 * static_cast<std::size_t>(arena.num_block_columns()));
+}
+
+TEST(ArenaStorage, SetZeroThenReloadRefactorizes) {
+  CscMatrix a = test::small_matrices()[3];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks, StorageMode::kArena);
+  bm.load(f.permuted);
+  blas::DenseMatrix first = bm.to_dense();
+  bm.set_zero();  // the contiguous-fill refactorization path
+  EXPECT_DOUBLE_EQ(blas::max_abs(bm.to_dense().view()), 0.0);
+  bm.load(f.permuted);
+  EXPECT_LT(blas::max_abs_diff(first.view(), bm.to_dense().view()), 1e-300);
+}
+
+TEST(ArenaStorage, ThreadedFirstTouchInitMatchesSequential) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f(a);
+  BlockMatrix seq(f.an.blocks, StorageMode::kArena, 1);
+  BlockMatrix par(f.an.blocks, StorageMode::kArena, 8);
+  seq.load(f.permuted);
+  par.load(f.permuted);
+  EXPECT_LT(blas::max_abs_diff(seq.to_dense().view(), par.to_dense().view()),
+            1e-300);
+}
+
+TEST(ArenaStorage, DeferredSegmentedMatchesFullConstruction) {
+  for (const CscMatrix& a : test::small_matrices()) {
+    Fixture f(a);
+    BlockMatrix full(f.an.blocks, StorageMode::kArena);
+    full.load(f.permuted);
+    for (StorageMode mode : {StorageMode::kArena, StorageMode::kVectors}) {
+      BlockMatrix def(f.an.blocks, BlockMatrix::DeferredColumns{}, mode);
+      for (int j = 0; j < def.num_block_columns(); ++j) {
+        def.init_column(j, full.column_blocks(j));
+        def.load_column(j, f.permuted);
+      }
+      EXPECT_LT(blas::max_abs_diff(full.to_dense().view(),
+                                   def.to_dense().view()),
+                1e-300);
+      EXPECT_GE(def.storage_bytes(), 8 * def.stored_doubles());
+    }
+  }
+}
+
+TEST(ArenaStorage, MoveTransfersOwnership) {
+  CscMatrix a = test::small_matrices()[0];
+  Fixture f(a);
+  BlockMatrix bm(f.an.blocks, StorageMode::kArena);
+  bm.load(f.permuted);
+  blas::DenseMatrix before = bm.to_dense();
+  const double* base = bm.column(0).data;
+  BlockMatrix moved = std::move(bm);
+  EXPECT_EQ(moved.column(0).data, base);  // no reallocation, no copy
+  EXPECT_LT(blas::max_abs_diff(before.view(), moved.to_dense().view()),
+            1e-300);
+}
+
+TEST(ArenaStorage, ToStringNames) {
+  EXPECT_STREQ(to_string(StorageMode::kArena), "arena");
+  EXPECT_STREQ(to_string(StorageMode::kVectors), "vectors");
 }
 
 }  // namespace

@@ -2,8 +2,12 @@
 // properties, and the named benchmark suite.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/sparse_lu.h"
 #include "matrix/named_matrices.h"
+#include "service/analysis_cache.h"
 #include "test_helpers.h"
 
 namespace plu {
@@ -151,6 +155,147 @@ TEST(Circuit, HasRailsAndIsSolvable) {
   std::vector<double> b(300, 1.0);
   std::vector<double> x = SparseLU::solve_system(a, b);
   EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+// ---------------------------------------------------------------------------
+// PR 8 production-scale generators.
+
+TEST(Multiphysics3d, ExactNnzFormulaAndSymmetry) {
+  const int nx = 6, ny = 5, nz = 4, dofs = 3;
+  gen::StencilOptions o;
+  o.seed = 21;
+  CscMatrix a = gen::multiphysics3d(nx, ny, nz, dofs, o);
+  const int nodes = nx * ny * nz;
+  const int n = nodes * dofs;
+  const int edges =
+      (nx - 1) * ny * nz + nx * (ny - 1) * nz + nx * ny * (nz - 1);
+  EXPECT_EQ(a.rows(), n);
+  // Exact count at drop_probability == 0 (generators.h): diagonal + dense
+  // intra-point off-diagonal blocks + per-field coupling per grid edge.
+  EXPECT_EQ(a.nnz(), n + nodes * dofs * (dofs - 1) + 2 * dofs * edges);
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+  EXPECT_DOUBLE_EQ(gen::structural_symmetry(a), 1.0);
+}
+
+TEST(Multiphysics3d, DeterministicAndSeedSensitive) {
+  gen::StencilOptions o;
+  o.seed = 22;
+  CscMatrix a = gen::multiphysics3d(4, 4, 4, 2, o);
+  CscMatrix b = gen::multiphysics3d(4, 4, 4, 2, o);
+  EXPECT_EQ(a.row_ind(), b.row_ind());
+  EXPECT_EQ(a.values(), b.values());
+  o.seed = 23;
+  CscMatrix c = gen::multiphysics3d(4, 4, 4, 2, o);
+  EXPECT_NE(a.values(), c.values());
+}
+
+TEST(Multiphysics3d, SolvableWithSupernodalBlocks) {
+  gen::StencilOptions o;
+  o.seed = 24;
+  CscMatrix a = gen::multiphysics3d(4, 4, 3, 3, o);
+  std::vector<double> b(a.rows(), 1.0);
+  std::vector<double> x = SparseLU::solve_system(a, b);
+  EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+TEST(Multiphysics3d, MillionRowSampledInvariants) {
+  // The >= 1e6-row scale check runs generate-only with SAMPLED structure
+  // probes: full solves at this size belong to the bench, not the test
+  // suite.  63^3 nodes x 4 dofs = 1,000,188 rows.
+  const int nx = 63, ny = 63, nz = 63, dofs = 4;
+  gen::StencilOptions o;
+  o.seed = 25;
+  CscMatrix a = gen::multiphysics3d(nx, ny, nz, dofs, o);
+  const long nodes = static_cast<long>(nx) * ny * nz;
+  const long n = nodes * dofs;
+  const long edges = static_cast<long>(nx - 1) * ny * nz +
+                     static_cast<long>(nx) * (ny - 1) * nz +
+                     static_cast<long>(nx) * ny * (nz - 1);
+  ASSERT_GE(n, 1000000);
+  EXPECT_EQ(a.rows(), n);
+  EXPECT_EQ(static_cast<long>(a.nnz()),
+            n + nodes * dofs * (dofs - 1) + 2 * dofs * edges);
+  // Sampled probes (stride ~ prime to cover all residues): diagonal entry
+  // present in every probed column, and every probed off-diagonal has its
+  // structural mirror.
+  const auto& ptr = a.col_ptr();
+  const auto& ind = a.row_ind();
+  const auto has_entry = [&](int i, int j) {
+    return std::binary_search(ind.begin() + ptr[j], ind.begin() + ptr[j + 1],
+                              i);
+  };
+  for (int j = 0; j < a.cols(); j += 9973) {
+    EXPECT_TRUE(has_entry(j, j)) << j;
+    for (int k = ptr[j]; k < ptr[j + 1]; ++k) {
+      EXPECT_TRUE(has_entry(j, ind[k])) << ind[k] << "," << j;
+    }
+  }
+}
+
+TEST(PowerLaw, DeterministicWithHubColumns) {
+  CscMatrix a = gen::power_law(4000, 4.0, 2.0, 0.6, 0.8, 31);
+  CscMatrix b = gen::power_law(4000, 4.0, 2.0, 0.6, 0.8, 31);
+  EXPECT_EQ(a.row_ind(), b.row_ind());
+  EXPECT_EQ(a.values(), b.values());
+  EXPECT_NE(gen::power_law(4000, 4.0, 2.0, 0.6, 0.8, 32).values(),
+            a.values());
+  EXPECT_TRUE(a.has_zero_free_diagonal());
+  // Hub concentration: with exponent e, P(target < t) = (t/n)^(1/e), so the
+  // first 1% of columns should hold ~10% of off-diagonals at e = 2 -- far
+  // above the 1% a uniform mix would give.
+  const auto& ptr = a.col_ptr();
+  const int n = a.cols();
+  long head = ptr[n / 100] - (n / 100);  // minus the diagonal entries
+  long total = a.nnz() - n;
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.05);
+  std::vector<double> rhs(a.rows(), 1.0);
+  std::vector<double> x = SparseLU::solve_system(a, rhs);
+  EXPECT_LT(relative_residual(a, x, rhs), 1e-8);
+}
+
+TEST(PerturbValues, PatternVerbatimValuesFresh) {
+  gen::StencilOptions o;
+  o.seed = 41;
+  CscMatrix a = gen::multiphysics3d(4, 4, 4, 2, o);
+  CscMatrix p = gen::perturb_values(a, 0.05, 42);
+  // The pattern arrays are COPIES, element for element -- the contract that
+  // makes pattern-keyed analysis reuse sound.
+  EXPECT_EQ(p.col_ptr(), a.col_ptr());
+  EXPECT_EQ(p.row_ind(), a.row_ind());
+  EXPECT_EQ(structure_fingerprint(p.rows(), p.cols(), p.col_ptr(),
+                                  p.row_ind()),
+            structure_fingerprint(a.rows(), a.cols(), a.col_ptr(),
+                                  a.row_ind()));
+  EXPECT_NE(p.values(), a.values());
+  // rel = 0.05 bounds every relative change by 5%.
+  for (int k = 0; k < a.nnz(); ++k) {
+    EXPECT_NEAR(p.values()[k], a.values()[k],
+                0.05 * std::abs(a.values()[k]) + 1e-300);
+  }
+  // Determinism of the redraw.
+  EXPECT_EQ(gen::perturb_values(a, 0.05, 42).values(), p.values());
+}
+
+TEST(PerturbValues, HitsAnalysisCacheAndRefactorizes) {
+  gen::StencilOptions o;
+  o.seed = 43;
+  CscMatrix a = gen::multiphysics3d(4, 4, 3, 2, o);
+  CscMatrix p = gen::perturb_values(a, 0.1, 44);
+  service::AnalysisCache cache(4);
+  bool hit = true;
+  std::shared_ptr<const Analysis> an = cache.get_or_analyze(a, Options{}, &hit);
+  EXPECT_FALSE(hit);
+  std::shared_ptr<const Analysis> an2 =
+      cache.get_or_analyze(p, Options{}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(an.get(), an2.get());
+  // The cached analysis factorizes the perturbed values correctly -- the
+  // Newton-loop workload end to end.
+  NumericOptions nopt;
+  Factorization f(*an, p, nopt);
+  std::vector<double> rhs(p.rows(), 1.0);
+  std::vector<double> x = f.solve(rhs);
+  EXPECT_LT(relative_residual(p, x, rhs), 1e-10);
 }
 
 TEST(Circuit, DeterministicAndSeedSensitive) {

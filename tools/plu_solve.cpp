@@ -8,7 +8,8 @@
 // Usage:
 //   plu_solve MATRIX [options]
 //   plu_solve --generate KIND:SIZE [options]   (grid2d, grid3d, banded,
-//                                               fem, circuit, random)
+//                                               fem, circuit, random,
+//                                               multiphysics3d, powerlaw)
 //     --rhs FILE            right-hand side (default: all ones)
 //     --ordering METHOD     natural | mindeg | rcm | nd        (default mindeg)
 //     --no-postorder        disable eforest postordering
@@ -25,6 +26,12 @@
 //                           (bit-identical to the sequential analysis;
 //                           0 = hardware concurrency)
 //     --lazy                LazyS+ zero-block elision
+//     --coarsen             fuse low-weight task-graph subtrees into single
+//                           tasks before threaded execution (bit-identical
+//                           results; cuts scheduling overhead on many-tree
+//                           matrices)
+//     --storage MODE        arena | vectors block storage (default arena:
+//                           one contiguous 64-byte-aligned slab)
 //     --perturb             static pivot perturbation (SuperLU_DIST-style):
 //                           tiny pivots are bumped instead of failing; pair
 //                           with --refine to recover accuracy
@@ -57,6 +64,7 @@ namespace {
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
                "       [--threads N] [--pipeline] [--analyze-threads N] [--lazy]\n"
+               "       [--coarsen] [--storage arena|vectors]\n"
                "       [--perturb] [--refine] [--simulate P] [--stats]\n"
                "       [--verbose]\n",
                argv0);
@@ -102,6 +110,12 @@ plu::CscMatrix generate_matrix(const std::string& spec) {
   if (kind == "fem") return plu::gen::fem_p2(size, size, 1, 4);
   if (kind == "circuit") return plu::gen::circuit(size * size, 3, 2.0, 5);
   if (kind == "random") return plu::gen::random_sparse(size * size, 3.0, 0.5, 0.7, 6);
+  if (kind == "multiphysics3d") {
+    return plu::gen::multiphysics3d(size, size, size, 4, {0.4, 0.0, 0.7, 7});
+  }
+  if (kind == "powerlaw") {
+    return plu::gen::power_law(size * size, 4.0, 2.0, 0.6, 0.8, 8);
+  }
   throw std::runtime_error("unknown generator kind: " + kind);
 }
 
@@ -178,6 +192,13 @@ int main(int argc, char** argv) {
       opt.analysis.threads = std::stoi(next());
     } else if (arg == "--lazy") {
       nopt.lazy_updates = true;
+    } else if (arg == "--coarsen") {
+      nopt.coarsen = true;
+    } else if (arg == "--storage") {
+      std::string s = next();
+      if (s == "arena") nopt.storage = plu::StorageMode::kArena;
+      else if (s == "vectors") nopt.storage = plu::StorageMode::kVectors;
+      else usage(argv[0]);
     } else if (arg == "--perturb") {
       nopt.perturb_pivots = true;
     } else if (arg == "--refine") {
@@ -246,6 +267,16 @@ int main(int argc, char** argv) {
       std::printf(", min pivot ratio %.1e", f.min_pivot_ratio());
     }
     std::printf("\n");
+    if (f.coarsen_stats().ran) {
+      const plu::taskgraph::CoarsenStats& cs = f.coarsen_stats();
+      std::printf("coarsening: %d -> %d tasks, %ld -> %ld edges, %d fused "
+                  "group(s) absorbing %ld task(s)\n",
+                  cs.tasks_before, cs.tasks_after, cs.edges_before,
+                  cs.edges_after, cs.fused_groups, cs.fused_tasks);
+    }
+    std::printf("storage: %s, %.1f MB peak\n",
+                plu::to_string(f.blocks().storage_mode()),
+                f.blocks().storage_bytes() / 1e6);
     if (f.pipeline_stats().ran) {
       const plu::PipelineStats& ps = f.pipeline_stats();
       std::printf("pipeline: total %.3fs, walls analyze %.3fs + factor %.3fs "
