@@ -83,6 +83,11 @@ class JsonRecord {
     body_ += std::to_string(v);
     return *this;
   }
+  JsonRecord& field(const char* key, long v) {
+    add_key(key);
+    body_ += std::to_string(v);
+    return *this;
+  }
   std::string str() const { return "{" + body_ + "}"; }
 
  private:

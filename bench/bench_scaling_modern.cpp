@@ -30,14 +30,18 @@
 // HONESTY NOTE: wall-clock speedups are real measurements on THIS host --
 // on a single-core container threads > 1 cannot beat 1 and the wall
 // records will say so (the `cores` field records the host's concurrency).
+// When cores == 1 the wall_speedup_vs_1t field is emitted as null (bench_json
+// maps non-finite doubles to null): a one-core "speedup" is pure timer noise
+// (BENCH_pr8 recorded 0.82-1.08x) and must not be graded as scaling data.
 // The simulated records carry the machine-model scaling; CI multi-core
 // runners grade wall-clock scaling from the artifact this bench appends
-// with --json (BENCH_pr8.json at the repo root).
+// with --json (BENCH_pr9 era: BENCH_pr8.json at the repo root).
 //
 // Flags: --smoke (downscaled sizes + 1 rep, the CI gate), --json FILE.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -121,6 +125,10 @@ void run(bool smoke) {
           });
           if (threads == 1) base[co][ar] = secs;
           const double speedup = base[co][ar] / secs;
+          // One core cannot scale: record null (NaN -> null in bench_json)
+          // instead of timer noise dressed up as a speedup.
+          const double speedup_record =
+              cores > 1 ? speedup : std::numeric_limits<double>::quiet_NaN();
           std::printf("%-15s %8d %3d %8s %8s  %10.4f %8.2f %9d\n",
                       c.name.c_str(), c.a.rows(), threads,
                       co ? "on" : "off", ar ? "arena" : "vectors", secs,
@@ -136,7 +144,7 @@ void run(bool smoke) {
               .field("storage", ar ? "arena" : "vectors")
               .field("reps", reps)
               .field("wall_seconds", secs)
-              .field("wall_speedup_vs_1t", speedup)
+              .field("wall_speedup_vs_1t", speedup_record)
               .field("tasks_before", cs.tasks_before)
               .field("tasks_after", cs.tasks_after)
               .field("fused_groups", cs.fused_groups)

@@ -75,8 +75,14 @@ AnalysisPrefix analyze_prefix(const Pattern& a, const Options& opt) {
 
   // (1) Fill-reducing column ordering (minimum degree on A^T A by default);
   // applied to rows as well under symmetric_ordering so an existing
-  // diagonal matching survives.
-  Permutation q1 = ordering::compute_column_ordering(a, opt.ordering);
+  // diagonal matching survives.  The team is handed to parallel engines
+  // (AMD); a single-lane team inlines every fan-out, so the permutation is
+  // identical either way (amd.h documents the determinism contract).
+  ordering::Controls octl;
+  octl.team = pre.team.get();
+  octl.dry_run = opt.ordering_dry_run;
+  Permutation q1 = ordering::compute_column_ordering(a, opt.ordering, octl,
+                                                     &an.ordering_decision);
   const bool sym_order = opt.symmetric_ordering || opt.scale_and_permute;
   Pattern a1 = a.permuted(sym_order ? q1 : Permutation(a.rows), q1);
   an.timings.ordering = lap(last);

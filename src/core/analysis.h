@@ -58,6 +58,10 @@ struct AnalysisTimings {
 
 struct Options {
   ordering::Method ordering = ordering::Method::kMinimumDegreeAtA;
+  /// With ordering == kAuto: break the policy call with an exact
+  /// Cholesky-fill probe of the pick vs its runner-up (ordering::Controls).
+  /// Costs two extra orderings; deterministic either way.
+  bool ordering_dry_run = false;
   symbolic::Engine symbolic_engine = symbolic::Engine::kBitset;
   /// Permute by a postorder of the LU eforest (Section 3).  Off reproduces
   /// the "SN" arm of Table 3.
@@ -102,6 +106,10 @@ struct Analysis {
   std::vector<double> col_scale;
 
   bool scaled() const { return !row_scale.empty(); }
+
+  /// What the ordering dispatch ran and why (method chosen by the kAuto
+  /// policy, structural features, dry-run fill) -- ordering.h.
+  ordering::Decision ordering_decision;
 
   /// Static symbolic factorization of Apre (post-ordering applied).
   symbolic::SymbolicResult symbolic;

@@ -6,10 +6,32 @@
 
 namespace plu {
 
+namespace {
+
+/// One-line rendering of the ordering decision, shared by both reports.
+std::string render_ordering(const ordering::Decision& d) {
+  std::ostringstream os;
+  os << "ordering:    " << ordering::to_string(d.chosen);
+  if (d.requested != d.chosen) {
+    os << " (requested " << ordering::to_string(d.requested) << ")";
+  }
+  if (!d.engine.empty()) os << ", engine " << d.engine;
+  os << "; n=" << d.features.n << ", skew " << d.features.degree_skew
+     << ", band " << d.features.bandwidth_ratio;
+  if (d.dry_run) {
+    os << "; dry-run fill " << d.dry_run_fill_chosen << " vs "
+       << d.dry_run_fill_alternative;
+  }
+  return os.str();
+}
+
+}  // namespace
+
 AnalysisReport report(const Analysis& an) {
   AnalysisReport r;
   r.n = an.n;
   r.nnz = an.nnz_input;
+  r.ordering = an.ordering_decision;
   r.fill_ratio = an.fill_ratio();
   r.nnz_abar = an.symbolic.abar.nnz();
   r.mc64_scaled = an.scaled();
@@ -43,6 +65,7 @@ FactorizationReport report(const Factorization& f) {
   r.storage_mode = to_string(f.blocks().storage_mode());
   r.coarsen = f.coarsen_stats();
   r.analysis_timings = f.analysis().timings;
+  r.ordering = f.analysis().ordering_decision;
   r.pipeline = f.pipeline_stats();
   r.pipeline_overlap_seconds = r.pipeline.overlap_seconds;
   return r;
@@ -52,6 +75,7 @@ std::string to_string(const AnalysisReport& r) {
   std::ostringstream os;
   os << "matrix:      n=" << r.n << ", nnz=" << r.nnz
      << (r.mc64_scaled ? " (MC64-scaled)" : "") << '\n';
+  os << render_ordering(r.ordering) << '\n';
   os << "symbolic:    |Abar|=" << r.nnz_abar << " (" << r.fill_ratio
      << "x fill), " << r.diag_blocks << " diagonal block(s)\n";
   os << "supernodes:  " << r.supernodes.count << " (exact "
@@ -70,6 +94,7 @@ std::string to_string(const AnalysisReport& r) {
 
 std::string to_string(const FactorizationReport& r) {
   std::ostringstream os;
+  os << render_ordering(r.ordering) << '\n';
   os << "numeric:     " << r.driver << " driver, status "
      << to_string(r.status);
   if (!factor_usable(r.status)) {

@@ -18,6 +18,8 @@ struct AnalysisReport {
   // Input.
   int n = 0;
   int nnz = 0;
+  // Ordering (what the dispatch ran; chosen != requested only under kAuto).
+  ordering::Decision ordering;
   // Symbolic.
   double fill_ratio = 0.0;
   long nnz_abar = 0;
@@ -65,6 +67,10 @@ struct FactorizationReport {
   /// Analyze-phase breakdown of the analysis this factorization ran on, so
   /// analyze-vs-factorize cost is visible without a profiler.
   AnalysisTimings analysis_timings;
+  /// Ordering decision of that analysis (the kAuto policy's pick and the
+  /// features it decided on) -- the "which ordering did I actually get"
+  /// answer without re-running the analysis report.
+  ordering::Decision ordering;
   /// Pipelined-run phase accounting (PipelineStats::ran set when the
   /// phase-spanning pipeline produced this factorization).  The per-phase
   /// numbers are WALL SPANS of each phase's task activity -- phases overlap,

@@ -1,0 +1,66 @@
+// Doubly-linked degree bucket lists over variables 0..n-1, shared by the
+// exact minimum-degree engine (minimum_degree.cpp) and the approximate
+// minimum-degree engine (amd.cpp).  Internal to the ordering tier.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace plu::ordering::detail {
+
+class DegreeLists {
+ public:
+  DegreeLists(int n, int max_degree)
+      : head_(max_degree + 1, -1), next_(n, -1), prev_(n, -1), degree_(n, -1),
+        min_degree_(max_degree + 1) {}
+
+  void insert(int v, int d) {
+    degree_[v] = d;
+    next_[v] = head_[d];
+    prev_[v] = -1;
+    if (head_[d] != -1) prev_[head_[d]] = v;
+    head_[d] = v;
+    min_degree_ = std::min(min_degree_, d);
+  }
+
+  void remove(int v) {
+    int d = degree_[v];
+    if (prev_[v] != -1) {
+      next_[prev_[v]] = next_[v];
+    } else {
+      head_[d] = next_[v];
+    }
+    if (next_[v] != -1) prev_[next_[v]] = prev_[v];
+    degree_[v] = -1;
+  }
+
+  void update(int v, int d) {
+    remove(v);
+    insert(v, d);
+  }
+
+  /// Current degree of v; -1 when v is not in any bucket.
+  int degree(int v) const { return degree_[v]; }
+
+  /// Pops a variable of minimum degree; -1 when empty.  If `out_degree` is
+  /// non-null it receives the popped variable's degree.
+  int pop_min(int* out_degree = nullptr) {
+    while (min_degree_ < static_cast<int>(head_.size()) && head_[min_degree_] == -1) {
+      ++min_degree_;
+    }
+    if (min_degree_ >= static_cast<int>(head_.size())) return -1;
+    int v = head_[min_degree_];
+    if (out_degree) *out_degree = min_degree_;
+    remove(v);
+    return v;
+  }
+
+ private:
+  std::vector<int> head_;
+  std::vector<int> next_;
+  std::vector<int> prev_;
+  std::vector<int> degree_;
+  int min_degree_;
+};
+
+}  // namespace plu::ordering::detail

@@ -3,21 +3,34 @@
 // The paper's fill-reducing step is "the minimum degree algorithm on A^T A"
 // (Section 1).  This is a quotient-graph implementation with exact external
 // degrees, element absorption and degree bucket lists (the classic MD
-// formulation; no supervariable detection, which the problem sizes here do
-// not need).
+// formulation).  It has no supervariable detection, so hub vertices whose
+// degree dwarfs the average send its per-round degree refresh quadratic;
+// minimum_degree_guarded() detects that profile (amd.h: hub_heavy) and
+// routes it to the approximate-minimum-degree engine, whose supervariables
+// and approximate degrees stay near-linear there.
 #pragma once
 
 #include "matrix/csc.h"
 #include "matrix/permutation.h"
 
+namespace plu::rt {
+class Team;
+}
+
 namespace plu::ordering {
 
 /// Computes a minimum-degree elimination order for a symmetric pattern
 /// (diagonal ignored).  Returns the permutation in gather form:
-/// old_of(k) = the variable eliminated k-th.
+/// old_of(k) = the variable eliminated k-th.  Always the exact engine.
 Permutation minimum_degree(const Pattern& symmetric_pattern);
 
-/// Convenience for unsymmetric LU: minimum degree on the A^T A pattern.
+/// Exact minimum degree with the hub guard: hub-heavy graphs (amd.h) route
+/// to approximate_minimum_degree (which also uses `team`); everything else
+/// runs the exact engine.  The route is a pure function of the pattern.
+Permutation minimum_degree_guarded(const Pattern& symmetric_pattern,
+                                   rt::Team* team = nullptr);
+
+/// Convenience for unsymmetric LU: guarded minimum degree on A^T A.
 Permutation minimum_degree_ata(const Pattern& a);
 
 }  // namespace plu::ordering

@@ -32,9 +32,10 @@ Pattern induced_subpattern(const Pattern& g, const std::vector<int>& verts,
 
 class Dissector {
  public:
-  Dissector(const Pattern& g, const NestedDissectionOptions& opt)
-      : g_(g), opt_(opt), in_set_(g.cols, -1), global_to_local_(g.cols, -1),
-        level_(g.cols, -1) {
+  Dissector(const Pattern& g, const NestedDissectionOptions& opt,
+            NestedDissectionStats& stats)
+      : g_(g), opt_(opt), stats_(stats), in_set_(g.cols, -1),
+        global_to_local_(g.cols, -1), level_(g.cols, -1) {
     order_.reserve(g.cols);
   }
 
@@ -75,7 +76,13 @@ class Dissector {
   }
 
   void dissect(std::vector<int> verts, int depth) {
-    if (static_cast<int>(verts.size()) <= opt_.leaf_size || depth > 64) {
+    stats_.max_depth = std::max(stats_.max_depth, depth);
+    if (depth > 64) {
+      ++stats_.depth_cap_hits;
+      order_leaf(verts);
+      return;
+    }
+    if (static_cast<int>(verts.size()) <= opt_.leaf_size) {
       order_leaf(verts);
       return;
     }
@@ -104,11 +111,12 @@ class Dissector {
       return;
     }
 
-    // Cut at the median level; the cut level itself is the separator.
+    // Cut at the median level.
     int max_level = 0;
     for (int v : reach) max_level = std::max(max_level, level_[v]);
     if (max_level < 2) {
       // No useful level structure (near-clique): fall back to the leaf path.
+      ++stats_.clique_fallbacks;
       for (int v : verts) level_[v] = -1;
       order_leaf(verts);
       return;
@@ -125,25 +133,57 @@ class Dissector {
         break;
       }
     }
+    // The separator is the BOUNDARY of the near side: cut-level vertices
+    // with a neighbor strictly past the cut.  Interior cut-level vertices
+    // have all neighbors at levels <= cut (BFS levels differ by at most 1),
+    // so placing them left keeps left and right disconnected while the
+    // separator stays as small as the actual interface.  kCutLevel keeps
+    // the legacy whole-level separator for regression comparison.
     std::vector<int> left, right, sep;
+    const bool boundary_rule =
+        opt_.separator == NestedDissectionOptions::SeparatorRule::kBoundary;
     for (int v : reach) {
       if (level_[v] < cut) {
         left.push_back(v);
       } else if (level_[v] > cut) {
         right.push_back(v);
-      } else {
+      } else if (!boundary_rule || touches_far_side(v, cut)) {
         sep.push_back(v);
+      } else {
+        left.push_back(v);
       }
     }
+    if (stats_.top_separator < 0) {
+      stats_.top_separator = static_cast<int>(sep.size());
+    }
+    ++stats_.bisections;
+    stats_.separator_vertices += static_cast<long>(sep.size());
     for (int v : verts) level_[v] = -1;
     dissect(std::move(left), depth + 1);
     dissect(std::move(right), depth + 1);
-    // Separator last; small, so plain order suffices.
-    for (int v : sep) order_.push_back(v);
+    // Separator last, minimum-degree ordered among its own vertices (the
+    // separator clique dominates the top-level fill; legacy rule keeps the
+    // old plain emission so the comparison isolates the separator SET).
+    if (boundary_rule) {
+      order_leaf(sep);
+    } else {
+      for (int v : sep) order_.push_back(v);
+    }
+  }
+
+  /// True when cut-level vertex v has a neighbor past the cut (level_ holds
+  /// the current BFS levels; far side == level > cut).
+  bool touches_far_side(int v, int cut) const {
+    for (const int* it = g_.col_begin(v); it != g_.col_end(v); ++it) {
+      int w = *it;
+      if (w != v && level_[w] > cut) return true;
+    }
+    return false;
   }
 
   const Pattern& g_;
   NestedDissectionOptions opt_;
+  NestedDissectionStats& stats_;
   std::vector<int> in_set_;
   std::vector<int> global_to_local_;
   std::vector<int> level_;
@@ -154,11 +194,15 @@ class Dissector {
 }  // namespace
 
 Permutation nested_dissection(const Pattern& symmetric_pattern,
-                              const NestedDissectionOptions& opt) {
+                              const NestedDissectionOptions& opt,
+                              NestedDissectionStats* stats) {
   assert(symmetric_pattern.rows == symmetric_pattern.cols);
+  NestedDissectionStats local;
+  NestedDissectionStats& st = stats ? *stats : local;
+  st = NestedDissectionStats{};
   Pattern g = Pattern::symmetrized(symmetric_pattern);
   if (g.cols == 0) return Permutation(0);
-  Dissector d(g, opt);
+  Dissector d(g, opt, st);
   return Permutation::from_old_positions(d.run());
 }
 

@@ -9,8 +9,11 @@
 //
 // The bisection here is level-set based (no multilevel machinery): BFS from
 // a pseudo-peripheral vertex, cut at the median level, take the boundary of
-// one side as the separator.  Simple, deterministic, and good enough to
-// beat minimum degree on tree parallelism for mesh-like matrices.
+// one side as the separator -- only cut-level vertices actually adjacent to
+// the far side separate anything; interior cut-level vertices join their
+// half (SeparatorRule::kBoundary, the default).  Separator vertices are
+// minimum-degree ordered among themselves.  Simple, deterministic, and good
+// enough to beat minimum degree on tree parallelism for mesh-like matrices.
 #pragma once
 
 #include "matrix/csc.h"
@@ -21,10 +24,26 @@ namespace plu::ordering {
 struct NestedDissectionOptions {
   /// Subgraphs at or below this size are ordered by simple minimum degree.
   int leaf_size = 32;
+  /// Which cut-level vertices become the separator.  kCutLevel is the
+  /// pre-boundary-fix behavior (the ENTIRE cut level, oversized), kept
+  /// selectable so the regression test can compare the two directly.
+  enum class SeparatorRule { kBoundary, kCutLevel };
+  SeparatorRule separator = SeparatorRule::kBoundary;
+};
+
+/// Shape record of one nested-dissection run, for tests and tuning.
+struct NestedDissectionStats {
+  int top_separator = -1;       // separator size of the first bisection
+  long separator_vertices = 0;  // total separator vertices over all levels
+  int bisections = 0;           // separator-producing splits
+  int clique_fallbacks = 0;     // max_level < 2 -> leaf-ordered as a whole
+  int depth_cap_hits = 0;       // recursion depth > 64 -> leaf-ordered
+  int max_depth = 0;            // deepest recursion reached
 };
 
 /// Nested dissection on a symmetric pattern (symmetrized internally).
 Permutation nested_dissection(const Pattern& symmetric_pattern,
-                              const NestedDissectionOptions& opt = {});
+                              const NestedDissectionOptions& opt = {},
+                              NestedDissectionStats* stats = nullptr);
 
 }  // namespace plu::ordering

@@ -39,6 +39,7 @@ std::shared_ptr<const Analysis> AnalysisCache::get_or_analyze(
   key.nnz = a.nnz();
   key.fingerprint = fingerprint_(a.rows(), a.cols(), a.col_ptr(), a.row_ind());
   key.layout = int(opt.layout);
+  key.ordering = int(opt.ordering);
 
   Future fut;
   std::promise<std::shared_ptr<const Analysis>> promise;
@@ -123,6 +124,7 @@ std::shared_ptr<const Analysis> AnalysisCache::lookup_or_reserve(
   key.nnz = a.nnz();
   key.fingerprint = fingerprint_(a.rows(), a.cols(), a.col_ptr(), a.row_ind());
   key.layout = int(opt.layout);
+  key.ordering = int(opt.ordering);
 
   Future fut;
   {

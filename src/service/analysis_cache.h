@@ -96,9 +96,11 @@ class AnalysisCache {
     int nnz = 0;
     std::uint64_t fingerprint = 0;
     int layout = 0;
+    int ordering = 0;  // requests overriding the ordering must not collide
     friend bool operator==(const Key& a, const Key& b) {
       return a.rows == b.rows && a.cols == b.cols && a.nnz == b.nnz &&
-             a.fingerprint == b.fingerprint && a.layout == b.layout;
+             a.fingerprint == b.fingerprint && a.layout == b.layout &&
+             a.ordering == b.ordering;
     }
   };
   struct KeyHash {
@@ -107,6 +109,7 @@ class AnalysisCache {
       h ^= (std::uint64_t(std::uint32_t(k.rows)) << 32) ^
            std::uint64_t(std::uint32_t(k.cols));
       h = h * 0x9e3779b97f4a7c15ull + std::uint64_t(k.nnz) * 31 + k.layout;
+      h = h * 0x9e3779b97f4a7c15ull + std::uint64_t(std::uint32_t(k.ordering));
       return std::size_t(h);
     }
   };

@@ -235,6 +235,7 @@ void SolverService::process(const std::shared_ptr<Request>& req) {
 
   Options aopt = opt_.analyze;
   if (req->opt_.layout) aopt.layout = *req->opt_.layout;
+  if (req->opt_.ordering) aopt.ordering = *req->opt_.ordering;
 
   NumericOptions nopt = opt_.numeric;
   nopt.mode = ExecutionMode::kThreaded;

@@ -73,6 +73,10 @@ struct RequestOptions {
   double priority = 0.0;
   /// Numeric layout override for this request (service default otherwise).
   std::optional<Layout> layout;
+  /// Fill-reducing ordering override for this request (service default
+  /// otherwise).  Folded into the analysis-cache key, so requests with
+  /// different orderings never share a cached analysis.
+  std::optional<ordering::Method> ordering;
   /// Relative deadline from submit(); zero means none.
   std::chrono::steady_clock::duration deadline{};
   /// When false the request stops after factorization (pattern warm-up,

@@ -1,13 +1,22 @@
-// Orderings: validity, fill reduction of minimum degree, bandwidth reduction
-// of RCM, dispatcher behavior.
+// Orderings: validity, fill reduction of minimum degree and AMD, bandwidth
+// reduction of RCM, nested-dissection separator/fallback behavior, the
+// policy dispatcher, and the parallel-AMD determinism gate (bit-identical
+// orderings at 1/2/4/8 lanes -- run under TSan by the CI sanitize job).
 #include <gtest/gtest.h>
 
-#include "graph/transversal.h"
-#include "ordering/minimum_degree.h"
-#include "ordering/ordering.h"
+#include <chrono>
+#include <cstdint>
+
+#include "core/report.h"
 #include "core/sparse_lu.h"
+#include "graph/transversal.h"
+#include "ordering/amd.h"
+#include "ordering/engine.h"
+#include "ordering/minimum_degree.h"
 #include "ordering/nested_dissection.h"
+#include "ordering/ordering.h"
 #include "ordering/rcm.h"
+#include "runtime/parallel_for.h"
 #include "symbolic/static_symbolic.h"
 #include "test_helpers.h"
 
@@ -109,7 +118,9 @@ TEST(Rcm, CoversDisconnectedComponents) {
 
 TEST(Dispatcher, AllMethodsValidAndNamed) {
   CscMatrix a = gen::grid2d(8, 8, {});
-  for (Method m : {Method::kNatural, Method::kMinimumDegreeAtA, Method::kRcmAtA}) {
+  for (Method m : {Method::kNatural, Method::kMinimumDegreeAtA, Method::kAmdAtA,
+                   Method::kRcmAtA, Method::kNestedDissectionAtA,
+                   Method::kAuto}) {
     Permutation p = compute_column_ordering(a.pattern(), m);
     EXPECT_TRUE(Permutation::is_valid(p.old_positions())) << to_string(m);
     EXPECT_FALSE(to_string(m).empty());
@@ -117,10 +128,26 @@ TEST(Dispatcher, AllMethodsValidAndNamed) {
   EXPECT_TRUE(compute_column_ordering(a.pattern(), Method::kNatural).is_identity());
 }
 
+TEST(Dispatcher, ParsesMethodNames) {
+  Method m = Method::kNatural;
+  EXPECT_TRUE(parse_method("amd", &m));
+  EXPECT_EQ(m, Method::kAmdAtA);
+  EXPECT_TRUE(parse_method("auto", &m));
+  EXPECT_EQ(m, Method::kAuto);
+  EXPECT_TRUE(parse_method("md", &m));
+  EXPECT_EQ(m, Method::kMinimumDegreeAtA);
+  EXPECT_TRUE(parse_method("mindeg", &m));
+  EXPECT_EQ(m, Method::kMinimumDegreeAtA);
+  EXPECT_TRUE(parse_method("nd", &m));
+  EXPECT_EQ(m, Method::kNestedDissectionAtA);
+  EXPECT_FALSE(parse_method("bogus", &m));
+}
+
 
 TEST(NestedDissection, ValidPermutationAcrossClasses) {
   for (const CscMatrix& a : plu::test::small_matrices()) {
-    Permutation p = nested_dissection(Pattern::ata(a.pattern()));
+    const Pattern ata = Pattern::ata(a.pattern());
+    Permutation p = nested_dissection(ata);
     EXPECT_EQ(p.size(), a.cols());
     EXPECT_TRUE(Permutation::is_valid(p.old_positions())) << describe(a);
   }
@@ -128,8 +155,9 @@ TEST(NestedDissection, ValidPermutationAcrossClasses) {
 
 TEST(NestedDissection, ReducesFillVsNaturalOnGrids) {
   CscMatrix a = gen::grid2d(16, 16, {});
+  const Pattern ata = Pattern::ata(a.pattern());
   long natural = symbolic_fill(a.pattern(), Permutation(a.cols()));
-  long nd = symbolic_fill(a.pattern(), nested_dissection(Pattern::ata(a.pattern())));
+  long nd = symbolic_fill(a.pattern(), nested_dissection(ata));
   EXPECT_LT(nd, natural);
 }
 
@@ -175,6 +203,308 @@ TEST(NestedDissection, EndToEndSolve) {
   std::vector<double> b(a.rows(), 1.0);
   std::vector<double> x = SparseLU::solve_system(a, b, opt);
   EXPECT_LT(relative_residual(a, x, b), 1e-10);
+}
+
+// --- Separator-rule regression (PR 9 bugfix) --------------------------------
+
+TEST(NestedDissection, BoundarySeparatorIsSmallerAndFillNoWorse) {
+  // The old rule promoted the ENTIRE cut level to the separator; the fixed
+  // rule keeps only the boundary (cut-level vertices adjacent to the far
+  // side) and folds interior cut-level vertices into their half.  A dropped
+  // grid has pendant-ish vertices whose neighbors all sit at or before the
+  // cut, so its cut levels contain interior vertices the boundary rule
+  // reclaims (a PLAIN grid's A'A band is already the minimal level-based
+  // separator -- every band vertex touches the far side -- so there the two
+  // rules coincide; that case is covered below as a no-regress check).
+  gen::StencilOptions drop;
+  drop.drop_probability = 0.25;
+  drop.seed = 7;
+  CscMatrix a = gen::grid2d(20, 20, drop);
+  const Pattern ata = Pattern::ata(a.pattern());
+
+  NestedDissectionOptions legacy;
+  legacy.separator = NestedDissectionOptions::SeparatorRule::kCutLevel;
+  NestedDissectionStats legacy_stats;
+  Permutation legacy_perm = nested_dissection(ata, legacy, &legacy_stats);
+
+  NestedDissectionStats boundary_stats;
+  Permutation boundary_perm = nested_dissection(ata, {}, &boundary_stats);
+
+  ASSERT_TRUE(Permutation::is_valid(boundary_perm.old_positions()));
+  ASSERT_GT(legacy_stats.top_separator, 0);
+  ASSERT_GT(boundary_stats.top_separator, 0);
+  // The header contract: the separator is a boundary set, not a whole level.
+  EXPECT_LT(boundary_stats.top_separator, legacy_stats.top_separator);
+  EXPECT_LT(boundary_stats.separator_vertices,
+            legacy_stats.separator_vertices);
+  // Smaller separators must not cost fill.
+  long legacy_fill = symbolic_fill(a.pattern(), legacy_perm);
+  long boundary_fill = symbolic_fill(a.pattern(), boundary_perm);
+  ASSERT_GT(legacy_fill, 0);
+  EXPECT_LE(boundary_fill, legacy_fill);
+
+  // Plain grid: the rules pick the same (minimal) separator set, and the
+  // boundary rule's MD-ordered separator must not regress fill.
+  CscMatrix plain = gen::grid2d(16, 16, {});
+  const Pattern plain_ata = Pattern::ata(plain.pattern());
+  NestedDissectionStats pl, pb;
+  Permutation plain_legacy = nested_dissection(plain_ata, legacy, &pl);
+  Permutation plain_boundary = nested_dissection(plain_ata, {}, &pb);
+  EXPECT_LE(pb.top_separator, pl.top_separator);
+  EXPECT_LE(symbolic_fill(plain.pattern(), plain_boundary),
+            symbolic_fill(plain.pattern(), plain_legacy));
+}
+
+TEST(NestedDissection, CliqueFallbackPath) {
+  // A clique has one BFS level (max_level < 2): no bisection is possible and
+  // the dissector must fall back to minimum degree on the whole vertex set.
+  const int n = 12;
+  CooMatrix coo(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) coo.add(i, j, 1.0);
+  }
+  NestedDissectionOptions opt;
+  opt.leaf_size = 4;  // force an attempted bisection
+  NestedDissectionStats stats;
+  Permutation p = nested_dissection(coo.to_csc().pattern(), opt, &stats);
+  EXPECT_TRUE(Permutation::is_valid(p.old_positions()));
+  EXPECT_EQ(p.size(), n);
+  EXPECT_GE(stats.clique_fallbacks, 1);
+  EXPECT_EQ(stats.bisections, 0);
+}
+
+TEST(NestedDissection, DepthCapOnDegenerateRecursion) {
+  // 80 isolated vertices with leaf_size 0: every level peels one singleton
+  // component off via the disconnected-split path, so the recursion depth
+  // grows linearly and must hit the depth cap instead of recursing forever.
+  const int n = 80;
+  CooMatrix coo(n, n);
+  for (int i = 0; i < n; ++i) coo.add(i, i, 1.0);
+  NestedDissectionOptions opt;
+  opt.leaf_size = 0;
+  NestedDissectionStats stats;
+  Permutation p = nested_dissection(coo.to_csc().pattern(), opt, &stats);
+  EXPECT_TRUE(Permutation::is_valid(p.old_positions()));
+  EXPECT_EQ(p.size(), n);
+  EXPECT_GE(stats.depth_cap_hits, 1);
+  EXPECT_GT(stats.max_depth, 64);
+}
+
+TEST(NestedDissection, DisconnectedStatsStayConsistent) {
+  CooMatrix coo(9, 9);
+  for (int i = 0; i < 9; ++i) coo.add(i, i, 1.0);
+  for (int i : {0, 1}) {
+    coo.add(i, i + 1, 1.0);
+    coo.add(i + 1, i, 1.0);
+  }
+  for (int i : {5, 6, 7}) {
+    coo.add(i, i + 1, 1.0);
+    coo.add(i + 1, i, 1.0);
+  }
+  NestedDissectionOptions opt;
+  opt.leaf_size = 2;
+  NestedDissectionStats stats;
+  Permutation p = nested_dissection(coo.to_csc().pattern(), opt, &stats);
+  EXPECT_TRUE(Permutation::is_valid(p.old_positions()));
+  EXPECT_GE(stats.max_depth, 1);   // the component split recursed
+  EXPECT_GE(stats.bisections, 1);  // the 3/4-vertex chains still bisect
+  EXPECT_GE(stats.top_separator, 1);
+}
+
+// --- AMD --------------------------------------------------------------------
+
+TEST(Amd, ValidAcrossClassesAndReducesFill) {
+  for (const CscMatrix& a : plu::test::small_matrices()) {
+    Permutation p = approximate_minimum_degree_ata(a.pattern());
+    EXPECT_EQ(p.size(), a.cols());
+    EXPECT_TRUE(Permutation::is_valid(p.old_positions())) << describe(a);
+  }
+  CscMatrix grid = gen::grid2d(14, 14, {});
+  long natural = symbolic_fill(grid.pattern(), Permutation(grid.cols()));
+  long amd =
+      symbolic_fill(grid.pattern(), approximate_minimum_degree_ata(grid.pattern()));
+  EXPECT_LT(amd, natural);
+}
+
+TEST(Amd, DefersArrowheadHubAndCollapsesClique) {
+  // Arrowhead: like the exact engine, the hub goes (essentially) last.
+  CooMatrix coo(20, 20);
+  for (int i = 0; i < 20; ++i) coo.add(i, i, 1.0);
+  for (int i = 1; i < 20; ++i) {
+    coo.add(0, i, 1.0);
+    coo.add(i, 0, 1.0);
+  }
+  Permutation perm = approximate_minimum_degree(coo.to_csc().pattern());
+  EXPECT_TRUE(perm.old_of(19) == 0 || perm.old_of(18) == 0);
+
+  // Clique: all vertices are indistinguishable; the supervariable +
+  // mass-elimination path must still emit every one of them exactly once.
+  const int n = 12;
+  CooMatrix k(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) k.add(i, j, 1.0);
+  }
+  Permutation pk = approximate_minimum_degree(k.to_csc().pattern());
+  EXPECT_EQ(pk.size(), n);
+  EXPECT_TRUE(Permutation::is_valid(pk.old_positions()));
+}
+
+TEST(Amd, EmptyAndSingleton) {
+  Pattern empty(0, 0);
+  EXPECT_EQ(approximate_minimum_degree(empty).size(), 0);
+  CooMatrix coo(1, 1);
+  coo.add(0, 0, 1.0);
+  EXPECT_EQ(approximate_minimum_degree(coo.to_csc().pattern()).size(), 1);
+}
+
+TEST(MinimumDegree, PowerLawHubColumnsFinishInBudget) {
+  // PR 9 regression: exact minimum degree rescans hub elements every round,
+  // which is quadratic on power-law graphs -- a 30k-column instance used to
+  // be effectively unbounded.  The guarded entry point routes hub-heavy
+  // graphs to AMD, which must finish comfortably inside a generous budget.
+  CscMatrix a = gen::power_law(30000, 4.0, 2.0, 0.6, 0.8, 9);
+  const Pattern ata = Pattern::ata(a.pattern());
+  ASSERT_TRUE(hub_heavy(ata));  // the guard must actually fire on this shape
+  const auto t0 = std::chrono::steady_clock::now();
+  Permutation p = minimum_degree_ata(a.pattern());
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(p.size(), a.cols());
+  EXPECT_TRUE(Permutation::is_valid(p.old_positions()));
+  EXPECT_LT(secs, 120.0) << "hub guard failed: ordering took " << secs << "s";
+}
+
+// --- Parallel AMD determinism gate (DESIGN.md section 11) -------------------
+
+// Same five matrix classes x ten seeds as the parallel-analysis gate, plus
+// power-law hub shapes that exercise the element-compaction fan-out.
+std::vector<CscMatrix> amd_sweep_matrices() {
+  std::vector<CscMatrix> out;
+  gen::StencilOptions g;
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    g.seed = 100 + s;
+    g.convection = 0.3 + 0.05 * s;
+    out.push_back(gen::grid2d(4 + static_cast<int>(s), 5, g));
+  }
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    g.seed = 200 + s;
+    g.drop_probability = 0.1;
+    out.push_back(gen::grid3d(3, 3, 2 + static_cast<int>(s % 3), g));
+  }
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    out.push_back(gen::banded(40 + 3 * static_cast<int>(s),
+                              {-7, -3, -1, 1, 3, 7}, 0.7, 0.7, 300 + s));
+  }
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    out.push_back(gen::random_sparse(30 + 2 * static_cast<int>(s), 2.5, 0.5,
+                                     0.8, 400 + s));
+  }
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    out.push_back(gen::circuit(45 + 2 * static_cast<int>(s), 2, 2.5, 500 + s));
+  }
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    out.push_back(
+        gen::power_law(600 + 150 * static_cast<int>(s), 4.0, 2.0, 0.6, 0.8,
+                       600 + s));
+  }
+  return out;
+}
+
+TEST(ParallelAmd, BitIdenticalAcrossThreadCounts) {
+  // The determinism contract: the parallel degree/hash refresh only fans out
+  // write-disjoint per-slot work, so the ordering must be BIT-identical at
+  // any lane count.  min_work = 0 forces every refresh through the parallel
+  // path even on the smallest sweep matrices.
+  int checked = 0;
+  for (const CscMatrix& a : amd_sweep_matrices()) {
+    const Pattern g = Pattern::ata(a.pattern());
+    rt::Team team1(1, 0);
+    const Permutation base = approximate_minimum_degree(g, &team1);
+    ASSERT_TRUE(Permutation::is_valid(base.old_positions()));
+    // The no-team path is the same sequential reference.
+    EXPECT_EQ(base.old_positions(),
+              approximate_minimum_degree(g).old_positions())
+        << "n=" << g.cols << " (team vs no team)";
+    for (int threads : {2, 4, 8}) {
+      rt::Team team(threads, 0);
+      EXPECT_EQ(base.old_positions(),
+                approximate_minimum_degree(g, &team).old_positions())
+          << "n=" << g.cols << " threads=" << threads;
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 50);
+}
+
+// --- Policy engine ----------------------------------------------------------
+
+TEST(OrderingPolicy, FeatureDrivenSelection) {
+  // Small order: exact minimum degree.
+  EXPECT_EQ(select_method(compute_features(gen::grid2d(6, 6, {}).pattern())),
+            Method::kMinimumDegreeAtA);
+  // Hub-skewed degree profile: AMD.
+  EXPECT_EQ(select_method(compute_features(
+                gen::power_law(4000, 4.0, 2.0, 0.6, 0.8, 11).pattern())),
+            Method::kAmdAtA);
+  // Thin band at scale: RCM.
+  EXPECT_EQ(select_method(compute_features(
+                gen::banded(8000, {-1, 1}, 1.0, 0.7, 12).pattern())),
+            Method::kRcmAtA);
+  // Large mesh (moderate degrees, bandwidth ~ sqrt(n)): nested dissection.
+  EXPECT_EQ(select_method(compute_features(gen::grid2d(70, 70, {}).pattern())),
+            Method::kNestedDissectionAtA);
+}
+
+TEST(OrderingPolicy, AutoDecisionRecordedInReports) {
+  CscMatrix a = gen::grid2d(10, 10, {});  // n = 100 -> policy picks exact MD
+  Options opt;
+  opt.ordering = Method::kAuto;
+  Analysis an = analyze(a, opt);
+  EXPECT_EQ(an.ordering_decision.requested, Method::kAuto);
+  EXPECT_EQ(an.ordering_decision.chosen, Method::kMinimumDegreeAtA);
+  EXPECT_EQ(an.ordering_decision.engine, "minimum-degree");
+  EXPECT_EQ(an.ordering_decision.features.n, 100);
+  EXPECT_FALSE(an.ordering_decision.dry_run);
+
+  // auto must produce the exact artifacts of requesting the winner directly.
+  Options direct;
+  direct.ordering = Method::kMinimumDegreeAtA;
+  Analysis an2 = analyze(a, direct);
+  EXPECT_EQ(an.col_perm.old_positions(), an2.col_perm.old_positions());
+  EXPECT_EQ(an2.ordering_decision.requested, Method::kMinimumDegreeAtA);
+
+  // The decision is surfaced through both report types.
+  AnalysisReport ar = report(an);
+  EXPECT_EQ(ar.ordering.chosen, Method::kMinimumDegreeAtA);
+  EXPECT_NE(to_string(ar).find("ordering:"), std::string::npos);
+  Factorization f(an, a, {});
+  FactorizationReport fr = report(f);
+  EXPECT_EQ(fr.ordering.chosen, Method::kMinimumDegreeAtA);
+  EXPECT_NE(to_string(fr).find("ordering:"), std::string::npos);
+}
+
+TEST(OrderingPolicy, DryRunPicksLowerFillDeterministically) {
+  CscMatrix a = gen::power_law(600, 4.0, 2.0, 0.6, 0.8, 21);
+  Controls ctl;
+  ctl.dry_run = true;
+  Decision d;
+  Permutation p =
+      compute_column_ordering(a.pattern(), Method::kAuto, ctl, &d);
+  EXPECT_TRUE(Permutation::is_valid(p.old_positions()));
+  EXPECT_TRUE(d.dry_run);
+  EXPECT_GT(d.dry_run_fill_chosen, 0);
+  EXPECT_LE(d.dry_run_fill_chosen, d.dry_run_fill_alternative);
+  // The recorded fill is the chosen permutation's actual Cholesky fill.
+  EXPECT_EQ(cholesky_fill(Pattern::ata(a.pattern()), p),
+            d.dry_run_fill_chosen);
+  // Repeatable: the dry run is pure.
+  Decision d2;
+  Permutation p2 =
+      compute_column_ordering(a.pattern(), Method::kAuto, ctl, &d2);
+  EXPECT_EQ(p.old_positions(), p2.old_positions());
+  EXPECT_EQ(d.chosen, d2.chosen);
+  EXPECT_EQ(d.dry_run_fill_chosen, d2.dry_run_fill_chosen);
 }
 
 }  // namespace

@@ -101,6 +101,35 @@ TEST(SolverService, RepeatedPatternHitsTheCacheOnceAnalyzed) {
   EXPECT_TRUE(reqs.back()->wait().cache_hit);
 }
 
+TEST(SolverService, OrderingOverrideSolvesAndSplitsTheCacheKey) {
+  ServiceOptions sopt;
+  sopt.threads = 2;
+  sopt.max_concurrent = 1;  // sequential pickup => deterministic accounting
+  SolverService svc(sopt);
+  const CscMatrix base = test::small_matrices()[0];
+  const std::vector<double> b = test::random_vector(base.rows(), 77);
+  // Same pattern under three orderings: each override is part of the cache
+  // key, so each ordering analyzes once and repeats hit.
+  std::vector<std::shared_ptr<Request>> reqs;
+  for (int round = 0; round < 2; ++round) {
+    for (auto m : {ordering::Method::kMinimumDegreeAtA,
+                   ordering::Method::kAmdAtA, ordering::Method::kRcmAtA}) {
+      RequestOptions ropt;
+      ropt.ordering = m;
+      reqs.push_back(svc.submit(base, b, ropt));
+    }
+  }
+  for (auto& req : reqs) {
+    RequestResult r = req->wait();
+    ASSERT_EQ(r.state, RequestState::kDone);
+    EXPECT_LT(relative_residual(base, r.x, b), 1e-8);
+  }
+  CacheStats cs = svc.stats().cache;
+  EXPECT_EQ(cs.misses, 3);
+  EXPECT_EQ(cs.hits, 3);
+  EXPECT_EQ(cs.analyze_runs, 3);
+}
+
 TEST(SolverService, LruEvictionUnderTightCapacity) {
   ServiceOptions sopt;
   sopt.threads = 2;

@@ -11,7 +11,12 @@
 //                                               fem, circuit, random,
 //                                               multiphysics3d, powerlaw)
 //     --rhs FILE            right-hand side (default: all ones)
-//     --ordering METHOD     natural | mindeg | rcm | nd        (default mindeg)
+//     --ordering METHOD     auto | md (alias mindeg) | amd | nd | rcm |
+//                           natural                            (default md;
+//                           auto picks by structural features, decision in
+//                           the report)
+//     --ordering-dry-run    with --ordering auto: compare the policy pick
+//                           against its runner-up by exact Cholesky fill
 //     --no-postorder        disable eforest postordering
 //     --taskgraph KIND      eforest | sstar | sstar-po         (default eforest)
 //     --layout L            1d | 2d numeric layout             (default 1d;
@@ -60,7 +65,8 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s MATRIX [--rhs FILE] [--ordering natural|mindeg|rcm|nd]\n"
+               "usage: %s MATRIX [--rhs FILE]\n"
+               "       [--ordering auto|md|amd|nd|rcm|natural] [--ordering-dry-run]\n"
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
                "       [--threads N] [--pipeline] [--analyze-threads N] [--lazy]\n"
@@ -157,12 +163,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--rhs") {
       rhs_path = next();
     } else if (arg == "--ordering") {
-      std::string m = next();
-      if (m == "natural") opt.ordering = plu::ordering::Method::kNatural;
-      else if (m == "mindeg") opt.ordering = plu::ordering::Method::kMinimumDegreeAtA;
-      else if (m == "rcm") opt.ordering = plu::ordering::Method::kRcmAtA;
-      else if (m == "nd") opt.ordering = plu::ordering::Method::kNestedDissectionAtA;
-      else usage(argv[0]);
+      if (!plu::ordering::parse_method(next(), &opt.ordering)) usage(argv[0]);
+    } else if (arg == "--ordering-dry-run") {
+      opt.ordering_dry_run = true;
     } else if (arg == "--no-postorder") {
       opt.postorder = false;
     } else if (arg == "--taskgraph") {
