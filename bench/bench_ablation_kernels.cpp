@@ -1,101 +1,180 @@
-// Ablation A2: blocked BLAS-3 kernels vs scalar reference kernels.
-// The paper's point about supernodes is that they enable BLAS-2/3 in the
-// numeric factorization; this bench measures our own kernels both ways:
-//   * google-benchmark micro timings of gemm at supernodal block shapes,
-//   * the full numeric factorization wall clock with each kernel arm.
+// Ablation A2 (PR 10 edition): structure-aware blocking auto vs off.
+//
+// The paper's point about supernodes is that they enable BLAS-3 in the
+// numeric factorization; earlier editions of this bench compared blocked
+// kernels against the scalar reference.  The structure-aware blocking tier
+// (DESIGN.md section 16) goes further: the analysis now builds a per-panel
+// tile plan, and the numeric drivers use it to hoist the gemm router's
+// density scan, route each tile from MEASURED density, and fuse adjacent
+// same-decision tiles into single gemm calls.  This bench measures the full
+// numeric factorization wall clock with NumericOptions::blocking = kAuto
+// against kOff on every suite matrix at 1 and 4 threads (plus 8 off-smoke),
+// and VERIFIES the headline contract inline: the factors of both arms are
+// compared column buffer by column buffer with memcmp -- any mismatch is a
+// correctness bug, printed loudly and recorded in the JSON artifact.
+//
+// Every cell appends one JSON-lines record (--json FILE, the BENCH_pr10
+// artifact) with the runtime routing counters, so CI can see how many tile
+// runs, fused gemms and elided scans the plan actually produced.
+//
+// Flags: --smoke (small sizes + 1 rep, the CI gate), --json FILE.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "bench_common.h"
-
-#include <chrono>
-
-#include "blas/level3.h"
+#include "matrix/generators.h"
 
 namespace plu::bench {
 namespace {
 
-void BM_GemmShape(benchmark::State& state, bool blocked) {
-  const int m = static_cast<int>(state.range(0));
-  const int n = static_cast<int>(state.range(1));
-  const int k = static_cast<int>(state.range(2));
-  blas::DenseMatrix a(m, k), b(k, n), c(m, n);
-  for (int j = 0; j < k; ++j)
-    for (int i = 0; i < m; ++i) a(i, j) = 0.01 * (i - j);
-  for (int j = 0; j < n; ++j)
-    for (int i = 0; i < k; ++i) b(i, j) = 0.02 * (i + j);
-  for (auto _ : state) {
-    if (blocked) {
-      blas::gemm(blas::Trans::No, blas::Trans::No, 1.0, a.view(), b.view(), 1.0,
-                 c.view());
-    } else {
-      blas::gemm_reference(blas::Trans::No, blas::Trans::No, 1.0, a.view(),
-                           b.view(), 1.0, c.view());
+struct Case {
+  std::string name;
+  CscMatrix a;
+};
+
+std::vector<Case> make_cases(bool smoke) {
+  std::vector<Case> cases;
+  if (smoke) {
+    for (const char* name : {"orsreg1", "lns3937"}) {
+      NamedMatrix nm = make_named_matrix(name);
+      cases.push_back({nm.name, std::move(nm.a)});
     }
-    benchmark::DoNotOptimize(c.data());
+  } else {
+    for (NamedMatrix& nm : make_benchmark_suite()) {
+      cases.push_back({nm.name, std::move(nm.a)});
+    }
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<long>(blas::gemm_flops(m, n, k)));
+  // The generated shapes are the interesting ones for blocking: the
+  // multiphysics stencil interleaves dense cliques with sparse coupling
+  // blocks (mixed-density panels, the tile splitter's target) and the
+  // power-law graph is all tiny supernodes (the DAG-bound merge's target).
+  {
+    gen::StencilOptions g;
+    g.seed = 101;
+    cases.push_back({smoke ? "multiphys-864" : "multiphys-3k",
+                     smoke ? gen::multiphysics3d(6, 6, 6, 2, g)
+                           : gen::multiphysics3d(10, 10, 8, 4, g)});
+  }
+  {
+    const int n = smoke ? 1200 : 4000;
+    cases.push_back({smoke ? "powerlaw-1k" : "powerlaw-4k",
+                     gen::power_law(n, 4.0, 2.0, 0.6, 0.8, 102)});
+  }
+  return cases;
 }
 
-void register_benchmarks() {
-  // Typical supernodal update shapes: tall-skinny panels times small blocks.
-  struct Shape {
-    int m, n, k;
-  };
-  for (Shape s : {Shape{64, 8, 8}, Shape{256, 16, 16}, Shape{512, 24, 24}}) {
-    for (bool blocked : {true, false}) {
-      std::string name = std::string("BM_Gemm/") + (blocked ? "blocked" : "scalar") +
-                         "/" + std::to_string(s.m) + "x" + std::to_string(s.n) +
-                         "x" + std::to_string(s.k);
-      benchmark::RegisterBenchmark(name.c_str(),
-                                   [blocked](benchmark::State& st) {
-                                     BM_GemmShape(st, blocked);
-                                   })
-          ->Args({s.m, s.n, s.k})
-          ->Unit(benchmark::kMicrosecond);
-    }
+/// Bitwise factor comparison: status plus a memcmp of every block-column
+/// buffer.  The column buffers are contiguous (rows == ld), so one memcmp
+/// per column covers every stored double, explicit zeros included.
+bool same_factors(const Factorization& x, const Factorization& y) {
+  if (x.status() != y.status()) return false;
+  if (x.pivot_interchanges() != y.pivot_interchanges()) return false;
+  const BlockMatrix& bx = x.blocks();
+  const BlockMatrix& by = y.blocks();
+  if (bx.num_block_columns() != by.num_block_columns()) return false;
+  for (int j = 0; j < bx.num_block_columns(); ++j) {
+    const blas::ConstMatrixView cx = bx.column(j);
+    const blas::ConstMatrixView cy = by.column(j);
+    if (cx.rows != cy.rows || cx.cols != cy.cols) return false;
+    const std::size_t bytes =
+        sizeof(double) * static_cast<std::size_t>(cx.rows) * cx.cols;
+    if (std::memcmp(cx.data, cy.data, bytes) != 0) return false;
   }
+  return true;
 }
 
-[[maybe_unused]] const bool registered = (register_benchmarks(), true);
+void run(bool smoke) {
+  const int reps = smoke ? 1 : 2;
+  std::vector<int> thread_counts = {1, 4};
+  if (!smoke) thread_counts.push_back(8);
 
-void print_table() {
-  std::printf("\nAblation A2: numeric factorization with blocked vs scalar "
-              "kernels\n");
-  print_rule(64);
-  std::printf("%-10s %14s %14s %9s\n", "Matrix", "blocked (s)", "scalar (s)",
-              "speedup");
-  print_rule(64);
-  for (const char* name : {"orsreg1", "goodwin", "lns3937"}) {
-    NamedMatrix nm = make_named_matrix(name);
-    Analysis an = analyze(nm.a);
-    double total_flops = 0.0;
-    for (double f : an.costs.flops) total_flops += f;
-    auto time_arm = [&](bool blocked) {
-      blas::set_use_blocked_kernels(blocked);
-      auto t0 = std::chrono::steady_clock::now();
-      Factorization f(an, nm.a);
-      auto t1 = std::chrono::steady_clock::now();
-      benchmark::DoNotOptimize(f.zero_pivots());
-      return std::chrono::duration<double>(t1 - t0).count();
-    };
-    double tb = time_arm(true);
-    double ts = time_arm(false);
-    blas::set_use_blocked_kernels(true);
-    std::printf("%-10s %14.3f %14.3f %9.2f\n", name, tb, ts, ts / tb);
-    for (int blocked = 0; blocked < 2; ++blocked) {
-      double secs = blocked ? tb : ts;
-      json_append(JsonRecord()
-                      .field("bench", "ablation_kernels")
-                      .field("matrix", name)
-                      .field("kernel", blocked ? "blocked" : "scalar")
-                      .field("threads", 1)
-                      .field("seconds", secs)
-                      .field("gflops", total_flops / (secs * 1e9)));
+  std::printf("%-14s %8s %8s %12s %12s %8s %9s %6s\n", "matrix", "n",
+              "threads", "auto (s)", "off (s)", "speedup", "tile-runs",
+              "bitEQ");
+  print_rule(84);
+  int mismatches = 0;
+  for (Case& c : make_cases(smoke)) {
+    const Analysis an = analyze(c.a);
+    for (int threads : thread_counts) {
+      NumericOptions nopt;
+      if (threads > 1) {
+        nopt.mode = ExecutionMode::kThreaded;
+        nopt.threads = threads;
+        nopt.coarsen = true;  // exercise the DAG-aware tiny merge too
+      }
+      auto arm_opts = [&](BlockingMode mode) {
+        NumericOptions o = nopt;
+        o.blocking = mode;
+        return o;
+      };
+      const double secs_auto = min_of_n_seconds(reps, [&] {
+        Factorization f(an, c.a, arm_opts(BlockingMode::kAuto));
+      });
+      const double secs_off = min_of_n_seconds(reps, [&] {
+        Factorization f(an, c.a, arm_opts(BlockingMode::kOff));
+      });
+      // One final run of each arm, kept alive for the bitwise comparison
+      // and the routing counters.
+      Factorization fa(an, c.a, arm_opts(BlockingMode::kAuto));
+      Factorization fo(an, c.a, arm_opts(BlockingMode::kOff));
+      const bool bit_equal = same_factors(fa, fo);
+      if (!bit_equal) {
+        ++mismatches;
+        std::printf("ERROR: %s at %d thread(s): blocking=auto factors "
+                    "differ from blocking=off\n",
+                    c.name.c_str(), threads);
+      }
+      const symbolic::BlockingStats& bt = fa.blocking_stats();
+      std::printf("%-14s %8d %8d %12.4f %12.4f %8.2f %9ld %6s\n",
+                  c.name.c_str(), c.a.rows(), threads, secs_auto, secs_off,
+                  secs_off / secs_auto, bt.tile_runs,
+                  bit_equal ? "yes" : "NO");
+      for (int arm = 0; arm < 2; ++arm) {
+        const bool is_auto = arm == 0;
+        const symbolic::BlockingStats& s =
+            is_auto ? fa.blocking_stats() : fo.blocking_stats();
+        JsonRecord rec;
+        rec.field("bench", "ablation_kernels")
+            .field("matrix", c.name)
+            .field("n", c.a.rows())
+            .field("nnz", c.a.nnz())
+            .field("threads", threads)
+            .field("blocking", is_auto ? "auto" : "off")
+            .field("seconds", is_auto ? secs_auto : secs_off)
+            .field("tile_runs", s.tile_runs)
+            .field("gemms_fused", s.gemms_fused)
+            .field("routed_packed", s.routed_packed)
+            .field("routed_direct", s.routed_direct)
+            .field("scans_elided", s.scans_elided)
+            .field("bitwise_equal", bit_equal ? 1 : 0)
+            .field("reps", reps);
+        json_append(rec);
+      }
     }
   }
-  print_rule(64);
+  print_rule(84);
+  if (mismatches > 0) {
+    std::printf("FAILED: %d blocking arm(s) produced different factors\n",
+                mismatches);
+    std::exit(1);
+  }
+  std::printf(
+      "blocking=auto routes each tile from measured density with the scan\n"
+      "hoisted per update and adjacent same-decision tiles fused into one\n"
+      "gemm; factors are verified bitwise identical to blocking=off above.\n");
 }
 
 }  // namespace
 }  // namespace plu::bench
 
-PLU_BENCH_MAIN(plu::bench::print_table)
+int main(int argc, char** argv) {
+  plu::bench::strip_json_flag(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  plu::bench::run(smoke);
+  return 0;
+}

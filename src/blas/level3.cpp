@@ -2,6 +2,7 @@
 
 #include "blas/level1.h"
 #include "blas/scratch.h"
+#include "blas/tunables.h"
 
 #include <algorithm>
 #include <atomic>
@@ -15,28 +16,15 @@ namespace {
 
 std::atomic<bool> g_use_blocked{true};
 
-// Register-tile shape of the packed microkernel: kMr x kNr accumulators
-// held in registers across the whole k-loop, written as plain loops over
-// fixed trip counts so the compiler auto-vectorizes them.  The tile must
-// fit the register file or the accumulators spill every iteration: 8 x 4
-// doubles = 8 ymm under AVX (the PLU_NATIVE CMake option compiles
-// -march=native and gets this), but baseline x86-64 has only 16 xmm
-// registers, so the portable build uses a 4 x 4 tile (8 xmm, leaving room
-// for the A vector and B broadcasts).
-#if defined(__AVX__)
-constexpr int kMr = 8;
-#else
-constexpr int kMr = 4;
-#endif
-constexpr int kNr = 4;
-// Cache-blocking parameters (multiples of the register tile).  Modest,
-// because the target blocks are small supernodal panels: an A block of
-// kMc x kKc doubles is 128 KiB, a B block kKc x kNc the same.
-constexpr int kMc = 64;
-constexpr int kKc = 256;
-constexpr int kNc = 64;
-// Column-block width of the blocked right-side trsm.
-constexpr int kTrsmNb = 32;
+// Microkernel register tile and cache-blocking shape; the constants live in
+// blas/tunables.h with the other routing thresholds so they cannot drift
+// apart from the callers that reason about them.
+using tunables::kKc;
+using tunables::kMc;
+using tunables::kMr;
+using tunables::kNc;
+using tunables::kNr;
+using tunables::kTrsmNb;
 
 void scale_c(double beta, MatrixView c) {
   if (beta == 1.0) return;
@@ -172,30 +160,11 @@ void micro_kernel(int kb, const double* ap, const double* bp,
 // zero-operand skipping recovers more time than the microkernel's vector
 // throughput (the packed engine can only skip whole packed rows).  So gemm
 // routes to the packed engine when the operation is big enough to amortize
-// packing (m*n*k >= kPackThreshold) AND a cheap O(k*n) scan finds op(B)
-// essentially free of zeros; everything else takes the direct engine.
-constexpr double kPackThreshold = 32768.0;
-constexpr double kPackMaxZeroFrac = 1.0 / 16.0;
-
-bool b_is_dense_enough(Trans tr, ConstMatrixView b, int k, int n) {
-  const long budget = static_cast<long>(kPackMaxZeroFrac *
-                                        (static_cast<double>(k) * n));
-  long zeros = 0;
-  if (tr == Trans::No) {
-    for (int j = 0; j < n; ++j) {
-      const double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
-      for (int p = 0; p < k; ++p) zeros += (bj[p] == 0.0);
-      if (zeros > budget) return false;
-    }
-  } else {
-    for (int p = 0; p < k; ++p) {
-      const double* bp = b.data + static_cast<std::size_t>(p) * b.ld;
-      for (int j = 0; j < n; ++j) zeros += (bp[j] == 0.0);
-      if (zeros > budget) return false;
-    }
-  }
-  return true;
-}
+// packing (m*n*k >= tunables::kPackThreshold) AND a cheap O(k*n) scan
+// finds op(B) essentially free of zeros; everything else takes the direct
+// engine.  Both tests are exported (gemm_pack_worthwhile /
+// gemm_b_dense_enough) so hint-passing callers reproduce the auto
+// decision exactly.
 
 // Direct-engine inner kernel: C(0:m,0:n) += alpha * A(0:m,0:k) * B(0:k,0:n),
 // column-major, no transposes.  4-way unrolled k-loop, stride-1 over rows,
@@ -338,25 +307,15 @@ void gemm_reference(Trans transa, Trans transb, double alpha, ConstMatrixView a,
   }
 }
 
-void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
-          ConstMatrixView b, double beta, MatrixView c) {
-  const int m = (transa == Trans::No) ? a.rows : a.cols;
-  const int k = (transa == Trans::No) ? a.cols : a.rows;
-  const int n = (transb == Trans::No) ? b.cols : b.rows;
-  assert(((transb == Trans::No) ? b.rows : b.cols) == k);
-  assert(c.rows == m && c.cols == n);
-  scale_c(beta, c);
-  if (alpha == 0.0 || k == 0) return;
-  if (static_cast<double>(m) * n * k < kPackThreshold ||
-      !b_is_dense_enough(transb, b, k, n)) {
-    gemm_direct(transa, transb, alpha, a, b, c, m, n, k);
-    return;
-  }
-  // Packed engine: both operands are copied into contiguous aligned
-  // micro-panel buffers (transposes fold into the packing, alpha folds
-  // into B), then an kMr x kNr register-tiled microkernel sweeps them.
-  // The buffers come from the per-worker scratch arena, so steady-state
-  // Schur updates allocate nothing.
+namespace {
+
+// Packed engine: both operands are copied into contiguous aligned
+// micro-panel buffers (transposes fold into the packing, alpha folds
+// into B), then an kMr x kNr register-tiled microkernel sweeps them.
+// The buffers come from the per-worker scratch arena, so steady-state
+// Schur updates allocate nothing.
+void gemm_packed(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                 ConstMatrixView b, MatrixView c, int m, int n, int k) {
   WorkerScratch& scratch = worker_scratch();
   double* apack = scratch.pack_a(static_cast<std::size_t>(kMc) * kKc);
   double* bpack = scratch.pack_b(static_cast<std::size_t>(kKc) * kNc);
@@ -387,6 +346,61 @@ void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
       }
     }
   }
+}
+
+}  // namespace
+
+bool gemm_pack_worthwhile(int m, int n, int k) {
+  return static_cast<double>(m) * n * k >= tunables::kPackThreshold;
+}
+
+bool gemm_b_dense_enough(Trans transb, ConstMatrixView b, int k, int n) {
+  const long budget = static_cast<long>(tunables::kPackMaxZeroFrac *
+                                        (static_cast<double>(k) * n));
+  long zeros = 0;
+  if (transb == Trans::No) {
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b.data + static_cast<std::size_t>(j) * b.ld;
+      for (int p = 0; p < k; ++p) zeros += (bj[p] == 0.0);
+      if (zeros > budget) return false;
+    }
+  } else {
+    for (int p = 0; p < k; ++p) {
+      const double* bp = b.data + static_cast<std::size_t>(p) * b.ld;
+      for (int j = 0; j < n; ++j) zeros += (bp[j] == 0.0);
+      if (zeros > budget) return false;
+    }
+  }
+  return true;
+}
+
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c, GemmEngine engine) {
+  const int m = (transa == Trans::No) ? a.rows : a.cols;
+  const int k = (transa == Trans::No) ? a.cols : a.rows;
+  const int n = (transb == Trans::No) ? b.cols : b.rows;
+  assert(((transb == Trans::No) ? b.rows : b.cols) == k);
+  assert(c.rows == m && c.cols == n);
+  scale_c(beta, c);
+  if (alpha == 0.0 || k == 0) return;
+  if (engine == GemmEngine::kAuto) {
+    // Short-circuit order matters for cost only (the scan is O(k*n)), not
+    // for the decision; hint-passing callers replay these exact predicates.
+    engine = (gemm_pack_worthwhile(m, n, k) &&
+              gemm_b_dense_enough(transb, b, k, n))
+                 ? GemmEngine::kPacked
+                 : GemmEngine::kDirect;
+  }
+  if (engine == GemmEngine::kPacked) {
+    gemm_packed(transa, transb, alpha, a, b, c, m, n, k);
+  } else {
+    gemm_direct(transa, transb, alpha, a, b, c, m, n, k);
+  }
+}
+
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c) {
+  gemm(transa, transb, alpha, a, b, beta, c, GemmEngine::kAuto);
 }
 
 void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
@@ -456,9 +470,17 @@ bool use_blocked_kernels() { return g_use_blocked.load(); }
 
 void gemm_dispatch(Trans transa, Trans transb, double alpha, ConstMatrixView a,
                    ConstMatrixView b, double beta, MatrixView c) {
+  gemm_dispatch(transa, transb, alpha, a, b, beta, c, GemmEngine::kAuto);
+}
+
+void gemm_dispatch(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                   ConstMatrixView b, double beta, MatrixView c,
+                   GemmEngine engine) {
   if (use_blocked_kernels()) {
-    gemm(transa, transb, alpha, a, b, beta, c);
+    gemm(transa, transb, alpha, a, b, beta, c, engine);
   } else {
+    // Scalar-kernel ablation arm: engine hints are routing advice for the
+    // blocked tier only; the reference kernel has exactly one engine.
     gemm_reference(transa, transb, alpha, a, b, beta, c);
   }
 }

@@ -15,9 +15,33 @@ namespace plu::blas {
 
 enum class Side { Left, Right };
 
+/// Which blocked-gemm engine to run.  kAuto reproduces the historical
+/// routing (pack when gemm_pack_worthwhile AND gemm_b_dense_enough, with
+/// the same short-circuit, else direct); kDirect/kPacked force an engine.
+/// ROUTING CONTRACT: for a given (op(A), op(B), alpha, beta, C) both
+/// engines produce bitwise-identical C -- each element C(i,j) is
+/// accumulated over p in ascending order in both, and the order is
+/// independent of how callers partition m (see DESIGN.md section 16).  So
+/// a caller that forces the engine kAuto would have chosen (by replaying
+/// the two exported predicates), or merges row-adjacent calls under one
+/// forced engine, changes nothing but speed.
+enum class GemmEngine { kAuto, kDirect, kPacked };
+
 /// C := alpha * op(A) * op(B) + beta * C  (blocked engine).
 void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
           ConstMatrixView b, double beta, MatrixView c);
+
+/// Blocked gemm with an explicit engine choice (see GemmEngine contract).
+void gemm(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+          ConstMatrixView b, double beta, MatrixView c, GemmEngine engine);
+
+/// The two halves of the kAuto routing decision, exported so plan-driven
+/// callers (core/driver.cpp tiled updates) can hoist the O(k*n) density
+/// scan across gemms that share op(B) and still reproduce the auto
+/// decision exactly.  pack_worthwhile: m*n*k >= tunables::kPackThreshold.
+/// b_dense_enough: op(B) carries at most tunables::kPackMaxZeroFrac zeros.
+bool gemm_pack_worthwhile(int m, int n, int k);
+bool gemm_b_dense_enough(Trans transb, ConstMatrixView b, int k, int n);
 
 /// C := alpha * op(A) * op(B) + beta * C  (naive triple loop).
 void gemm_reference(Trans transa, Trans transb, double alpha, ConstMatrixView a,
@@ -37,6 +61,12 @@ bool use_blocked_kernels();
 /// Dispatches to gemm or gemm_reference per set_use_blocked_kernels().
 void gemm_dispatch(Trans transa, Trans transb, double alpha, ConstMatrixView a,
                    ConstMatrixView b, double beta, MatrixView c);
+
+/// Engine-hinted dispatch: forwards the hint to the blocked gemm; the
+/// scalar-ablation arm ignores it (gemm_reference has one engine).
+void gemm_dispatch(Trans transa, Trans transb, double alpha, ConstMatrixView a,
+                   ConstMatrixView b, double beta, MatrixView c,
+                   GemmEngine engine);
 
 /// Flop counts for the cost model (multiply-add counted as 2 flops).
 double gemm_flops(int m, int n, int k);

@@ -1,0 +1,76 @@
+// Kernel-routing and blocking tunables, deduplicated from blas/level3.cpp
+// and core/kernels.cpp (where they drifted as independent magic numbers)
+// plus the structure-aware blocking tier (symbolic/repartition.h,
+// DESIGN.md section 16).  Everything here is a POLICY constant: changing a
+// value moves work between engines or reshapes tiles/tasks, but never
+// changes a computed factor bit (the routing contract in level3.h and the
+// writer chains in taskgraph/coarsen.h are what guarantee that).
+#pragma once
+
+namespace plu::blas::tunables {
+
+// ---- packed GEMM microkernel shape -------------------------------------
+// Register tile: kMr x kNr accumulators held across the whole k-loop.  The
+// tile must fit the register file or the accumulators spill every
+// iteration: 8 x 4 doubles = 8 ymm under AVX (PLU_NATIVE compiles
+// -march=native and gets this), but baseline x86-64 has only 16 xmm
+// registers, so the portable build uses a 4 x 4 tile (8 xmm, leaving room
+// for the A vector and B broadcasts).
+#if defined(__AVX__)
+inline constexpr int kMr = 8;
+#else
+inline constexpr int kMr = 4;
+#endif
+inline constexpr int kNr = 4;
+
+// Cache-blocking parameters (multiples of the register tile).  Modest,
+// because the target blocks are small supernodal panels: an A block of
+// kMc x kKc doubles is 128 KiB, a B block kKc x kNc the same.
+inline constexpr int kMc = 64;
+inline constexpr int kKc = 256;
+inline constexpr int kNc = 64;
+
+// Column-block width of the blocked right-side trsm (level3.cpp).
+inline constexpr int kTrsmNb = 32;
+
+// Panel width of the blocked getrf the factor kernel runs
+// (core/kernels.cpp; was a bare literal there).
+inline constexpr int kGetrfNb = 32;
+
+// ---- gemm engine routing -----------------------------------------------
+// The packed engine routes in only when the operation is big enough to
+// amortize packing (m*n*k >= kPackThreshold flops-ish volume) AND op(B)
+// carries at most kPackMaxZeroFrac numeric zeros (the direct engine's
+// per-column zero skipping wins on sparser operands).  level3.cpp's auto
+// router and the plan-driven tiled updates (core/driver.cpp) consult the
+// SAME two constants -- that shared definition is what makes the hinted
+// path's decisions provably identical to the unhinted ones.
+inline constexpr double kPackThreshold = 32768.0;
+inline constexpr double kPackMaxZeroFrac = 1.0 / 16.0;
+
+// ---- structure-aware blocking tier (symbolic/repartition.h) ------------
+// An L row block whose structural fill (|Abar entries| / area) is at least
+// kDenseTileMinFill is predicted dense (packed-engine material); a block
+// with no Abar entries at all is a predicted zero tile (closure padding);
+// everything between is a sparse tile.  Predictions drive tiling, the
+// report and the cost model -- the numeric router re-measures, because
+// partial-pivoting row swaps can move numeric zeros across block
+// boundaries regardless of structure.
+inline constexpr double kDenseTileMinFill = 0.9;
+
+// Scheduling floor for density-scaled task costs (taskgraph/costs.h):
+// a structurally near-empty panel still pays bookkeeping, so its
+// effective flops never drop below this fraction of the nominal count.
+inline constexpr double kMinDensityScale = 1.0 / 16.0;
+
+// ---- DAG-aware tiny-supernode merging (taskgraph/coarsen.cpp) ----------
+// A stage whose supernode is at most kTinyStageWidth columns wide counts
+// as tiny.  When the task count exceeds threads * target_tasks_per_thread
+// * kDagBoundTaskFactor, the DAG itself -- not flops -- is the bottleneck,
+// and whole subtrees of tiny stages fuse even when their subtree flops
+// exceed the adaptive threshold, up to kTinyMergeFlopFactor times it.
+inline constexpr int kTinyStageWidth = 8;
+inline constexpr int kDagBoundTaskFactor = 4;
+inline constexpr double kTinyMergeFlopFactor = 8.0;
+
+}  // namespace plu::blas::tunables

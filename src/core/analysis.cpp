@@ -151,9 +151,13 @@ Analysis analyze_suffix(AnalysisPrefix pre) {
           : an.exact_partition;
   an.timings.supernodes = lap(last);
 
-  // (5) Block structure with block-level closure, block eforest.
+  // (5) Block structure with block-level closure, block eforest; then the
+  // structure-aware blocking plan over the finished blocks (one density
+  // sweep of Abar, folded into this phase's timing -- it is block
+  // bookkeeping, not a new pipeline stage).
   an.blocks = symbolic::build_block_structure(an.symbolic.abar, an.partition,
                                               /*apply_closure=*/true, team);
+  an.block_plan = symbolic::build_block_plan(an.symbolic.abar, an.blocks, team);
   an.timings.blocks = lap(last);
 
   // (6) Task dependence graph + cost model; the block-granularity graph

@@ -13,6 +13,7 @@
 #include "matrix/csc.h"
 #include "ordering/ordering.h"
 #include "symbolic/blocks.h"
+#include "symbolic/repartition.h"
 #include "symbolic/static_symbolic.h"
 #include "symbolic/supernodes.h"
 #include "taskgraph/build.h"
@@ -119,6 +120,12 @@ struct Analysis {
   symbolic::SupernodePartition exact_partition;  // before amalgamation
   symbolic::SupernodePartition partition;        // final
   symbolic::BlockStructure blocks;
+  /// Structure-aware blocking plan over `blocks` (symbolic/repartition.h):
+  /// per-block densities, tile classes and cached L lists.  Predictions and
+  /// cached structure only -- consuming it never changes factor bits.  Not
+  /// built by the analyze->factor pipeline (core/pipeline.cpp), whose
+  /// numeric tasks start before the full structure exists.
+  symbolic::BlockPlan block_plan;
 
   taskgraph::TaskGraph graph;
   taskgraph::TaskCosts costs;

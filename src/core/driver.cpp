@@ -50,6 +50,12 @@ class RunState {
   void finish() {
     run_.zero_pivots = zero_pivots_.load();
     run_.lazy_skipped = lazy_skipped_.load();
+    run_.blocking.ran = run_.plan != nullptr;
+    run_.blocking.tile_runs = tile_runs_.load();
+    run_.blocking.gemms_fused = gemms_fused_.load();
+    run_.blocking.routed_packed = routed_packed_.load();
+    run_.blocking.routed_direct = routed_direct_.load();
+    run_.blocking.scans_elided = scans_elided_.load();
     {
       std::lock_guard<std::mutex> lock(min_pivot_mu_);
       run_.min_pivot = min_pivot_;
@@ -117,6 +123,23 @@ class RunState {
     lazy_skipped_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// One dispatched tile run: `fused` is the number of per-block gemms the
+  /// run merged away (0 for a single-tile run).  kAuto means the scalar
+  /// reference arm ran (no engine routing happened).
+  void count_tile_run(blas::GemmEngine engine, int fused) {
+    tile_runs_.fetch_add(1, std::memory_order_relaxed);
+    if (fused > 0) gemms_fused_.fetch_add(fused, std::memory_order_relaxed);
+    if (engine == blas::GemmEngine::kPacked) {
+      routed_packed_.fetch_add(1, std::memory_order_relaxed);
+    } else if (engine == blas::GemmEngine::kDirect) {
+      routed_direct_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void count_scans_elided(int n) {
+    scans_elided_.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Block (i, j) as a checker resource id.
   long resource(int i, int j) const {
     return static_cast<long>(i) * run_.an.blocks.num_blocks() + j;
@@ -149,6 +172,11 @@ class RunState {
  private:
   std::atomic<int> zero_pivots_{0};
   std::atomic<long> lazy_skipped_{0};
+  std::atomic<long> tile_runs_{0};
+  std::atomic<long> gemms_fused_{0};
+  std::atomic<long> routed_packed_{0};
+  std::atomic<long> routed_direct_{0};
+  std::atomic<long> scans_elided_{0};
   std::mutex min_pivot_mu_;
   double min_pivot_ = std::numeric_limits<double>::infinity();
   rt::CancelToken cancel_;
@@ -198,17 +226,28 @@ class Run1D : public RunState {
 
   void update(int k, int j) {
     const Analysis& an = run_.an;
+    const symbolic::ColumnPlan* cp =
+        run_.plan != nullptr ? &run_.plan->columns[k] : nullptr;
     if (run_.checker) {
       // Update(k, j) reads panel k (L blocks + ipiv via the diagonal
       // block) and writes the panel-k row blocks of block column j: the
       // pivot replay swaps rows inside blocks (k, j) and (t, j), the trsm
       // rewrites (k, j), the gemms rewrite each (t, j).  These are exactly
       // the pivot-candidate row blocks Theorem 4 proves disjoint across
-      // independent subtrees.
+      // independent subtrees.  Footprints stay at the ORIGINAL block
+      // granularity even when the plan coalesces tiles: a fused gemm
+      // writes exactly the union of its member blocks, no more.
       const int id = run_.graph.tasks.update_id(k, j);
       record_read(id, k, k);
       record_write(id, k, j);
-      for (int t : an.blocks.l_blocks(k)) {
+      std::vector<int> tmp;
+      const std::vector<int>* lblk = &tmp;
+      if (cp != nullptr) {
+        lblk = &cp->l_list;
+      } else {
+        tmp = an.blocks.l_blocks(k);
+      }
+      for (int t : *lblk) {
         record_read(id, t, k);
         record_write(id, t, j);
       }
@@ -230,16 +269,80 @@ class Run1D : public RunState {
     kernels::solve_with_l(panel_k.block(0, 0, wk, wk), ukj);
     // (c) Schur updates: B_tj -= L_tk * U_kj for every L row block t.
     blas::ConstMatrixView ukj_c = ukj;
-    int off = wk;
-    for (int t : an.blocks.l_blocks(k)) {
-      const int wt = an.blocks.part.width(t);
-      kernels::schur_update(panel_k.block(off, 0, wt, wk), ukj_c,
-                            run_.blocks.block(t, j));
-      off += wt;
+    if (cp == nullptr) {
+      int off = wk;
+      for (int t : an.blocks.l_blocks(k)) {
+        const int wt = an.blocks.part.width(t);
+        kernels::schur_update(panel_k.block(off, 0, wt, wk), ukj_c,
+                              run_.blocks.block(t, j));
+        off += wt;
+      }
+      return;
     }
+    schur_update_tiled(an, *cp, k, j, panel_k, ukj_c, wk);
   }
 
  private:
+  /// Plan-driven Schur sweep: replays gemm's auto routing per tile with
+  /// the O(k*n) density scan of op(B) = U_kj hoisted out of the loop
+  /// (every tile's gemm shares it), then coalesces maximal runs of
+  /// adjacent same-decision tiles whose targets are contiguous in block
+  /// column j's buffer into single tall gemms with the engine forced.
+  /// Bitwise identical to the per-block loop: every engine accumulates
+  /// each C element over p in ascending order independent of how m is
+  /// partitioned, and the forced engine IS the auto decision (DESIGN.md
+  /// section 16).
+  void schur_update_tiled(const Analysis& an, const symbolic::ColumnPlan& cp,
+                          int k, int j, blas::ConstMatrixView panel_k,
+                          blas::ConstMatrixView ukj_c, int wk) {
+    const int nb = static_cast<int>(cp.l_list.size());
+    if (nb == 0) return;
+    const int wj = an.blocks.part.width(j);
+    const bool blocked = blas::use_blocked_kernels();
+    // Hoisted density scan, with gemm's short-circuit preserved: the scan
+    // runs only when at least one tile crosses the size threshold (below
+    // it gemm never scans, so neither do we).
+    int scans_wanted = 0;
+    bool bdense = false;
+    if (blocked) {
+      for (int t = 0; t < nb; ++t) {
+        scans_wanted += blas::gemm_pack_worthwhile(
+            an.blocks.part.width(cp.l_list[t]), wj, wk);
+      }
+      if (scans_wanted > 0) {
+        bdense = blas::gemm_b_dense_enough(blas::Trans::No, ukj_c, wk, wj);
+        if (scans_wanted > 1) count_scans_elided(scans_wanted - 1);
+      }
+    }
+    const auto engine_of = [&](int t) {
+      if (!blocked) return blas::GemmEngine::kAuto;  // reference arm: unused
+      return blas::gemm_pack_worthwhile(an.blocks.part.width(cp.l_list[t]),
+                                        wj, wk) &&
+                     bdense
+                 ? blas::GemmEngine::kPacked
+                 : blas::GemmEngine::kDirect;
+    };
+    blas::MatrixView colj = run_.blocks.column(j);
+    int t = 0;
+    while (t < nb) {
+      const blas::GemmEngine eng = engine_of(t);
+      const int tgt0 = run_.blocks.block_offset(cp.l_list[t], j);
+      int tgt_end = tgt0 + an.blocks.part.width(cp.l_list[t]);
+      int e = t + 1;
+      while (e < nb && engine_of(e) == eng &&
+             run_.blocks.block_offset(cp.l_list[e], j) == tgt_end) {
+        tgt_end += an.blocks.part.width(cp.l_list[e]);
+        ++e;
+      }
+      const int run_rows = cp.l_offset[e] - cp.l_offset[t];
+      kernels::schur_update(
+          panel_k.block(wk + cp.l_offset[t], 0, run_rows, wk), ukj_c,
+          colj.block(tgt0, 0, run_rows, wj), eng);
+      count_tile_run(eng, e - t - 1);
+      t = e;
+    }
+  }
+
   const bool lazy_;
   const double threshold_;
 };
@@ -308,7 +411,25 @@ class Run2D : public RunState {
           break;
         }
         std::unique_lock<std::mutex> lock = maybe_lock(t.j);
-        kernels::schur_update(lik, ukj, run_.blocks.block(t.i, t.j));
+        if (run_.plan == nullptr) {
+          kernels::schur_update(lik, ukj, run_.blocks.block(t.i, t.j));
+          break;
+        }
+        // Plan-driven routing at block granularity: replay gemm's auto
+        // decision (same predicates, same short-circuit -- the scan only
+        // runs past the size threshold) so the forced engine is exactly
+        // what kAuto would pick, and count it for the report.  No tiles
+        // to fuse here; per-block tasks are the 2-D layout's granularity.
+        blas::GemmEngine eng = blas::GemmEngine::kAuto;
+        if (blas::use_blocked_kernels()) {
+          eng = blas::gemm_pack_worthwhile(lik.rows, ukj.cols, lik.cols) &&
+                        blas::gemm_b_dense_enough(blas::Trans::No, ukj,
+                                                  lik.cols, ukj.cols)
+                    ? blas::GemmEngine::kPacked
+                    : blas::GemmEngine::kDirect;
+        }
+        kernels::schur_update(lik, ukj, run_.blocks.block(t.i, t.j), eng);
+        count_tile_run(eng, 0);
         break;
       }
       default:
@@ -380,6 +501,7 @@ void execute(NumericRun& run, const NumericOptions& opt,
         taskgraph::CoarsenOptions copt;
         copt.threads = opt.threads;
         copt.threshold_flops = opt.coarsen_threshold_flops;
+        copt.plan = run.plan;
         cg = taskgraph::coarsen_task_graph(run.graph, run.an.blocks, copt);
         run.coarsen = cg.stats(run.graph);
       }

@@ -42,6 +42,13 @@ struct NumericRun {
   /// Factorization constructor to sqrt(eps) * max|A| when
   /// NumericOptions::perturb_pivots is on.
   double perturb_magnitude = 0.0;
+  /// Structure-aware blocking plan (symbolic/repartition.h), or nullptr to
+  /// run the legacy per-block path.  Set by the Factorization constructor
+  /// from Analysis::block_plan when NumericOptions::blocking is kAuto.
+  /// Consuming the plan never changes factor bits: the drivers re-measure
+  /// density with gemm's own exported predicates and only elide redundant
+  /// scans / fuse adjacent same-decision tiles (DESIGN.md section 16).
+  const symbolic::BlockPlan* plan = nullptr;
 
   // Outputs.
   int zero_pivots = 0;
@@ -59,6 +66,8 @@ struct NumericRun {
   /// Task-graph coarsening summary (ran == false when coarsening was off,
   /// not applicable, or the mode was not threaded).
   taskgraph::CoarsenStats coarsen{};
+  /// Tile-routing counters (ran == false when no plan drove the run).
+  symbolic::BlockingStats blocking{};
 };
 
 /// The phase-spanning analyze->factor->solve driver (core/pipeline.h); a

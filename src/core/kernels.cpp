@@ -5,6 +5,7 @@
 
 #include "blas/factor.h"
 #include "blas/level3.h"
+#include "blas/tunables.h"
 
 namespace plu::kernels {
 
@@ -16,7 +17,7 @@ FactorResult factor_block(blas::MatrixView a, std::vector<int>& ipiv,
   blas::PivotPerturbation* p = perturb_magnitude > 0.0 ? &perturb : nullptr;
   r.info = threshold < 1.0
                ? blas::getf2_threshold(a, ipiv, threshold, nullptr, p)
-               : blas::getrf(a, ipiv, 32, p);
+               : blas::getrf(a, ipiv, blas::tunables::kGetrfNb, p);
   r.perturbed = std::move(perturb.columns);
   blas::all_finite(a, &r.first_nonfinite);
   return r;
@@ -59,6 +60,12 @@ void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
                   blas::MatrixView bij) {
   blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, lik, ukj, 1.0,
                       bij);
+}
+
+void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
+                  blas::MatrixView bij, blas::GemmEngine engine) {
+  blas::gemm_dispatch(blas::Trans::No, blas::Trans::No, -1.0, lik, ukj, 1.0,
+                      bij, engine);
 }
 
 }  // namespace plu::kernels

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "blas/dense.h"
+#include "blas/level3.h"
 #include "core/block_storage.h"
 
 namespace plu::kernels {
@@ -72,5 +73,12 @@ void solve_with_u(blas::ConstMatrixView ukk, blas::MatrixView lik);
 /// block, and the whole UpdateBlock body).
 void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
                   blas::MatrixView bij);
+
+/// Engine-hinted Schur update for the plan-driven tiled path: the hint must
+/// be the decision kAuto would have made (caller replays the exported
+/// predicates, blas/level3.h), so the factors stay bitwise identical while
+/// redundant density scans are elided.  Ignored on the scalar-ablation arm.
+void schur_update(blas::ConstMatrixView lik, blas::ConstMatrixView ukj,
+                  blas::MatrixView bij, blas::GemmEngine engine);
 
 }  // namespace plu::kernels

@@ -15,6 +15,10 @@
 
 namespace plu {
 
+const char* to_string(BlockingMode m) {
+  return m == BlockingMode::kAuto ? "auto" : "off";
+}
+
 const char* Factorization::driver_name() const {
   return NumericDriver::driver_for(layout_).name();
 }
@@ -65,6 +69,9 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   NumericRun run{analysis, blocks_, ipiv_, graph, checker.get(),
                  factored_blocks_};
   run.perturb_magnitude = perturb_magnitude_;
+  if (opt.blocking == BlockingMode::kAuto && analysis.block_plan.built) {
+    run.plan = &analysis.block_plan;
+  }
   NumericDriver::driver_for(layout_).factorize(run, opt);
   zero_pivots_ = run.zero_pivots;
   lazy_skipped_ = run.lazy_skipped;
@@ -74,6 +81,7 @@ Factorization::Factorization(const Analysis& analysis, const CscMatrix& a,
   failed_column_ = run.failed_column;
   perturbed_columns_ = std::move(run.perturbed_columns);
   coarsen_stats_ = run.coarsen;
+  blocking_stats_ = run.blocking;
   // Final factor scan: pivot growth, plus overflow the factor tasks could
   // not see (in the 1-D layout the U blocks above a panel are only written
   // by Update tasks, which perform no scan of their own).

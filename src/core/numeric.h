@@ -55,6 +55,17 @@ enum class ExecutionMode {
   kThreaded,         // DAG executor on a thread pool
 };
 
+/// Structure-aware blocking (symbolic/repartition.h).  kAuto consumes
+/// Analysis::block_plan when it was built: the drivers hoist per-update
+/// density scans, coalesce adjacent same-decision tiles into single gemms,
+/// and hand the coarsener density-effective weights plus the DAG-aware
+/// tiny-merge.  Factors are BITWISE identical to kOff at every thread
+/// count (the routing contract in blas/level3.h); kOff is the ablation
+/// baseline and the plain per-block path.
+enum class BlockingMode { kAuto, kOff };
+
+const char* to_string(BlockingMode m);
+
 struct NumericOptions {
   ExecutionMode mode = ExecutionMode::kSequential;
   int threads = 4;
@@ -150,6 +161,10 @@ struct NumericOptions {
   /// aligned arena (default) or the per-column vector layout kept as the
   /// storage-ablation baseline.  Values are bitwise identical either way.
   StorageMode storage = StorageMode::kArena;
+  /// Structure-aware blocking plan consumption (see BlockingMode).  kAuto
+  /// is the default and bitwise-safe; set kOff to run the legacy per-block
+  /// path (the `--blocking off` ablation arm).
+  BlockingMode blocking = BlockingMode::kAuto;
   /// Static pivot perturbation (the SuperLU_DIST recovery for the static
   /// symbolic factorization): a pivot with |p| < sqrt(eps) * max|A| is
   /// bumped to that magnitude (sign preserved) instead of stopping the run
@@ -280,6 +295,14 @@ class Factorization {
     return coarsen_stats_;
   }
 
+  /// Tile-routing counters of the run (BlockingStats::ran is false when
+  /// NumericOptions::blocking was kOff, the analysis built no plan, or the
+  /// pipelined path ran -- its numeric tasks start before the full block
+  /// structure, and so the plan, can exist).
+  const symbolic::BlockingStats& blocking_stats() const {
+    return blocking_stats_;
+  }
+
  private:
   friend class NumericDriver;
   friend class PipelineDriver;
@@ -323,6 +346,7 @@ class Factorization {
   double growth_factor_ = 0.0;
   PipelineStats pipeline_stats_;
   taskgraph::CoarsenStats coarsen_stats_;
+  symbolic::BlockingStats blocking_stats_;
 };
 
 /// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf).

@@ -25,6 +25,17 @@ std::string render_ordering(const ordering::Decision& d) {
   return os.str();
 }
 
+/// One-line rendering of the blocking-plan summary, shared by both reports.
+std::string render_blocking_plan(const symbolic::BlockPlanSummary& s) {
+  std::ostringstream os;
+  os << s.panel_blocks << " L block(s) -> " << s.predicted_tiles
+     << " tile(s) (" << s.split_tiles << " split, " << s.mixed_columns
+     << " mixed column(s)), " << 100.0 * s.dense_area_frac
+     << "% dense-tile area, " << s.dense_blocks << " dense / " << s.zero_blocks
+     << " zero block(s)";
+  return os.str();
+}
+
 }  // namespace
 
 AnalysisReport report(const Analysis& an) {
@@ -43,6 +54,7 @@ AnalysisReport report(const Analysis& an) {
   r.beforest = graph::forest_stats(an.blocks.beforest);
   r.graph_kind = taskgraph::to_string(an.graph.kind);
   r.graph = taskgraph::graph_stats(an.graph, an.costs);
+  r.blocking = an.block_plan.summary;
   r.timings = an.timings;
   return r;
 }
@@ -64,6 +76,8 @@ FactorizationReport report(const Factorization& f) {
   r.storage_bytes = f.blocks().storage_bytes();
   r.storage_mode = to_string(f.blocks().storage_mode());
   r.coarsen = f.coarsen_stats();
+  r.blocking_plan = f.analysis().block_plan.summary;
+  r.blocking = f.blocking_stats();
   r.analysis_timings = f.analysis().timings;
   r.ordering = f.analysis().ordering_decision;
   r.pipeline = f.pipeline_stats();
@@ -89,6 +103,9 @@ std::string to_string(const AnalysisReport& r) {
   os << "task graph:  " << r.graph_kind << ", " << r.graph.tasks << " tasks, "
      << r.graph.edges << " edges, " << r.graph.total_flops / 1e9
      << " Gflop total, max parallelism " << r.graph.max_parallelism();
+  if (r.blocking.built) {
+    os << "\nblocking:    " << render_blocking_plan(r.blocking);
+  }
   return os.str();
 }
 
@@ -113,6 +130,19 @@ std::string to_string(const FactorizationReport& r) {
        << r.coarsen.fused_groups << " fused group(s) absorbing "
        << r.coarsen.fused_tasks << " task(s), threshold "
        << r.coarsen.threshold_flops / 1e6 << " Mflop";
+    if (r.coarsen.dag_bound) {
+      os << "; dag-bound, tiny-merged " << r.coarsen.tiny_merged_stages
+         << " stage(s)";
+    }
+  }
+  if (r.blocking.ran) {
+    os << "\nblocking:    auto: " << r.blocking.tile_runs << " tile run(s) ("
+       << r.blocking.gemms_fused << " gemm(s) fused), routed "
+       << r.blocking.routed_packed << " packed / " << r.blocking.routed_direct
+       << " direct, " << r.blocking.scans_elided << " scan(s) elided; plan "
+       << render_blocking_plan(r.blocking_plan);
+  } else {
+    os << "\nblocking:    off (per-block routing)";
   }
   if (!r.perturbed_columns.empty()) {
     os << "\nperturbed:   " << r.perturbed_columns.size()

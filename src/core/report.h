@@ -35,6 +35,9 @@ struct AnalysisReport {
   // Task graph.
   std::string graph_kind;
   taskgraph::GraphStats graph;
+  // Structure-aware blocking plan summary (symbolic/repartition.h):
+  // predicted tile split, dense coverage, closure padding.
+  symbolic::BlockPlanSummary blocking;
   // Per-phase wall-clock breakdown of the analyze run.
   AnalysisTimings timings;
 };
@@ -64,6 +67,11 @@ struct FactorizationReport {
   /// Task-graph coarsening summary (ran == false when coarsening was off or
   /// not applicable): node/edge counts before and after contraction.
   taskgraph::CoarsenStats coarsen;
+  /// Structure-aware blocking: the analysis plan summary plus the run's
+  /// tile-routing counters (BlockingStats::ran == false when the plan was
+  /// off, absent, or the pipelined path ran).
+  symbolic::BlockPlanSummary blocking_plan;
+  symbolic::BlockingStats blocking;
   /// Analyze-phase breakdown of the analysis this factorization ran on, so
   /// analyze-vs-factorize cost is visible without a profiler.
   AnalysisTimings analysis_timings;

@@ -1,0 +1,133 @@
+#include "symbolic/repartition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "blas/tunables.h"
+
+namespace plu::symbolic {
+
+namespace {
+
+// Fills plan.columns[k] from Abar's entries in block column k.  Because the
+// row partition is the column partition, part.supernode_of(row) IS the row
+// block, so one sweep over the supernode's Abar columns buckets every entry.
+void build_column_plan(const Pattern& abar, const BlockStructure& bs, int k,
+                       ColumnPlan& cp) {
+  const SupernodePartition& part = bs.part;
+  cp.l_list = bs.l_blocks(k);
+  const int nb = static_cast<int>(cp.l_list.size());
+  cp.l_offset.assign(nb + 1, 0);
+  for (int t = 0; t < nb; ++t) {
+    cp.l_offset[t + 1] = cp.l_offset[t] + part.width(cp.l_list[t]);
+  }
+  cp.panel_rows = cp.l_offset[nb];
+  const int wk = part.width(k);
+
+  std::vector<long> cnt(nb, 0);
+  for (int j = part.first(k); j < part.end(k); ++j) {
+    for (const int* it = abar.col_begin(j); it != abar.col_end(j); ++it) {
+      const int s = part.supernode_of(*it);
+      if (s <= k) continue;  // diagonal or U part
+      const auto pos = std::lower_bound(cp.l_list.begin(), cp.l_list.end(), s);
+      assert(pos != cp.l_list.end() && *pos == s);
+      ++cnt[pos - cp.l_list.begin()];
+    }
+  }
+
+  cp.l_density.resize(nb);
+  cp.tile_class.resize(nb);
+  long total = 0;
+  for (int t = 0; t < nb; ++t) {
+    const double area =
+        static_cast<double>(part.width(cp.l_list[t])) * wk;
+    cp.l_density[t] = cnt[t] / area;
+    total += cnt[t];
+    cp.tile_class[t] = static_cast<unsigned char>(
+        cnt[t] == 0 ? TileClass::kZero
+        : cp.l_density[t] >= blas::tunables::kDenseTileMinFill
+            ? TileClass::kDense
+            : TileClass::kSparse);
+  }
+  cp.panel_density =
+      cp.panel_rows > 0
+          ? total / (static_cast<double>(cp.panel_rows) * wk)
+          : 0.0;
+  cp.predicted_tiles = 0;
+  for (int t = 0; t < nb; ++t) {
+    if (t == 0 || cp.tile_class[t] != cp.tile_class[t - 1]) {
+      ++cp.predicted_tiles;
+    }
+  }
+}
+
+// Sequential summary reduction over the filled columns (identical whether
+// the columns were built sequentially or by a team).
+void reduce_summary(const BlockStructure& bs, BlockPlan& plan) {
+  BlockPlanSummary& s = plan.summary;
+  s = BlockPlanSummary{};
+  s.built = true;
+  s.tiny_width_cap = blas::tunables::kTinyStageWidth;
+  double dense_area = 0.0;
+  double total_area = 0.0;
+  for (int k = 0; k < bs.num_blocks(); ++k) {
+    const ColumnPlan& cp = plan.columns[k];
+    const int nb = static_cast<int>(cp.l_list.size());
+    s.panel_blocks += nb;
+    s.predicted_tiles += cp.predicted_tiles;
+    if (cp.predicted_tiles > 1) s.split_tiles += cp.predicted_tiles - 1;
+    bool mixed = false;
+    const int wk = bs.part.width(k);
+    for (int t = 0; t < nb; ++t) {
+      const double area =
+          static_cast<double>(bs.part.width(cp.l_list[t])) * wk;
+      total_area += area;
+      const TileClass tc = static_cast<TileClass>(cp.tile_class[t]);
+      if (tc == TileClass::kDense) {
+        ++s.dense_blocks;
+        dense_area += area;
+      } else if (tc == TileClass::kZero) {
+        ++s.zero_blocks;
+      }
+      mixed |= cp.tile_class[t] != cp.tile_class[0];
+    }
+    if (mixed) ++s.mixed_columns;
+  }
+  s.dense_area_frac = total_area > 0.0 ? dense_area / total_area : 0.0;
+}
+
+}  // namespace
+
+BlockPlan build_block_plan(const Pattern& abar, const BlockStructure& bs) {
+  BlockPlan plan;
+  plan.columns.resize(bs.num_blocks());
+  for (int k = 0; k < bs.num_blocks(); ++k) {
+    build_column_plan(abar, bs, k, plan.columns[k]);
+  }
+  reduce_summary(bs, plan);
+  plan.built = true;
+  return plan;
+}
+
+BlockPlan build_block_plan(const Pattern& abar, const BlockStructure& bs,
+                           rt::Team& team) {
+  BlockPlan plan;
+  const int n = bs.num_blocks();
+  plan.columns.resize(n);
+  // Columns are write-disjoint and each reads only its own Abar range, so
+  // the fan-out is trivially bit-identical to the sequential build.
+  team.parallel_for(abar.nnz(), n, [&](int kb, int ke, int) {
+    for (int k = kb; k < ke; ++k) {
+      build_column_plan(abar, bs, k, plan.columns[k]);
+    }
+  });
+  reduce_summary(bs, plan);
+  plan.built = true;
+  return plan;
+}
+
+bool transpose_consistent(const BlockStructure& bs) {
+  return bs.bpattern_rows == bs.bpattern.transpose();
+}
+
+}  // namespace plu::symbolic

@@ -1,0 +1,116 @@
+// Structure-aware block repartitioning (DESIGN.md section 16).
+//
+// The supernode partition cuts Abar into blocks sized for the SYMBOLIC
+// machinery (shared row structure), not for the numeric kernels: a block
+// column's L panel routinely interleaves dense cliques, sparse fringe
+// blocks and all-zero closure padding, yet blas/level3.cpp used to make one
+// whole-operation density guess per gemm.  The BlockPlan built here scans
+// every block's fill pattern once, between symbolic analysis and numeric
+// factorization, and records
+//
+//   * per-L-block structural density and a TileClass prediction (dense
+//     tile / sparse remainder / closure-zero padding), splitting each
+//     mixed-density panel into maximal runs of like-classed tiles;
+//   * cached l_blocks lists and panel-local row offsets, so the numeric
+//     drivers' hot loops stop re-deriving them from the Pattern;
+//   * aggregate statistics for the report, the coarsening cost model
+//     (taskgraph/costs.h) and the DAG-aware tiny-supernode merge
+//     (taskgraph/coarsen.cpp).
+//
+// BITWISE CONTRACT: the plan carries PREDICTIONS and cached structure only.
+// Partial-pivoting row swaps move numeric zeros across block boundaries at
+// runtime, so no structural class here may force a numeric decision; the
+// drivers re-measure density with the same predicates gemm's auto router
+// uses (blas/level3.h) and use the plan to elide redundant scans and fuse
+// adjacent same-decision tiles -- transformations proven to keep the
+// factors bit-identical (DESIGN.md section 16).
+#pragma once
+
+#include <vector>
+
+#include "matrix/csc.h"
+#include "runtime/parallel_for.h"
+#include "symbolic/blocks.h"
+
+namespace plu::symbolic {
+
+/// Structural density class of one L row block (a "tile").
+enum class TileClass : unsigned char {
+  kZero = 0,    // no Abar entry at all: block-closure padding
+  kSparse = 1,  // fill below tunables::kDenseTileMinFill
+  kDense = 2,   // fill >= tunables::kDenseTileMinFill: microkernel material
+};
+
+/// Per-block-column slice of the plan.
+struct ColumnPlan {
+  /// Row blocks i > k of block column k (== BlockStructure::l_blocks(k),
+  /// cached so the numeric hot loops stop allocating).
+  std::vector<int> l_list;
+  /// Panel-local row offset of each L block (l_list.size() + 1 entries;
+  /// offsets are relative to the first L row, i.e. diagonal excluded;
+  /// back() == panel_rows).
+  std::vector<int> l_offset;
+  /// Total L rows below the diagonal block.
+  int panel_rows = 0;
+  /// Structural fill of each L block: |Abar entries| / (rows * cols).
+  std::vector<double> l_density;
+  /// Structural fill of the whole L panel.
+  double panel_density = 0.0;
+  /// TileClass per L block (stored as unsigned char, same order as l_list).
+  std::vector<unsigned char> tile_class;
+  /// Number of maximal runs of equal TileClass -- the tile count the panel
+  /// splits into.
+  int predicted_tiles = 0;
+};
+
+/// Whole-plan aggregates (surfaced as the report's "blocking:" line).
+struct BlockPlanSummary {
+  bool built = false;
+  long panel_blocks = 0;     // total L blocks over all block columns
+  long dense_blocks = 0;     // blocks predicted dense
+  long zero_blocks = 0;      // closure-padding blocks (no Abar entry)
+  long predicted_tiles = 0;  // sum of ColumnPlan::predicted_tiles
+  long split_tiles = 0;      // extra tiles from splitting (runs - 1 summed)
+  long mixed_columns = 0;    // columns holding more than one TileClass
+  double dense_area_frac = 0.0;  // dense-block area / total L panel area
+  /// Width cap below which a supernode counts as "tiny" for the DAG-aware
+  /// merge (tunables::kTinyStageWidth, recorded so report and coarsener
+  /// agree on the policy that produced the plan).
+  int tiny_width_cap = 0;
+};
+
+/// The structure-aware blocking plan for one analysis.
+struct BlockPlan {
+  bool built = false;
+  BlockPlanSummary summary;
+  std::vector<ColumnPlan> columns;  // one per block column
+};
+
+/// Runtime routing counters the numeric drivers fill when a plan is active
+/// (Factorization::blocking_stats(), the report's runtime "blocking:" line).
+struct BlockingStats {
+  bool ran = false;        // a plan drove the numeric phase
+  long tile_runs = 0;      // coalesced same-engine tile runs dispatched
+  long gemms_fused = 0;    // per-block gemms merged away by coalescing
+  long routed_packed = 0;  // tile runs sent to the packed engine
+  long routed_direct = 0;  // tile runs sent to the direct engine
+  long scans_elided = 0;   // redundant O(k*n) density scans skipped
+};
+
+/// Builds the plan from the filled pattern and the block structure
+/// (row partition == column partition, so Abar row indices map to row
+/// blocks via part.supernode_of).
+BlockPlan build_block_plan(const Pattern& abar, const BlockStructure& bs);
+
+/// Team-parallel variant; bit-identical to the sequential build (columns
+/// are write-disjoint; the summary reduction stays sequential).
+BlockPlan build_block_plan(const Pattern& abar, const BlockStructure& bs,
+                           rt::Team& team);
+
+/// True when bs.bpattern_rows is exactly the transpose of bs.bpattern --
+/// the consistency invariant the numeric drivers rely on, revalidated by
+/// tests after plan construction (the transpose is built once on
+/// construction and never refreshed).
+bool transpose_consistent(const BlockStructure& bs);
+
+}  // namespace plu::symbolic

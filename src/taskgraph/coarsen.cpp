@@ -4,7 +4,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "blas/tunables.h"
 #include "taskgraph/analysis.h"
+#include "taskgraph/costs.h"
 
 namespace plu::taskgraph {
 
@@ -24,6 +26,8 @@ CoarsenStats CoarseGraph::stats(const TaskGraph& g) const {
   st.fused_groups = fused_groups;
   st.fused_tasks = fused_tasks;
   st.threshold_flops = threshold_flops;
+  st.dag_bound = dag_bound;
+  st.tiny_merged_stages = tiny_merged_stages;
   return st;
 }
 
@@ -43,39 +47,87 @@ CoarseGraph coarsen_task_graph(const TaskGraph& g,
     return cg;
   }
 
+  // Task weights: density-effective flops when a blocking plan is present
+  // (closure-padded sparse subtrees stop being overweighted), nominal
+  // counts otherwise.  SCHEDULE-ONLY either way -- weights shape groups
+  // and priorities, and any grouping is bitwise-safe (the writer chains
+  // below pin the summation order regardless).
+  const bool planned = opt.plan != nullptr && opt.plan->built;
+  const std::vector<double> eff =
+      planned ? effective_task_flops(g, *opt.plan) : std::vector<double>{};
+  const std::vector<double>& fl = planned ? eff : g.flops;
+
   // Stage weights and subtree sums (children precede parents, so one
   // ascending pass accumulates complete subtrees before adding them up).
   std::vector<double> subtree(nb, 0.0);
+  double total = 0.0;
   for (int s = 0; s < nb; ++s) {
-    double w = g.flops[g.tasks.factor_id(s)];
+    double w = fl[g.tasks.factor_id(s)];
     const auto [b, e] = g.tasks.stage_range(s);
-    for (int id = b; id < e; ++id) w += g.flops[id];
+    for (int id = b; id < e; ++id) w += fl[id];
     subtree[s] += w;
+    total += w;
     const int p = bs.beforest.parent(s);
     if (p != graph::kNone) subtree[p] += subtree[s];
   }
 
   double threshold = opt.threshold_flops;
   if (threshold <= 0.0) {
-    const std::vector<double> bl = bottom_levels(g, g.flops);
+    const std::vector<double> bl = bottom_levels(g, fl);
     double cp = 0.0;
     for (double v : bl) cp = std::max(cp, v);
     const double p = std::max(1, opt.threads);
     const double tpt = std::max(1, opt.target_tasks_per_thread);
-    threshold = std::min(g.total_flops / (p * tpt), 0.5 * cp);
+    threshold = std::min(total / (p * tpt), 0.5 * cp);
   }
   cg.threshold_flops = threshold;
 
-  // Fused roots: maximal subtrees under the threshold.  Descending scan so
-  // fr[parent] is final before its children inherit it.
+  // DAG-aware tiny-supernode merging (plan-gated).  When the task count
+  // dwarfs what the workers can usefully schedule, per-task overhead -- not
+  // flops -- bounds the run; subtrees made ENTIRELY of tiny supernodes
+  // (width <= the plan's tiny_width_cap) may then fuse past the flop
+  // threshold, up to kTinyMergeFlopFactor times it.  tiny_sub is computed
+  // ascending (children precede parents under postorder); clearing is
+  // monotone, so each flag is final once its stage is passed.
+  const bool dag_bound =
+      planned && nt > std::max(1, opt.threads) *
+                          std::max(1, opt.target_tasks_per_thread) *
+                          blas::tunables::kDagBoundTaskFactor;
+  cg.dag_bound = dag_bound;
+  std::vector<char> tiny_sub;
+  if (dag_bound) {
+    tiny_sub.assign(nb, 1);
+    const int cap = opt.plan->summary.tiny_width_cap;
+    for (int s = 0; s < nb; ++s) {
+      if (bs.part.width(s) > cap) tiny_sub[s] = 0;
+      const int p = bs.beforest.parent(s);
+      if (p != graph::kNone && !tiny_sub[s]) tiny_sub[p] = 0;
+    }
+  }
+  // The fusability predicate is DOWN-CLOSED (a fusable stage's children are
+  // fusable: subtree weights shrink downward, and tiny_sub[p] implies
+  // tiny_sub[child]), which is what keeps fused subtrees maximal and their
+  // stage intervals contiguous -- the acyclicity argument is untouched.
+  const auto fusable = [&](int s) {
+    if (subtree[s] <= threshold) return true;
+    return dag_bound && tiny_sub[s] != 0 &&
+           subtree[s] <= blas::tunables::kTinyMergeFlopFactor * threshold;
+  };
+
+  // Fused roots: maximal fusable subtrees.  Descending scan so fr[parent]
+  // is final before its children inherit it.
   std::vector<int> fr(nb, -1);
   for (int s = nb - 1; s >= 0; --s) {
     const int p = bs.beforest.parent(s);
-    if (subtree[s] <= threshold &&
-        (p == graph::kNone || subtree[p] > threshold)) {
+    if (fusable(s) && (p == graph::kNone || !fusable(p))) {
       fr[s] = s;
     } else if (p != graph::kNone) {
       fr[s] = fr[p];
+    }
+  }
+  if (dag_bound) {
+    for (int s = 0; s < nb; ++s) {
+      if (fr[s] != -1 && subtree[fr[s]] > threshold) ++cg.tiny_merged_stages;
     }
   }
 

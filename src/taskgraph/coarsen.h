@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "symbolic/blocks.h"
+#include "symbolic/repartition.h"
 #include "taskgraph/build.h"
 
 namespace plu::taskgraph {
@@ -56,6 +57,18 @@ struct CoarsenOptions {
   double threshold_flops = 0.0;
   /// Adaptive target: fuse until ~this many coarse tasks per thread remain.
   int target_tasks_per_thread = 48;
+  /// Structure-aware blocking plan (symbolic/repartition.h), or nullptr.
+  /// When present it refines the SCHEDULE only -- factor bits never move:
+  ///   * task weights become density-effective flops (costs.h), so
+  ///     closure-padded sparse subtrees stop being overweighted;
+  ///   * when the task count shows the DAG itself is the bottleneck
+  ///     (tasks > threads * target_tasks_per_thread *
+  ///     tunables::kDagBoundTaskFactor), whole subtrees of TINY supernodes
+  ///     (width <= the plan's tiny_width_cap) fuse beyond the flop
+  ///     threshold, up to kTinyMergeFlopFactor times it -- merging past
+  ///     the amalgamation cap at the TASK level, where it cannot change
+  ///     getrf panel shapes.
+  const symbolic::BlockPlan* plan = nullptr;
 };
 
 /// Summary of one coarsening application, surfaced through
@@ -70,6 +83,10 @@ struct CoarsenStats {
   int fused_groups = 0;
   long fused_tasks = 0;
   double threshold_flops = 0.0;
+  /// The DAG-bound tiny-merge extension fired (plan present + task count
+  /// over the DAG-bound gate) / stages it fused beyond the flop threshold.
+  bool dag_bound = false;
+  int tiny_merged_stages = 0;
 };
 
 /// The contracted graph.  Group ids are a topological order; members of a
@@ -91,6 +108,8 @@ struct CoarseGraph {
   double threshold_flops = 0.0;
   int fused_groups = 0;   // groups with >= 2 members
   long fused_tasks = 0;   // original tasks inside those groups
+  bool dag_bound = false;       // tiny-merge extension was active
+  int tiny_merged_stages = 0;   // stages fused beyond the flop threshold
   long num_edges() const;
 
   /// The stats record for this application (tasks/edges before from `g`).

@@ -5,6 +5,7 @@
 #include "graph/postorder.h"
 #include "graph/transversal.h"
 #include "symbolic/blocks.h"
+#include "symbolic/repartition.h"
 #include "symbolic/static_symbolic.h"
 #include "test_helpers.h"
 
@@ -135,6 +136,31 @@ TEST(BlockStructure, LAndUBlockListsConsistent) {
     for (int j : bs.u_blocks(k)) {
       EXPECT_GT(j, k);
       EXPECT_TRUE(bs.bpattern.contains(k, j));
+    }
+  }
+}
+
+TEST(BlockStructure, TransposedPatternConsistentAfterRepartitioning) {
+  // bpattern_rows is built once on construction and never refreshed; the
+  // blocking-plan build (symbolic/repartition.h) walks the structure but
+  // must not disturb it -- the numeric drivers read the row-major side for
+  // U traversal and the plan's l_list caches the column-major side, so the
+  // two views have to stay exact transposes of each other.
+  for (const CscMatrix& a : test::small_matrices()) {
+    Pattern abar = make_abar(a);
+    SupernodePartition part = find_supernodes(abar);
+    BlockStructure bs = build_block_structure(abar, part);
+    ASSERT_TRUE(transpose_consistent(bs)) << describe(a);
+    BlockPlan plan = build_block_plan(abar, bs);
+    ASSERT_TRUE(plan.built) << describe(a);
+    EXPECT_TRUE(transpose_consistent(bs)) << describe(a);
+    // And the plan's cached lists agree with both pattern views.
+    for (int k = 0; k < bs.num_blocks(); ++k) {
+      EXPECT_EQ(plan.columns[k].l_list, bs.l_blocks(k)) << describe(a);
+      for (int i : plan.columns[k].l_list) {
+        EXPECT_TRUE(bs.bpattern.contains(i, k)) << describe(a);
+        EXPECT_TRUE(bs.bpattern_rows.contains(k, i)) << describe(a);
+      }
     }
   }
 }

@@ -59,9 +59,40 @@ TEST(Report, RendersAllSections) {
   os << report(an) << "\n" << report(f);
   std::string s = os.str();
   for (const char* needle : {"matrix:", "symbolic:", "supernodes:", "beforest:",
-                             "task graph:", "numeric:"}) {
+                             "task graph:", "numeric:", "blocking:"}) {
     EXPECT_NE(s.find(needle), std::string::npos) << needle;
   }
+}
+
+TEST(Report, BlockingLineFollowsMode) {
+  CscMatrix a = test::small_matrices()[1];
+  Analysis an = analyze(a);
+  // Analysis report: the plan summary renders whenever the plan was built.
+  AnalysisReport ar = report(an);
+  EXPECT_TRUE(ar.blocking.built);
+  EXPECT_NE(to_string(ar).find("blocking:"), std::string::npos);
+  EXPECT_NE(to_string(ar).find("tile(s)"), std::string::npos);
+
+  // blocking=auto: the runtime line carries the routing counters and they
+  // match Factorization::blocking_stats().
+  NumericOptions auto_opt;
+  auto_opt.blocking = BlockingMode::kAuto;
+  Factorization fa(an, a, auto_opt);
+  FactorizationReport ra = report(fa);
+  EXPECT_TRUE(ra.blocking.ran);
+  EXPECT_EQ(ra.blocking.tile_runs, fa.blocking_stats().tile_runs);
+  EXPECT_EQ(ra.blocking_plan.built, true);
+  std::string sa = to_string(ra);
+  EXPECT_NE(sa.find("blocking:    auto:"), std::string::npos) << sa;
+  EXPECT_NE(sa.find("tile run(s)"), std::string::npos) << sa;
+
+  // blocking=off: the line says so instead of printing zeros as data.
+  NumericOptions off_opt;
+  off_opt.blocking = BlockingMode::kOff;
+  Factorization fo(an, a, off_opt);
+  FactorizationReport ro = report(fo);
+  EXPECT_FALSE(ro.blocking.ran);
+  EXPECT_NE(to_string(ro).find("blocking:    off"), std::string::npos);
 }
 
 TEST(Ruiz, DrivesRowAndColumnMaximaToOne) {

@@ -35,6 +35,10 @@
 //                           tasks before threaded execution (bit-identical
 //                           results; cuts scheduling overhead on many-tree
 //                           matrices)
+//     --blocking MODE       auto | off structure-aware blocking (default
+//                           auto: the analysis tile plan drives per-tile
+//                           gemm routing and run fusion; bit-identical to
+//                           off at every thread count)
 //     --storage MODE        arena | vectors block storage (default arena:
 //                           one contiguous 64-byte-aligned slab)
 //     --perturb             static pivot perturbation (SuperLU_DIST-style):
@@ -70,7 +74,7 @@ namespace {
                "       [--no-postorder] [--taskgraph eforest|sstar|sstar-po]\n"
                "       [--layout 1d|2d] [--scale] [--pivot-threshold T]\n"
                "       [--threads N] [--pipeline] [--analyze-threads N] [--lazy]\n"
-               "       [--coarsen] [--storage arena|vectors]\n"
+               "       [--coarsen] [--blocking auto|off] [--storage arena|vectors]\n"
                "       [--perturb] [--refine] [--simulate P] [--stats]\n"
                "       [--verbose]\n",
                argv0);
@@ -197,6 +201,11 @@ int main(int argc, char** argv) {
       nopt.lazy_updates = true;
     } else if (arg == "--coarsen") {
       nopt.coarsen = true;
+    } else if (arg == "--blocking") {
+      std::string m = next();
+      if (m == "auto") nopt.blocking = plu::BlockingMode::kAuto;
+      else if (m == "off") nopt.blocking = plu::BlockingMode::kOff;
+      else usage(argv[0]);
     } else if (arg == "--storage") {
       std::string s = next();
       if (s == "arena") nopt.storage = plu::StorageMode::kArena;
@@ -276,6 +285,13 @@ int main(int argc, char** argv) {
                   "group(s) absorbing %ld task(s)\n",
                   cs.tasks_before, cs.tasks_after, cs.edges_before,
                   cs.edges_after, cs.fused_groups, cs.fused_tasks);
+    }
+    if (f.blocking_stats().ran) {
+      const plu::symbolic::BlockingStats& bt = f.blocking_stats();
+      std::printf("blocking: %ld tile run(s), %ld gemm(s) fused, routed "
+                  "%ld packed / %ld direct, %ld scan(s) elided\n",
+                  bt.tile_runs, bt.gemms_fused, bt.routed_packed,
+                  bt.routed_direct, bt.scans_elided);
     }
     std::printf("storage: %s, %.1f MB peak\n",
                 plu::to_string(f.blocks().storage_mode()),
